@@ -1,0 +1,76 @@
+"""Extra ablation (DESIGN.md): UM management granularity.
+
+The paper manages migration at the NVIDIA driver's 2 MB UM-block
+granularity and argues this is the right unit: page (4 KB-ish) granularity
+explodes the number of correlation entries and fault events, while very
+large blocks migrate data that is never touched. This bench sweeps the
+block size and reports time and fault counts under DeepUM.
+"""
+
+from __future__ import annotations
+
+from repro.constants import KiB, MiB
+from repro.core.deepum import DeepUM
+from repro.core.um_manager import UMCapacityError
+from repro.harness import calibrate_system
+from repro.harness.report import format_table
+from repro.models.registry import get_model_config
+from repro.torchsim.allocator import TorchSimOOM
+
+from common import FAST, once
+
+MODEL = "bert-large"
+BLOCK_SIZES = ((256 * KiB, "256 KB"), (2 * MiB, "2 MB (paper)"),
+               (8 * MiB, "8 MB"))
+ITERS = (3, 2) if FAST else (4, 3)
+
+
+def _run_one(block_size: int):
+    cfg = get_model_config(MODEL)
+    system = calibrate_system(MODEL)
+    facade = DeepUM(system, block_size=block_size)
+    warmup, measure = ITERS
+    try:
+        workload = cfg.build(facade.device, cfg.sim_batch(16),
+                             scale=cfg.sim_scale)
+        workload.run(warmup)
+        faults0 = facade.engine.stats.faulted_blocks
+        t0 = facade.elapsed()
+        workload.run(measure)
+        return {
+            "seconds_per_100": 100 * (facade.elapsed() - t0) / measure,
+            "block_faults_per_iter":
+                (facade.engine.stats.faulted_blocks - faults0) / measure,
+            "table_mb": facade.correlation_table_bytes / MiB,
+        }
+    except (UMCapacityError, TorchSimOOM):
+        return None
+
+
+def _run_sweep():
+    return {label: _run_one(size) for size, label in BLOCK_SIZES}
+
+
+def bench_ablation_granularity(benchmark):
+    results = once(benchmark, _run_sweep)
+    rows = []
+    for size, label in BLOCK_SIZES:
+        r = results[label]
+        if r is None:
+            rows.append([label, None, None, None])
+            continue
+        rows.append([label, r["seconds_per_100"],
+                     r["block_faults_per_iter"], r["table_mb"]])
+    print()
+    print(format_table(
+        ["granularity", "s/100 iters", "block faults/iter",
+         "correlation tables MB"],
+        rows, title=f"Ablation: UM management granularity ({MODEL})"))
+
+    fine = results["256 KB"]
+    paper = results["2 MB (paper)"]
+    assert paper is not None
+    if fine is not None:
+        # Finer granularity multiplies fault/table management work.
+        assert fine["block_faults_per_iter"] > paper["block_faults_per_iter"]
+        assert fine["table_mb"] > paper["table_mb"] * 0.8

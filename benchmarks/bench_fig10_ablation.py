@@ -1,0 +1,76 @@
+"""Fig. 10: effect of prefetching and the two fault-path optimizations.
+
+The paper's ablation: correlation prefetching alone reduces execution time
+by 45.6% on average; adding pre-eviction reaches 63.7%; adding inactive-
+block invalidation reaches 66.7%. The bench reproduces the monotone
+ordering (each optimization helps or is neutral) and a substantial total.
+"""
+
+from __future__ import annotations
+
+from repro.config import DeepUMConfig
+from repro.harness.paperdata import FIG10_REDUCTION
+from repro.harness.report import format_table, geomean
+
+from common import FAST, fig9_batches, once, run_cell, seconds, selected_models
+
+MODELS = ("bert-large", "resnet152") if FAST else \
+    ("gpt2-xl", "gpt2-l", "bert-large", "bert-base", "dlrm", "resnet152")
+
+VARIANTS = {
+    "Prefetch": DeepUMConfig(enable_preeviction=False,
+                             enable_invalidation=False),
+    "Prefetch+Preevict": DeepUMConfig(enable_invalidation=False),
+    "Prefetch+Preevict+Invalidate": DeepUMConfig(),
+}
+
+
+def _run_grid():
+    results = {}
+    for model in selected_models(MODELS):
+        batch = fig9_batches(model)[0]
+        results[(model, "um")] = run_cell(model, batch, "um")
+        for name, cfg in VARIANTS.items():
+            results[(model, name)] = run_cell(model, batch, "deepum", cfg)
+    return results
+
+
+def bench_fig10_ablation(benchmark):
+    results = once(benchmark, _run_grid)
+    rows = []
+    reductions: dict[str, list[float]] = {name: [] for name in VARIANTS}
+    for model in selected_models(MODELS):
+        um = seconds(results[(model, "um")])
+        row: list[object] = [model]
+        for name in VARIANTS:
+            sec = seconds(results[(model, name)])
+            if um is None or sec is None:
+                row.append(None)
+                continue
+            reduction = 1.0 - sec / um
+            reductions[name].append(reduction)
+            row.append(100.0 * reduction)
+        rows.append(row)
+    rows.append(["MEAN"] + [
+        100.0 * (sum(v) / len(v)) if (v := reductions[name]) else None
+        for name in VARIANTS
+    ])
+    print()
+    print(format_table(["model", *VARIANTS], rows,
+                       title="Fig. 10: execution-time reduction over UM (%)"))
+    print("paper means: prefetch 45.6%, +preevict 63.7%, +invalidate 66.7%"
+          f" (reference: {FIG10_REDUCTION})")
+
+    mean = {n: sum(v) / len(v) for n, v in reductions.items() if v}
+    # DLRM's random-order access makes *unassisted* prefetching neutral to
+    # slightly harmful (the paper also reports ~no DLRM benefit), so the
+    # prefetch-only claim is asserted over the regular workloads.
+    models = list(selected_models(MODELS))
+    regular = [i for i, m in enumerate(models) if m != "dlrm"]
+    pf = [reductions["Prefetch"][i] for i in regular
+          if i < len(reductions["Prefetch"])]
+    assert sum(pf) / len(pf) > 0.05, "prefetching alone must help (regular)"
+    assert mean["Prefetch+Preevict"] >= mean["Prefetch"] - 0.03
+    full = mean["Prefetch+Preevict+Invalidate"]
+    assert full >= mean["Prefetch"] - 0.03
+    assert full > 0.3, "the full system must cut a large share of UM's time"

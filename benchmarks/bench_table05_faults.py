@@ -1,0 +1,52 @@
+"""Table 5: average page faults per training iteration, UM vs DeepUM.
+
+The paper's accuracy metric for correlation prefetching: DeepUM cuts page
+faults to a tiny fraction of naive UM's (below 1% for most workloads, a
+few percent at worst). Absolute counts depend on the simulated footprint;
+the *ratio* is the reproduced quantity.
+"""
+
+from __future__ import annotations
+
+from repro.harness.paperdata import TABLE5_FAULTS
+from repro.harness.report import format_table
+
+from common import FIG9_MODELS, fig9_batches, fig9_grid, once, selected_models
+
+
+def bench_table05_faults(benchmark):
+    grid = once(benchmark, fig9_grid)
+    rows = []
+    ratios = []
+    for model in selected_models(FIG9_MODELS):
+        for batch in fig9_batches(model):
+            um = grid[(model, batch, "um")]
+            deepum = grid[(model, batch, "deepum")]
+            if um.window is None or deepum.window is None:
+                continue
+            um_f = um.window.faults_per_iteration
+            du_f = deepum.window.faults_per_iteration
+            ratio = du_f / um_f if um_f else 0.0
+            ratios.append((model, ratio))
+            paper = TABLE5_FAULTS.get((model, batch), {})
+            paper_ratio = None
+            if paper:
+                paper_ratio = 100.0 * paper["deepum"] / paper["um"]
+            rows.append([model, batch, round(um_f), round(du_f),
+                         100.0 * ratio, paper_ratio])
+    print()
+    print(format_table(
+        ["model", "batch", "UM faults/iter", "DeepUM faults/iter",
+         "sim ratio %", "paper ratio %"],
+        rows, title="Table 5: page faults per training iteration"))
+
+    for model, ratio in ratios:
+        # DLRM's random-order lookups defeat timed prefetch: the simulator
+        # converts fewer of its faults than the paper's driver (which still
+        # reaches <1%) — see EXPERIMENTS.md; the reduction must merely be real.
+        limit = 0.95 if model == "dlrm" else 0.85
+        assert ratio < limit, \
+            f"{model}: DeepUM must cut faults (got {ratio:.0%})"
+    regular = [r for m, r in ratios if m != "dlrm"]
+    assert sum(regular) / len(regular) < 0.55, \
+        "regular workloads: large average fault reduction"

@@ -1,0 +1,103 @@
+"""Shared machinery for the per-table/figure benchmark harnesses.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation section: it runs the relevant experiment grid through the
+simulator, prints the same rows/series the paper reports (side by side
+with the paper's numbers where useful), and asserts the qualitative shape.
+
+Environment knobs:
+
+* ``REPRO_FAST=1`` — trim grids to one batch per model and fewer
+  iterations, for quick smoke runs;
+* ``REPRO_MODELS=gpt2-xl,bert-large`` — restrict the model set.
+
+Expensive grids are computed once per pytest session (module-level
+caches) and shared between benches (e.g. Fig. 9a/9b/9c reuse one sweep).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Iterable, Optional
+
+from repro.config import DeepUMConfig
+from repro.harness import calibrate_system, run_experiment
+from repro.harness.experiment import ExperimentResult
+from repro.models.registry import get_model_config
+
+FAST = os.environ.get("REPRO_FAST", "") not in ("", "0")
+
+FIG9_MODELS = ("gpt2-xl", "gpt2-l", "bert-large", "bert-base", "dlrm",
+               "resnet152", "resnet200")
+FIG13_MODELS = ("resnet200-cifar", "bert-large-cola", "dcgan", "mobilenet")
+
+#: Models used for parameter sweeps (Figs. 11 and 12) — a representative
+#: subset keeps sweep cost manageable.
+SWEEP_MODELS = ("gpt2-l", "bert-large", "resnet152")
+
+WARMUP = 4  # tables need ~3 iterations to converge before measuring
+MEASURE = 2 if FAST else 3
+
+
+def selected_models(default: Iterable[str]) -> tuple[str, ...]:
+    env = os.environ.get("REPRO_MODELS")
+    if not env:
+        return tuple(default)
+    chosen = tuple(m.strip() for m in env.split(",") if m.strip())
+    return tuple(m for m in chosen if m in set(default)) or tuple(default)
+
+
+def fig9_batches(model: str) -> tuple[int, ...]:
+    batches = get_model_config(model).fig9_batches
+    if FAST:
+        return (batches[len(batches) // 2],)
+    return batches
+
+
+def run_cell(model: str, batch: int, policy: str,
+             deepum_config: Optional[DeepUMConfig] = None,
+             seed: int = 0) -> ExperimentResult:
+    system = calibrate_system(model)
+    return run_experiment(
+        model, batch, policy, system=system,
+        warmup_iterations=WARMUP, measure_iterations=MEASURE,
+        deepum_config=deepum_config, seed=seed,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def fig9_grid() -> dict[tuple[str, int, str], ExperimentResult]:
+    """The Fig. 9 sweep: 7 models x batch grid x 5 systems (cached)."""
+    results: dict[tuple[str, int, str], ExperimentResult] = {}
+    for model in selected_models(FIG9_MODELS):
+        for batch in fig9_batches(model):
+            for policy in ("um", "lms", "lms-mod", "deepum", "ideal"):
+                results[(model, batch, policy)] = run_cell(model, batch, policy)
+    return results
+
+
+@functools.lru_cache(maxsize=None)
+def fig13_grid() -> dict[tuple[str, str], ExperimentResult]:
+    """The Fig. 13 sweep: 4 models x 7 systems on the 16 GB-class config."""
+    results: dict[tuple[str, str], ExperimentResult] = {}
+    policies = ("um", "vdnn", "autotm", "swapadvisor", "capuchin",
+                "sentinel", "deepum", "ideal")
+    for model in selected_models(FIG13_MODELS):
+        batch = get_model_config(model).fig9_batches[0]
+        for policy in policies:
+            results[(model, policy)] = run_cell(model, batch, policy)
+    return results
+
+
+def seconds(result: ExperimentResult) -> Optional[float]:
+    return result.seconds_per_100_iterations
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations — repeated rounds would
+    only re-measure Python overhead — so every bench uses a single round.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

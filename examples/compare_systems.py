@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Compare DeepUM against every baseline on one oversubscribed workload.
+
+Reproduces a single column of the paper's evaluation interactively: GPT-2 L
+fine-tuning on a machine calibrated so the footprint is ~2x GPU memory,
+run under naive UM, IBM LMS (and LMS-mod), the five TensorFlow-based
+swapping systems, DeepUM, and the no-oversubscription Ideal.
+
+Run:  python examples/compare_systems.py [model] [paper-batch]
+      e.g. python examples/compare_systems.py bert-large 16
+"""
+
+import sys
+
+from repro.harness import calibrate_system, run_experiment
+from repro.harness.report import format_table
+from repro.models.registry import get_model_config
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "gpt2-l"
+    cfg = get_model_config(model)
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else \
+        cfg.fig9_batches[len(cfg.fig9_batches) // 2]
+
+    system = calibrate_system(model)
+    print(f"{model} @ paper batch {batch} "
+          f"(simulated GPU: {system.gpu.memory_bytes >> 20} MB, "
+          f"host: {system.host.memory_bytes >> 20} MB)")
+    print()
+
+    policies = ["ideal", "um", "lms", "lms-mod", "vdnn", "autotm",
+                "swapadvisor", "capuchin", "sentinel", "deepum"]
+    rows = []
+    um_seconds = None
+    for policy in policies:
+        result = run_experiment(model, batch, policy, system=system,
+                                warmup_iterations=4)
+        if result.oom:
+            rows.append([policy, None, None, None])
+            continue
+        sec = result.seconds_per_100_iterations
+        if policy == "um":
+            um_seconds = sec
+        speedup = um_seconds / sec if um_seconds else None
+        rows.append([policy, sec, speedup,
+                     result.window.faults_per_iteration])
+    print(format_table(
+        ["system", "s / 100 iterations", "speedup vs UM", "page faults/iter"],
+        rows))
+    print()
+    print("notes: '-' rows failed (OOM or unsupported model, e.g. vDNN on "
+          "transformers); faults apply to UM-based systems only")
+
+
+if __name__ == "__main__":
+    main()

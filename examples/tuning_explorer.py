@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Explore DeepUM's tuning knobs on one workload (Figs. 10-12).
+
+Sweeps the three things the paper ablates — the prefetch degree N, the
+block-table geometry, and the individual optimizations — on a single
+workload and prints the resulting times, so you can see how each knob
+moves the speedup.
+
+Run:  python examples/tuning_explorer.py [model]
+"""
+
+import sys
+
+from repro.config import DeepUMConfig
+from repro.harness import calibrate_system, run_experiment
+from repro.harness.report import format_table
+
+
+def run(model: str, batch: int, system, cfg: DeepUMConfig) -> float:
+    result = run_experiment(model, batch, "deepum", system=system,
+                            warmup_iterations=4, deepum_config=cfg)
+    return result.seconds_per_100_iterations
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "bert-large"
+    from repro.models.registry import get_model_config
+    batch = get_model_config(model).fig9_batches[0]
+    system = calibrate_system(model)
+    um = run_experiment(model, batch, "um", system=system,
+                        warmup_iterations=4).seconds_per_100_iterations
+    print(f"{model} @ {batch}: naive UM takes {um:.1f} s/100 iterations\n")
+
+    # 1. Optimization ablation (Fig. 10).
+    rows = []
+    for label, cfg in [
+        ("prefetch only", DeepUMConfig(enable_preeviction=False,
+                                       enable_invalidation=False)),
+        ("+ pre-eviction", DeepUMConfig(enable_invalidation=False)),
+        ("+ invalidation (full)", DeepUMConfig()),
+    ]:
+        sec = run(model, batch, system, cfg)
+        rows.append([label, sec, um / sec])
+    print(format_table(["configuration", "s/100it", "speedup vs UM"], rows,
+                       title="Optimization ablation (Fig. 10)"))
+    print()
+
+    # 2. Prefetch degree (Fig. 11).
+    rows = []
+    for degree in (1, 8, 32, 128, 512):
+        sec = run(model, batch, system, DeepUMConfig(prefetch_degree=degree))
+        rows.append([degree, sec, um / sec])
+    print(format_table(["N", "s/100it", "speedup vs UM"], rows,
+                       title="Prefetch degree sweep (Fig. 11)"))
+    print()
+
+    # 3. Block-table geometry (Table 6 / Fig. 12).
+    rows = []
+    for name, (assoc, succs, nrows) in {
+        "Config0 (128r/2w/4s)": (2, 4, 128),
+        "Config9 (2048r/2w/4s)": (2, 4, 2048),
+        "Config12 (4096r/2w/4s)": (2, 4, 4096),
+    }.items():
+        cfg = DeepUMConfig(block_table_rows=nrows, block_table_assoc=assoc,
+                           block_table_num_succs=succs)
+        sec = run(model, batch, system, cfg)
+        rows.append([name, sec, um / sec])
+    print(format_table(["geometry", "s/100it", "speedup vs UM"], rows,
+                       title="Block-table geometry (Fig. 12)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Baseline GPU memory-management systems the paper compares against.
+
+* :class:`NaiveUM` — NVIDIA UM without prefetching (the paper's "UM" bars);
+* :class:`IdealNoOversubscription` — compute-only upper bound ("Ideal");
+* :class:`LMS` / :class:`LMSMod` — IBM Large Model Support, tensor-level
+  swapping on raw GPU memory (LMS-mod periodically frees cached PT blocks);
+* the five TensorFlow-based systems of Fig. 13, built as differentiated
+  planners over a shared tensor-swap simulator: :class:`VDNN`,
+  :class:`AutoTM`, :class:`SwapAdvisor`, :class:`Capuchin`,
+  :class:`Sentinel`.
+"""
+
+from .naive_um import NaiveUM
+from .ideal import IdealNoOversubscription
+from .tensor_swap import SwapPlanner, TensorSwapManager, TensorSwapOOM
+from .lms import LMS, LMSMod
+from .tf_baselines import AutoTM, Capuchin, Sentinel, SwapAdvisor, VDNN
+
+__all__ = [
+    "NaiveUM",
+    "IdealNoOversubscription",
+    "SwapPlanner",
+    "TensorSwapManager",
+    "TensorSwapOOM",
+    "LMS",
+    "LMSMod",
+    "VDNN",
+    "AutoTM",
+    "SwapAdvisor",
+    "Capuchin",
+    "Sentinel",
+]

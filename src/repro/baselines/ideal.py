@@ -1,0 +1,50 @@
+"""The "Ideal" upper bound: no GPU memory oversubscription at all.
+
+The paper obtains its upper bounds by running without oversubscription and
+scaling with batch size; here we simply give the device unbounded memory so
+every access after first touch is a hit and time is pure compute (plus the
+unavoidable first-touch fault handling, which the paper's ideal also pays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..config import SystemConfig
+from ..sim.engine import UMSimulator
+from ..torchsim.backend import UMBackend
+from ..torchsim.context import Device
+from ..core.um_manager import UMMemoryManager
+
+
+class IdealNoOversubscription:
+    """UM facade whose GPU never runs out of memory."""
+
+    def __init__(self, system: SystemConfig, *, seed: int = 0):
+        boundless = replace(
+            system, gpu=replace(system.gpu, memory_bytes=1 << 50)
+        )
+        self.system = boundless
+        self.engine = UMSimulator(boundless)
+        self.manager = UMMemoryManager(
+            self.engine, host_capacity=1 << 50, runtime=None
+        )
+        self.device = Device.with_backend(
+            UMBackend(um=self.engine.um, host_capacity=1 << 50),
+            self.manager,
+            seed=seed,
+        )
+
+    def elapsed(self) -> float:
+        return self.manager.elapsed()
+
+    def energy_joules(self) -> float:
+        return self.engine.energy_joules()
+
+    @property
+    def page_faults(self) -> int:
+        return self.engine.stats.page_faults
+
+    @property
+    def peak_populated_bytes(self) -> int:
+        return self.manager.peak_populated_bytes

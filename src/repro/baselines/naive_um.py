@@ -1,0 +1,45 @@
+"""Naive NVIDIA Unified Memory: demand paging, no prefetching.
+
+This is the paper's "UM" baseline: every non-resident access pays the full
+fault-handling path, and evictions (least-recently-migrated) happen on the
+fault critical path once the device fills.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..sim.engine import UMSimulator
+from ..torchsim.backend import UMBackend
+from ..torchsim.context import Device
+from ..core.um_manager import UMMemoryManager
+
+
+class NaiveUM:
+    """UM facade with no driver assistance (same interface as DeepUM)."""
+
+    def __init__(self, system: SystemConfig, *, seed: int = 0,
+                 block_size: int | None = None):
+        self.system = system
+        self.engine = UMSimulator(system, block_size=block_size)
+        self.manager = UMMemoryManager(
+            self.engine, host_capacity=system.host.memory_bytes, runtime=None
+        )
+        self.device = Device.with_backend(
+            UMBackend(um=self.engine.um, host_capacity=system.host.memory_bytes),
+            self.manager,
+            seed=seed,
+        )
+
+    def elapsed(self) -> float:
+        return self.manager.elapsed()
+
+    def energy_joules(self) -> float:
+        return self.engine.energy_joules()
+
+    @property
+    def page_faults(self) -> int:
+        return self.engine.stats.page_faults
+
+    @property
+    def peak_populated_bytes(self) -> int:
+        return self.manager.peak_populated_bytes

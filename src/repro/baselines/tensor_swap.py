@@ -1,0 +1,452 @@
+"""Shared substrate for tensor-granularity GPU memory swapping.
+
+All non-UM baselines (IBM LMS and the five TensorFlow-based systems of
+Fig. 13) manage memory at whole-tensor granularity on raw (non-UM) device
+memory: before a kernel runs, every operand tensor must be resident; when
+the device fills, victim tensors are written to host memory and their
+device allocation is released. What distinguishes the systems is the
+*planner*: how far ahead they prefetch, how well they pick victims, which
+models they support, and how efficiently they move data.
+
+The manager drives the real torchsim caching allocator over a
+:class:`~repro.torchsim.backend.RawGPUBackend`, so fragmentation-driven OOM
+— the reason LMS caps out at small batch sizes in Table 3 — emerges from
+genuine allocator mechanics rather than a tuned constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..config import SystemConfig
+from ..sim.interconnect import PCIeLink
+from ..torchsim.allocator import TorchSimOOM
+from ..torchsim.kernels import KernelCostModel, KernelLaunch
+from ..torchsim.tensor import Storage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..torchsim.context import Device
+
+
+class TensorSwapOOM(RuntimeError):
+    """Out of device memory even after swapping everything swappable, or
+    out of pinned host staging memory for swapped-out tensors."""
+
+
+@dataclass
+class ManagedTensor:
+    """Per-storage residency record."""
+
+    storage: Storage
+    nbytes: int
+    resident: bool = True
+    dirty: bool = True          # fresh allocations have no host copy
+    host_copy: bool = False
+    last_use_seq: int = -1
+    predicted_next_use: float = float("inf")
+    ready_at: float = 0.0       # completion time of an in-flight swap-in
+    pinned: bool = False        # operand of the kernel being launched
+
+
+@dataclass
+class SwapStats:
+    swap_ins: int = 0
+    swap_outs: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    sync_wait_time: float = 0.0
+    prefetch_hits: int = 0
+    recomputes: int = 0
+    oom_evictions: int = 0
+
+
+class SwapPlanner:
+    """Policy knobs a concrete baseline overrides.
+
+    The defaults describe a competent generic swapper; subclasses dial the
+    knobs to match each published system's mechanism.
+    """
+
+    #: Kernels of look-ahead prefetching (0 = purely reactive).
+    lookahead: int = 1
+    #: Use recorded next-use distances for victim choice (Belady-style,
+    #: what offline planners like AutoTM compute) instead of LRU.
+    belady_victims: bool = False
+    #: Fraction of tensor bytes actually moved (sub-tensor hot/cold
+    #: separation, as Sentinel's page-granularity profiling achieves).
+    transfer_fraction: float = 1.0
+    #: Probability of a planning error (skipped prefetch / poor victim),
+    #: modelling stochastic-search planners such as SwapAdvisor.
+    plan_error_rate: float = 0.0
+    #: Drop cheap activations instead of swapping them and recompute on
+    #: next use (Capuchin's swap-vs-recompute policy).
+    recompute_cheap: bool = False
+    #: Kernel-name prefixes whose outputs count as recomputable-cheap.
+    cheap_kernels: tuple[str, ...] = ("relu", "gelu", "leaky_relu", "sigmoid",
+                                      "tanh", "scale")
+    #: Raise if the workload contains no convolution (vDNN supports CNNs only).
+    requires_convolutions: bool = False
+    #: Swap out operands not planned for reuse within ``swapout_horizon``
+    #: kernels right after each kernel (the static-plan eagerness of
+    #: TFLMS/LMS and vDNN, which guarantees headroom at the cost of extra
+    #: traffic).
+    eager_swapout: bool = False
+    #: Reuse horizon (in kernels) that saves a tensor from eager swap-out.
+    swapout_horizon: int = 8
+    #: Eager swap-out engages only above this device-memory pressure
+    #: (LMS's swapout threshold: below it, nothing is offloaded).
+    eager_pressure_threshold: float = 0.7
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class TensorSwapManager:
+    """Memory manager swapping whole tensors between GPU and host."""
+
+    #: Fraction of host memory usable as pinned swap staging (cudaHostAlloc
+    #: cannot pin all physical memory; IBM LMS documents this limit).
+    PINNED_HOST_FRACTION = 0.75
+
+    def __init__(self, system: SystemConfig, planner: SwapPlanner,
+                 *, empty_cache_every: Optional[int] = None,
+                 cuda_malloc_cost: float = 500e-6, seed: int = 0):
+        import numpy as np
+
+        self.system = system
+        self.host_capacity = int(system.host.memory_bytes
+                                 * self.PINNED_HOST_FRACTION)
+        self.host_bytes = 0
+        self.planner = planner
+        self.cost_model = KernelCostModel(system.gpu)
+        self.link = PCIeLink(bandwidth=system.link.bandwidth,
+                             latency=system.link.latency)
+        self.now = 0.0
+        self.compute_time = 0.0
+        self.stats = SwapStats()
+        self.empty_cache_every = empty_cache_every
+        self.cuda_malloc_cost = cuda_malloc_cost
+        self._rng = np.random.default_rng(seed)
+        self._prev_segments = 0
+        self._eager_latched = False
+        self._tensors: dict[int, ManagedTensor] = {}
+        self._seq = 0
+        self._kernels_run = 0
+        self._saw_convolution = False
+        self._checked_convs = False
+        # Sequence memory for look-ahead: exec signature -> operand storages
+        # of the launches that followed it, and recorded next-use gaps.
+        self._next_operands: dict[object, list[list[int]]] = {}
+        self._recent_sigs: list[object] = []
+        self._use_gaps: dict[tuple[object, int], int] = {}
+        self._last_use_of: dict[int, tuple[object, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # MemoryManager interface
+    # ------------------------------------------------------------------ #
+
+    def elapsed(self) -> float:
+        self.now = max(self.now, self.link.free_at)
+        return self.now
+
+    def run_kernel(self, launch: KernelLaunch, device: "Device") -> None:
+        self._seq += 1
+        self._kernels_run += 1
+        self._check_model_support(launch)
+        records = [self._managed(t.storage) for t in launch.operands]
+        for rec in records:
+            rec.pinned = True
+        try:
+            t = self.now
+            # Bring operands in (sync on the critical path when missed).
+            for tensor, rec in zip(launch.operands, records):
+                t = self._ensure_resident(tensor.nbytes, rec, t, device)
+            compute = self.cost_model.compute_time(launch)
+            t += self.system.gpu.kernel_launch_overhead + compute
+            self.compute_time += compute
+            self.now = t
+        finally:
+            for rec in records:
+                rec.pinned = False
+        # Bookkeeping for planning.
+        for slot, (tensor, rec) in enumerate(zip(launch.operands, records)):
+            self._note_use(rec, launch.exec_signature, slot)
+        for tensor in launch.writes:
+            self._managed(tensor.storage).dirty = True
+        self._record_sequence(launch)
+        self._prefetch_ahead(launch, device)
+        if self.planner.eager_swapout:
+            self._eager_swapout(launch, device)
+        if (self.empty_cache_every is not None
+                and self._kernels_run % self.empty_cache_every == 0):
+            device.allocator.empty_cache()
+        if self._kernels_run % 128 == 0:
+            self._reclaim_freed_staging()
+        self._charge_segment_growth(device)
+
+    def on_alloc(self, tensor, device: "Device") -> None:
+        """Register a fresh tensor so it is evictable before any kernel
+        ever touches it (model build can exceed device memory)."""
+        self._managed(tensor.storage)
+
+    def _reclaim_freed_staging(self) -> None:
+        """Release pinned host buffers whose tensors were freed."""
+        dead = [sid for sid, rec in self._tensors.items()
+                if rec.storage.freed]
+        for sid in dead:
+            rec = self._tensors.pop(sid)
+            if rec.host_copy:
+                self.host_bytes -= rec.nbytes
+
+    def _charge_segment_growth(self, device: "Device") -> None:
+        """Charge cudaMalloc time for freshly reserved segments.
+
+        The caching allocator amortizes this away by caching segments;
+        flushing the cache (LMS-mod) re-pays it on every reuse cycle —
+        the slowdown the paper observes for LMS-mod.
+        """
+        segs = len(device.allocator.segments)
+        if segs > self._prev_segments:
+            self.now += (segs - self._prev_segments) * self.cuda_malloc_cost
+        self._prev_segments = segs
+
+    def handle_alloc_oom(self, nbytes: int, device: "Device") -> bool:
+        """Free device memory for an allocation by evicting tensors.
+
+        Over-frees (2x the request) and flushes the cache so fully-freed
+        segments return to the backend, letting the allocator grow a
+        right-sized segment despite pool fragmentation.
+        """
+        freed = self._evict_bytes(2 * nbytes, device, pinned_ok=False)
+        device.allocator.empty_cache()
+        self.stats.oom_evictions += 1
+        return freed > 0
+
+    # ------------------------------------------------------------------ #
+    # residency machinery
+    # ------------------------------------------------------------------ #
+
+    def _managed(self, storage: Storage) -> ManagedTensor:
+        rec = self._tensors.get(storage.uid)
+        if rec is None:
+            rec = ManagedTensor(storage=storage, nbytes=storage.nbytes)
+            self._tensors[storage.uid] = rec
+        return rec
+
+    def _ensure_resident(self, nbytes: int, rec: ManagedTensor, t: float,
+                         device: "Device") -> float:
+        if rec.resident:
+            if rec.ready_at > t:
+                self.stats.sync_wait_time += rec.ready_at - t
+                self.stats.prefetch_hits += 1
+                return rec.ready_at
+            return t
+        return self._swap_in(rec, t, device, sync=True)
+
+    def _swap_in(self, rec: ManagedTensor, t: float, device: "Device",
+                 *, sync: bool) -> float:
+        if rec.storage.freed:
+            raise RuntimeError("swap-in of a freed storage")
+        block = self._allocate_block(rec.nbytes, device)
+        rec.storage.block = block
+        moved = int(rec.nbytes * self.planner.transfer_fraction)
+        if rec.host_copy:
+            _, end = self.link.occupy(max(t, 0.0), moved, to_gpu=True)
+            # The host staging copy is consumed by the transfer (as UM
+            # migration moves pages and LMS recycles pinned buffers), so a
+            # later swap-out must write the data back again.
+            rec.host_copy = False
+            self.host_bytes -= rec.nbytes
+        else:
+            end = t  # fresh or recompute-dropped tensor: nothing to copy
+            if self.planner.recompute_cheap and rec.dirty:
+                self.stats.recomputes += 1
+        rec.resident = True
+        rec.ready_at = end
+        rec.dirty = True
+        self.stats.swap_ins += 1
+        self.stats.bytes_in += moved
+        if sync and end > t:
+            self.stats.sync_wait_time += end - t
+            return end
+        return t
+
+    def _swap_out(self, rec: ManagedTensor, device: "Device") -> None:
+        if not rec.resident or rec.storage.block is None:
+            return
+        moved = int(rec.nbytes * self.planner.transfer_fraction)
+        drop_for_recompute = (
+            self.planner.recompute_cheap and self._is_cheap(rec)
+        )
+        if rec.dirty and not drop_for_recompute:
+            self.link.occupy(self.now, moved, to_gpu=False)
+            self.stats.bytes_out += moved
+            rec.host_copy = True
+            self.host_bytes += rec.nbytes
+            if self.host_bytes > self.host_capacity:
+                raise TensorSwapOOM(
+                    f"pinned host staging exhausted: {self.host_bytes} B of "
+                    f"{self.host_capacity} B"
+                )
+        device.allocator.free(rec.storage.block)
+        rec.storage.block = None
+        rec.resident = False
+        rec.ready_at = 0.0
+        self.stats.swap_outs += 1
+
+    def _is_cheap(self, rec: ManagedTensor) -> bool:
+        last = self._last_use_of.get(rec.storage.uid)
+        if last is None:
+            return False
+        sig = last[0]
+        name = sig[0] if isinstance(sig, tuple) and sig else ""
+        return isinstance(name, str) and name.startswith(self.planner.cheap_kernels)
+
+    def _allocate_block(self, nbytes: int, device: "Device"):
+        try:
+            return device.allocator.allocate(nbytes)
+        except TorchSimOOM:
+            if self._evict_bytes(2 * nbytes, device, pinned_ok=False) == 0:
+                raise TensorSwapOOM(
+                    f"cannot place {nbytes} B: working set exceeds device memory"
+                ) from None
+            device.allocator.empty_cache()
+            try:
+                return device.allocator.allocate(nbytes)
+            except TorchSimOOM:
+                # One deep retry after evicting everything evictable.
+                self._evict_all(device)
+                try:
+                    return device.allocator.allocate(nbytes)
+                except TorchSimOOM as exc:
+                    raise TensorSwapOOM(
+                        f"cannot place {nbytes} B even after full eviction"
+                    ) from exc
+
+    def _evict_bytes(self, needed: int, device: "Device", *,
+                     pinned_ok: bool) -> int:
+        victims = self._victim_order()
+        freed = 0
+        for rec in victims:
+            if freed >= needed:
+                break
+            if rec.pinned and not pinned_ok:
+                continue
+            if not rec.resident or rec.storage.freed:
+                continue
+            freed += rec.nbytes
+            self._swap_out(rec, device)
+        return freed
+
+    def _evict_all(self, device: "Device") -> None:
+        for rec in list(self._tensors.values()):
+            if rec.resident and not rec.pinned and not rec.storage.freed:
+                self._swap_out(rec, device)
+        device.allocator.empty_cache()
+
+    def _victim_order(self) -> list[ManagedTensor]:
+        live = [r for r in self._tensors.values()
+                if r.resident and not r.storage.freed]
+        if self.planner.belady_victims:
+            order = sorted(live, key=lambda r: -r.predicted_next_use)
+        else:
+            order = sorted(live, key=lambda r: r.last_use_seq)
+        if self.planner.plan_error_rate > 0 and len(order) > 1:
+            # A stochastic planner occasionally picks poor victims.
+            n = len(order)
+            for i in range(n - 1):
+                if self._rng.random() < self.planner.plan_error_rate:
+                    j = int(self._rng.integers(i, n))
+                    order[i], order[j] = order[j], order[i]
+        return order
+
+    # ------------------------------------------------------------------ #
+    # planning: sequence memory and look-ahead prefetch
+    # ------------------------------------------------------------------ #
+
+    def _note_use(self, rec: ManagedTensor, sig: object, slot: int) -> None:
+        prev_seq = rec.last_use_seq
+        prev_key = self._last_use_of.get(rec.storage.uid)
+        if prev_key is not None and prev_seq >= 0:
+            # Record the gap between consecutive uses for Belady planning.
+            self._use_gaps[prev_key] = max(1, self._seq - prev_seq)
+        rec.last_use_seq = self._seq
+        key = (sig, slot)
+        self._last_use_of[rec.storage.uid] = key
+        gap = self._use_gaps.get(key)
+        rec.predicted_next_use = self._seq + gap if gap else float("inf")
+
+    def _record_sequence(self, launch: KernelLaunch) -> None:
+        sig = launch.exec_signature
+        operand_ids = [t.storage.uid for t in launch.operands]
+        depth = max(1, self.planner.lookahead)
+        for back, prev_sig in enumerate(reversed(self._recent_sigs[-depth:])):
+            slots = self._next_operands.setdefault(prev_sig, [])
+            while len(slots) <= back:
+                slots.append([])
+            slots[back] = operand_ids
+        self._recent_sigs.append(sig)
+        if len(self._recent_sigs) > depth + 1:
+            self._recent_sigs.pop(0)
+
+    def _prefetch_ahead(self, launch: KernelLaunch, device: "Device") -> None:
+        if self.planner.lookahead <= 0:
+            return
+        if self.planner.plan_error_rate > 0 and \
+                self._rng.random() < self.planner.plan_error_rate:
+            return
+        plan = self._next_operands.get(launch.exec_signature, [])
+        for step_ids in plan[: self.planner.lookahead]:
+            for sid in step_ids:
+                rec = self._tensors.get(sid)
+                if rec is None or rec.resident or rec.storage.freed:
+                    continue
+                if not rec.host_copy:
+                    continue
+                try:
+                    self._swap_in(rec, self.link.free_at, device, sync=False)
+                except TensorSwapOOM:
+                    return  # no room: stop prefetching, demand paths recover
+
+    def _eager_swapout(self, launch: KernelLaunch, device: "Device") -> None:
+        """Swap out this kernel's operands that the plan does not reuse soon.
+
+        A tensor survives if its recorded next use falls within the
+        planner's ``swapout_horizon`` (static plans keep short-lived
+        tensors on-device and offload the rest).
+        """
+        if not self._eager_latched:
+            backend = device.allocator.backend
+            capacity = getattr(backend, "capacity", None)
+            if capacity:
+                pressure = getattr(backend, "used", 0) / capacity
+                if pressure < self.planner.eager_pressure_threshold:
+                    return
+            # The static plan decided this model needs offloading; the
+            # decision does not flip back as usage fluctuates.
+            self._eager_latched = True
+        horizon = self._seq + max(1, self.planner.swapout_horizon)
+        for tensor in launch.operands:
+            rec = self._managed(tensor.storage)
+            if not rec.resident or rec.pinned or rec.storage.freed:
+                continue
+            if rec.predicted_next_use <= horizon:
+                continue
+            self._swap_out(rec, device)
+
+    # ------------------------------------------------------------------ #
+
+    def _check_model_support(self, launch: KernelLaunch) -> None:
+        if not self.planner.requires_convolutions or self._checked_convs:
+            if launch.name.startswith("conv"):
+                self._saw_convolution = True
+            return
+        if launch.name.startswith("conv"):
+            self._saw_convolution = True
+            self._checked_convs = True
+        elif self._kernels_run > 400 and not self._saw_convolution:
+            raise TensorSwapOOM(
+                f"{self.planner.describe()} supports convolutional networks "
+                "only (vDNN limitation)"
+            )

@@ -1,0 +1,153 @@
+"""Command-line interface: run paper experiments without writing code.
+
+Examples::
+
+    python -m repro list
+    python -m repro run bert-large --batch 16 --policies um,lms,deepum
+    python -m repro max-batch gpt2-l --policies lms,deepum
+    python -m repro sweep-degree bert-large --degrees 1,8,32,128
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .config import DeepUMConfig
+from .constants import MiB
+from .harness import calibrate_system, max_batch_search, run_experiment
+from .harness.experiment import POLICIES
+from .harness.report import format_table
+from .models.registry import get_model_config, list_models
+
+
+def _parse_policies(raw: str) -> list[str]:
+    names = [p.strip() for p in raw.split(",") if p.strip()]
+    unknown = [p for p in names if p not in POLICIES]
+    if unknown:
+        known = ", ".join(sorted(POLICIES))
+        raise SystemExit(f"unknown policies {unknown}; known: {known}")
+    return names
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in list_models():
+        cfg = get_model_config(name)
+        rows.append([name, cfg.dataset,
+                     "/".join(str(b) for b in cfg.fig9_batches),
+                     cfg.sim_scale, cfg.batch_divisor])
+    print(format_table(
+        ["model", "dataset", "paper batch grid", "sim scale", "batch divisor"],
+        rows, title="Registered workloads"))
+    print()
+    print("policies:", ", ".join(sorted(POLICIES)))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cfg = get_model_config(args.model)
+    batch = args.batch if args.batch is not None else \
+        cfg.fig9_batches[len(cfg.fig9_batches) // 2]
+    system = calibrate_system(args.model)
+    print(f"{args.model} @ paper batch {batch} "
+          f"(simulated GPU {system.gpu.memory_bytes // MiB} MB, "
+          f"host {system.host.memory_bytes // MiB} MB)")
+    deepum_cfg = DeepUMConfig(prefetch_degree=args.degree)
+    rows = []
+    um_sec = None
+    for policy in _parse_policies(args.policies):
+        result = run_experiment(
+            args.model, batch, policy, system=system,
+            warmup_iterations=args.warmup, measure_iterations=args.measure,
+            deepum_config=deepum_cfg,
+        )
+        if result.oom:
+            rows.append([policy, None, None, None, result.oom_reason[:40]])
+            continue
+        sec = result.seconds_per_100_iterations
+        if policy == "um":
+            um_sec = sec
+        rows.append([policy, sec, (um_sec / sec) if um_sec else None,
+                     result.window.faults_per_iteration, ""])
+    print(format_table(
+        ["policy", "s/100 iters", "speedup vs UM", "faults/iter", "note"],
+        rows))
+    return 0
+
+
+def cmd_max_batch(args: argparse.Namespace) -> int:
+    cfg = get_model_config(args.model)
+    system = calibrate_system(args.model)
+    rows = []
+    for policy in _parse_policies(args.policies):
+        best = max_batch_search(args.model, policy, system,
+                                scale=cfg.sim_scale,
+                                start_batch=cfg.fig9_batches[0])
+        rows.append([policy, best if best else "does not run"])
+    print(format_table(["policy", "max paper-scale batch"], rows,
+                       title=f"{args.model}: maximum batch sizes"))
+    return 0
+
+
+def cmd_sweep_degree(args: argparse.Namespace) -> int:
+    cfg = get_model_config(args.model)
+    batch = cfg.fig9_batches[0]
+    system = calibrate_system(args.model)
+    degrees = [int(d) for d in args.degrees.split(",")]
+    rows = []
+    for degree in degrees:
+        result = run_experiment(
+            args.model, batch, "deepum", system=system,
+            warmup_iterations=args.warmup,
+            deepum_config=DeepUMConfig(prefetch_degree=degree),
+        )
+        rows.append([degree, result.seconds_per_100_iterations,
+                     result.window.faults_per_iteration])
+    print(format_table(["N", "s/100 iters", "faults/iter"], rows,
+                       title=f"{args.model}: prefetch degree sweep"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DeepUM reproduction: run paper experiments from the CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and policies") \
+        .set_defaults(fn=cmd_list)
+
+    run = sub.add_parser("run", help="run one workload under several policies")
+    run.add_argument("model")
+    run.add_argument("--batch", type=int, default=None,
+                     help="paper-scale batch size (default: grid midpoint)")
+    run.add_argument("--policies", default="um,lms,deepum,ideal")
+    run.add_argument("--degree", type=int, default=32,
+                     help="DeepUM prefetch degree N")
+    run.add_argument("--warmup", type=int, default=4)
+    run.add_argument("--measure", type=int, default=3)
+    run.set_defaults(fn=cmd_run)
+
+    mb = sub.add_parser("max-batch", help="find the largest trainable batch")
+    mb.add_argument("model")
+    mb.add_argument("--policies", default="lms,deepum")
+    mb.set_defaults(fn=cmd_max_batch)
+
+    sweep = sub.add_parser("sweep-degree", help="sweep DeepUM's prefetch degree")
+    sweep.add_argument("model")
+    sweep.add_argument("--degrees", default="1,8,32,128,512")
+    sweep.add_argument("--warmup", type=int, default=4)
+    sweep.set_defaults(fn=cmd_sweep_degree)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

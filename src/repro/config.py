@@ -1,0 +1,122 @@
+"""System-level configuration dataclasses shared by the simulator and harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .constants import GiB
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Performance envelope of the simulated GPU.
+
+    Defaults approximate an NVIDIA Tesla V100 PCIe (the paper's testbed):
+    ~14 TFLOP/s FP32 peak derated to a sustained efficiency, 900 GB/s HBM2,
+    and a PCIe 3.0 x16 link.
+    """
+
+    name: str = "V100-32GB"
+    memory_bytes: int = 32 * GiB
+    flops_per_second: float = 14e12
+    compute_efficiency: float = 0.55
+    hbm_bandwidth: float = 900e9
+    kernel_launch_overhead: float = 8e-6
+
+    @property
+    def sustained_flops(self) -> float:
+        return self.flops_per_second * self.compute_efficiency
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """The CPU side acting as the UM backing store."""
+
+    memory_bytes: int = 512 * GiB
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """PCIe 3.0 x16: ~16 GB/s raw, ~12 GB/s effective for UM migrations.
+
+    ``page_overhead`` is the extra per-4KB-page cost paid by *demand-fault*
+    migrations only: fault-buffer entries, TLB locking, and fragmented
+    small-chunk copies make faulted migration far slower than driver-batched
+    prefetch of whole 2 MB blocks (measured UM demand paging sustains a few
+    GB/s at best — the asymmetry DeepUM exploits).
+    """
+
+    bandwidth: float = 12e9
+    latency: float = 10e-6
+    page_overhead: float = 1.2e-6
+
+
+@dataclass(frozen=True)
+class FaultCosts:
+    """Fixed costs of the GPU fault-handling pipeline (Section 2.3).
+
+    ``handling_overhead`` covers interrupt delivery, fault-buffer fetch and
+    preprocessing per faulted UM block batch; ``replay_overhead`` is the cost
+    of the replay signal and TLB unlock after the batch resolves.
+    """
+
+    handling_overhead: float = 25e-6
+    replay_overhead: float = 10e-6
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Analytic stand-in for the paper's Hioki full-system power meter.
+
+    Energy = idle_watts * elapsed + gpu_active_watts * gpu_busy
+           + link_active_watts * pcie_busy.
+    """
+
+    idle_watts: float = 320.0
+    gpu_active_watts: float = 230.0
+    link_active_watts: float = 45.0
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything the simulator needs to know about the machine."""
+
+    gpu: GPUSpec = field(default_factory=GPUSpec)
+    host: HostSpec = field(default_factory=HostSpec)
+    link: LinkSpec = field(default_factory=LinkSpec)
+    fault: FaultCosts = field(default_factory=FaultCosts)
+    power: PowerSpec = field(default_factory=PowerSpec)
+
+    @staticmethod
+    def v100_32gb(host_bytes: int = 512 * GiB) -> "SystemConfig":
+        return SystemConfig(gpu=GPUSpec(), host=HostSpec(memory_bytes=host_bytes))
+
+    @staticmethod
+    def v100_16gb(host_bytes: int = 512 * GiB) -> "SystemConfig":
+        return SystemConfig(
+            gpu=GPUSpec(name="V100-16GB", memory_bytes=16 * GiB),
+            host=HostSpec(memory_bytes=host_bytes),
+        )
+
+
+@dataclass(frozen=True)
+class DeepUMConfig:
+    """Tunables of DeepUM itself (Sections 4-5).
+
+    ``prefetch_degree`` is N, the number of kernels looked ahead by chaining
+    (sweet spot N=32 per Fig. 11). Block-table geometry defaults to the
+    paper's best configuration (Config9: 2048 rows, 2-way, 4 successors).
+    """
+
+    prefetch_degree: int = 32
+    #: How many preceding kernels key an execution-table record (the paper
+    #: uses 3; 1 degrades to classic pair-based correlation).
+    exec_history_depth: int = 3
+    block_table_rows: int = 2048
+    block_table_assoc: int = 2
+    block_table_num_succs: int = 4
+    enable_prefetch: bool = True
+    enable_preeviction: bool = True
+    enable_invalidation: bool = True
+    preevict_low_watermark: float = 0.02
+    preevict_batch_blocks: int = 16

@@ -1,0 +1,22 @@
+"""Physical constants of the simulated system.
+
+All byte quantities mirror the NVIDIA UM management unit sizes described in
+Section 2.3 of the paper: 4 KB pages, grouped into UM blocks of at most 512
+contiguous pages (2 MB), which is both the NVIDIA driver's and DeepUM's
+management granularity.
+"""
+
+PAGE_SIZE = 4096
+PAGES_PER_UM_BLOCK = 512
+UM_BLOCK_SIZE = PAGE_SIZE * PAGES_PER_UM_BLOCK  # 2 MiB
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+# PyTorch caching-allocator constants (Section 5.2).
+PT_SMALL_POOL_THRESHOLD = 1 * MiB     # requests > 1 MB go to the large pool
+PT_ALLOC_ROUND = 512                  # allocation sizes round up to 512 B
+PT_SMALL_SEGMENT = 2 * MiB            # small pool reserves 2 MB segments
+PT_LARGE_SEGMENT_ROUND = 2 * MiB      # large segments round up to 2 MB
+PT_SPLIT_REMAINDER_MIN = 512          # split a block only if remainder >= this

@@ -1,0 +1,35 @@
+"""DeepUM: the paper's primary contribution.
+
+The runtime assigns execution IDs to kernel launches and forwards them to
+the driver; the driver learns kernel-to-kernel and block-to-block
+correlations from the fault stream and prefetches UM blocks ahead of the
+GPU by chaining through its tables, pre-evicting cold blocks and
+invalidating dead ones along the way.
+"""
+
+from .exec_table import ExecutionCorrelationTable, ExecutionIDTable
+from .block_table import BlockCorrelationTable, BlockTableConfig
+from .correlator import Correlator
+from .prefetcher import ChainingPrefetcher
+from .preevict import PreEvictor
+from .invalidate import InactiveBlockRegistry
+from .driver import DeepUMDriver
+from .runtime import DeepUMRuntime
+from .um_manager import UMCapacityError, UMMemoryManager
+from .deepum import DeepUM
+
+__all__ = [
+    "ExecutionCorrelationTable",
+    "ExecutionIDTable",
+    "BlockCorrelationTable",
+    "BlockTableConfig",
+    "Correlator",
+    "ChainingPrefetcher",
+    "PreEvictor",
+    "InactiveBlockRegistry",
+    "DeepUMDriver",
+    "DeepUMRuntime",
+    "UMCapacityError",
+    "UMMemoryManager",
+    "DeepUM",
+]

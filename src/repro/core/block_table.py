@@ -1,0 +1,121 @@
+"""UM block correlation tables (Section 4.2, Fig. 7).
+
+One table exists per execution ID. Structurally it is a set-associative
+cache keyed by UM block index: ``NumRows`` rows, ``Assoc`` ways per row
+(LRU-replaced), and per entry ``NumSuccs`` successor block indices kept in
+MRU order. Unlike classic pair-based correlation tables it is single-level
+(the prefetching thread chains instead), and it carries two extra fields:
+the *start* block (first block faulted after the kernel began) and *end*
+block (last block faulted before the kernel handed over), which implement
+the chaining hand-off between consecutive kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class BlockTableConfig:
+    """Geometry of one UM block correlation table.
+
+    Defaults are the paper's best configuration (Config9 of Table 6).
+    """
+
+    num_rows: int = 2048
+    assoc: int = 2
+    num_succs: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_rows <= 0 or self.assoc <= 0 or self.num_succs <= 0:
+            raise ValueError(f"invalid block table geometry: {self}")
+
+    @property
+    def entry_bytes(self) -> int:
+        # tag (8 B) + successors (8 B each) + LRU/valid metadata (8 B)
+        return 16 + 8 * self.num_succs
+
+    @property
+    def table_bytes(self) -> int:
+        # rows x ways of entries + start/end pointers.
+        return self.num_rows * self.assoc * self.entry_bytes + 16
+
+
+class _Row:
+    """One set: at most ``assoc`` entries, least-recently-updated evicted."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        # tag -> MRU-ordered successor list; dict order doubles as LRU order
+        # (oldest-updated first) because we re-insert on every update.
+        self.entries: dict[int, list[int]] = {}
+
+
+class BlockCorrelationTable:
+    """Per-execution-ID successor table over UM block indices."""
+
+    def __init__(self, config: BlockTableConfig):
+        self.config = config
+        self._rows: dict[int, _Row] = {}
+        self.start_block: Optional[int] = None
+        self.end_block: Optional[int] = None
+        self.updates = 0
+        self.conflicts = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _row_for(self, block: int) -> _Row:
+        idx = block % self.config.num_rows
+        row = self._rows.get(idx)
+        if row is None:
+            row = _Row()
+            self._rows[idx] = row
+        return row
+
+    def record_successor(self, block: int, successor: int) -> None:
+        """Record that a fault on ``successor`` followed one on ``block``."""
+        if block == successor:
+            return
+        row = self._row_for(block)
+        succs = row.entries.get(block)
+        if succs is None:
+            if len(row.entries) >= self.config.assoc:
+                # Evict the least recently updated way in this set.
+                oldest = next(iter(row.entries))
+                del row.entries[oldest]
+                self.conflicts += 1
+            succs = []
+        else:
+            del row.entries[block]  # re-inserted below to refresh LRU order
+        if successor in succs:
+            succs.remove(successor)
+        succs.insert(0, successor)  # MRU first
+        del succs[self.config.num_succs:]
+        row.entries[block] = succs
+        self.updates += 1
+
+    def successors(self, block: int) -> list[int]:
+        """MRU-ordered successors of ``block`` (empty if not present)."""
+        row = self._rows.get(block % self.config.num_rows)
+        if row is None:
+            return []
+        return list(row.entries.get(block, ()))
+
+    def __contains__(self, block: int) -> bool:
+        row = self._rows.get(block % self.config.num_rows)
+        return row is not None and block in row.entries
+
+    def iter_blocks(self) -> Iterable[int]:
+        for row in self._rows.values():
+            yield from row.entries
+
+    @property
+    def num_entries(self) -> int:
+        return sum(len(r.entries) for r in self._rows.values())
+
+    @property
+    def size_bytes(self) -> int:
+        """Allocated table size (full geometry, as the driver allocates it)."""
+        return self.config.table_bytes

@@ -1,0 +1,94 @@
+"""The correlator thread: updates correlation tables from the fault stream.
+
+It receives (execution ID, faulted UM block) events from the fault-handling
+thread and kernel-launch events from the runtime callback, and maintains:
+
+* the execution ID correlation table (updated at launch boundaries), and
+* one UM block correlation table per execution ID (updated on faults),
+  including the start/end blocks captured at execution-ID transitions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from .block_table import BlockCorrelationTable, BlockTableConfig
+from .exec_table import ExecutionCorrelationTable, NO_KERNEL
+
+
+class Correlator:
+    """Single-writer owner of all correlation tables."""
+
+    def __init__(self, block_config: BlockTableConfig, *,
+                 history_depth: int = 3):
+        if not 1 <= history_depth <= 3:
+            raise ValueError(f"history depth must be in [1, 3], got {history_depth}")
+        self.history_depth = history_depth
+        self.block_config = block_config
+        self.exec_table = ExecutionCorrelationTable()
+        self.block_tables: dict[int, BlockCorrelationTable] = {}
+        # Rolling launch history: ... h3, h2, h1, current.
+        self._recent = deque([NO_KERNEL] * 4, maxlen=4)
+        self.current_exec: int = NO_KERNEL
+        self._last_fault_block: Optional[int] = None
+        self._faulted_in_current: bool = False
+
+    # ------------------------------------------------------------------ #
+
+    def block_table(self, exec_id: int) -> BlockCorrelationTable:
+        table = self.block_tables.get(exec_id)
+        if table is None:
+            table = BlockCorrelationTable(self.block_config)
+            self.block_tables[exec_id] = table
+        return table
+
+    def on_kernel_launch(self, exec_id: int) -> None:
+        """Runtime callback: a kernel with ``exec_id`` is about to run."""
+        prev = self.current_exec
+        if prev != NO_KERNEL:
+            # history of the *previous* kernel: the launches before it.
+            h = self._truncate(tuple(self._recent)[:3])
+            self.exec_table.record(h, prev, exec_id)
+            # The last block faulted under the previous kernel is its end
+            # block; the first fault of this kernel will set our start block.
+            if self._faulted_in_current and self._last_fault_block is not None:
+                self.block_table(prev).end_block = self._last_fault_block
+        self._recent.append(exec_id)
+        self.current_exec = exec_id
+        self._faulted_in_current = False
+
+    def on_fault(self, block: int) -> None:
+        """Fault-handling thread reporting a faulted UM block."""
+        if self.current_exec == NO_KERNEL:
+            return
+        table = self.block_table(self.current_exec)
+        if not self._faulted_in_current:
+            table.start_block = block
+            self._faulted_in_current = True
+            # Chain the previous kernel's last fault to nothing: the cross-
+            # kernel hand-off is represented by end/start pointers instead.
+        elif self._last_fault_block is not None and self._last_fault_block != block:
+            table.record_successor(self._last_fault_block, block)
+        self._last_fault_block = block
+
+    # ------------------------------------------------------------------ #
+
+    def recent_history(self) -> tuple[int, int, int]:
+        """The launches before the current kernel, truncated to the
+        configured depth (padded with NO_KERNEL)."""
+        h = tuple(self._recent)
+        return self._truncate((h[0], h[1], h[2]))
+
+    def _truncate(self, history: tuple[int, int, int]) -> tuple[int, int, int]:
+        if self.history_depth >= 3:
+            return history
+        pad = (NO_KERNEL,) * (3 - self.history_depth)
+        return pad + history[3 - self.history_depth:]
+
+    @property
+    def table_size_bytes(self) -> int:
+        """Total correlation-table memory (Table 4)."""
+        return self.exec_table.size_bytes + sum(
+            t.size_bytes for t in self.block_tables.values()
+        )

@@ -1,0 +1,68 @@
+"""DeepUM facade: one object wiring runtime + driver + engine + allocator.
+
+This is the public entry point a user of the library touches::
+
+    system = SystemConfig.v100_32gb()
+    deepum = DeepUM(system)
+    device = deepum.device          # allocate tensors / build models here
+    ... run training ...
+    print(deepum.elapsed(), deepum.engine.stats.page_faults)
+"""
+
+from __future__ import annotations
+
+from ..config import DeepUMConfig, SystemConfig
+from ..sim.engine import UMSimulator
+from ..torchsim.backend import UMBackend
+from ..torchsim.context import Device
+from .driver import DeepUMDriver
+from .runtime import DeepUMRuntime
+from .um_manager import UMMemoryManager
+
+
+class DeepUM:
+    """The full DeepUM stack over a simulated system."""
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        config: DeepUMConfig | None = None,
+        *,
+        seed: int = 0,
+        block_size: int | None = None,
+    ):
+        self.system = system
+        self.config = config if config is not None else DeepUMConfig()
+        self.engine = UMSimulator(system, block_size=block_size)
+        self.driver = DeepUMDriver(self.engine, self.config)
+        self.engine.hooks = self.driver
+        self.runtime = DeepUMRuntime(self.driver)
+        self.manager = UMMemoryManager(
+            self.engine, host_capacity=system.host.memory_bytes, runtime=self.runtime
+        )
+        self.device = Device.with_backend(
+            UMBackend(um=self.engine.um, host_capacity=system.host.memory_bytes),
+            self.manager,
+            seed=seed,
+        )
+        self.runtime.attach_allocator(self.device.allocator)
+
+    # ------------------------------------------------------------------ #
+
+    def elapsed(self) -> float:
+        return self.manager.elapsed()
+
+    def energy_joules(self) -> float:
+        return self.engine.energy_joules()
+
+    @property
+    def page_faults(self) -> int:
+        return self.engine.stats.page_faults
+
+    @property
+    def correlation_table_bytes(self) -> int:
+        return self.driver.correlation_table_bytes
+
+    @property
+    def peak_populated_bytes(self) -> int:
+        return self.manager.peak_populated_bytes

@@ -1,0 +1,154 @@
+"""The DeepUM driver: the four kernel threads tied together (Section 3.1).
+
+In the paper this is a Linux kernel module with a fault-handling thread, a
+correlator thread, a prefetching thread, and a migration thread around two
+single-producer/single-consumer queues. In the simulator the threads become
+event handlers invoked by the engine (which owns time): the engine *is* the
+fault-handling and migration machinery, and this driver supplies the
+correlator, the chaining prefetcher, the pre-evictor, and the invalidation
+registry behind the :class:`~repro.sim.engine.DriverHooks` interface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import DeepUMConfig
+from ..sim.engine import UMSimulator
+from ..sim.gpu import GPUMemory
+from ..sim.um_space import UMBlock
+from .block_table import BlockTableConfig
+from .correlator import Correlator
+from .invalidate import InactiveBlockRegistry
+from .preevict import PreEvictor
+from .prefetcher import ChainingPrefetcher
+
+
+class DeepUMEvictionPolicy:
+    """Victim policy for the demand-fault path under DeepUM.
+
+    Order of preference: invalidated blocks (free to drop), then
+    least-recently-migrated blocks outside the predicted-access window,
+    then — only if the need is still unmet — protected blocks in
+    migration order.
+    """
+
+    def __init__(self, prefetcher: ChainingPrefetcher, *,
+                 prefer_invalidated: bool, protect_predicted: bool):
+        self.prefetcher = prefetcher
+        self.prefer_invalidated = prefer_invalidated
+        self.protect_predicted = protect_predicted
+
+    def select_victims(self, gpu: GPUMemory, needed_bytes: int,
+                       now: float) -> list[UMBlock]:
+        protected = (
+            self.prefetcher.protected_blocks() if self.protect_predicted else ()
+        )
+        dead: list[UMBlock] = []
+        cold: list[UMBlock] = []
+        hot: list[UMBlock] = []
+        for blk in gpu.migration_order():
+            if blk.index in protected:
+                # Predicted for imminent use: never preferred, even when
+                # invalidated (dropping it would just refault at touch).
+                hot.append(blk)
+            elif self.prefer_invalidated and blk.invalidated:
+                dead.append(blk)
+            else:
+                cold.append(blk)
+        victims: list[UMBlock] = []
+        reclaimed = 0
+        for blk in (*dead, *cold, *hot):
+            if reclaimed >= needed_bytes:
+                break
+            victims.append(blk)
+            reclaimed += blk.populated_bytes
+        return victims
+
+
+class DeepUMDriver:
+    """DriverHooks implementation carrying DeepUM's intelligence."""
+
+    def __init__(self, engine: UMSimulator, config: DeepUMConfig):
+        self.config = config
+        self.engine = engine
+        block_config = BlockTableConfig(
+            num_rows=config.block_table_rows,
+            assoc=config.block_table_assoc,
+            num_succs=config.block_table_num_succs,
+        )
+        self.correlator = Correlator(
+            block_config, history_depth=config.exec_history_depth
+        )
+        self.prefetcher = ChainingPrefetcher(self.correlator, config.prefetch_degree)
+        self.preevictor = PreEvictor(
+            engine.gpu,
+            engine.handler,
+            self.prefetcher,
+            low_watermark=config.preevict_low_watermark,
+            batch_blocks=config.preevict_batch_blocks,
+        )
+        self.invalidation = InactiveBlockRegistry(engine.um)
+        if not config.enable_invalidation:
+            # Victims are then always written back, like the stock driver.
+            engine.handler.is_invalidated = lambda blk: False
+        # Demand faults that still need room use DeepUM's victim policy too
+        # (invalidated first, predicted-soon blocks last), replacing the
+        # stock least-recently-migrated-only policy.
+        engine.handler.eviction_policy = DeepUMEvictionPolicy(
+            self.prefetcher,
+            prefer_invalidated=config.enable_invalidation,
+            protect_predicted=config.enable_preeviction or config.enable_prefetch,
+        )
+
+    # ------------------------------------------------------------------ #
+    # ioctl from the runtime
+    # ------------------------------------------------------------------ #
+
+    def notify_execution_id(self, exec_id: int, now: float) -> None:
+        """The runtime's pre-launch callback delivering the execution ID."""
+        self.correlator.on_kernel_launch(exec_id)
+        if self.config.enable_prefetch:
+            self.prefetcher.on_kernel_launch(exec_id)
+
+    def notify_pt_block_state(self, pt_block, active: bool) -> None:
+        """The PyTorch allocator patch reporting a PT block state change."""
+        if self.config.enable_invalidation:
+            self.invalidation(pt_block, active)
+
+    # ------------------------------------------------------------------ #
+    # DriverHooks (called by the engine)
+    # ------------------------------------------------------------------ #
+
+    def on_kernel_launch(self, payload: object, now: float) -> None:
+        # The runtime translates payloads to execution IDs; nothing to do
+        # here because notify_execution_id is invoked by the runtime wrapper.
+        return None
+
+    def on_fault(self, block: UMBlock, now: float) -> None:
+        self.correlator.on_fault(block.index)
+        if self.config.enable_prefetch:
+            self.prefetcher.restart_from_fault(block.index)
+
+    def pop_prefetch(self) -> Optional[int]:
+        if not self.config.enable_prefetch:
+            return None
+        return self.prefetcher.pop_command()
+
+    def push_back_prefetch(self, block_index: int) -> None:
+        self.prefetcher.push_back(block_index)
+
+    def background_tick(self, now: float) -> bool:
+        if not self.config.enable_preeviction:
+            return False
+        return self.preevictor.tick(now)
+
+    def on_kernel_end(self, now: float) -> None:
+        if self.config.enable_prefetch:
+            self.prefetcher.on_kernel_end()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def correlation_table_bytes(self) -> int:
+        return self.correlator.table_size_bytes

@@ -1,0 +1,66 @@
+"""Invalidating UM blocks of inactive PT blocks (Section 5.2).
+
+PyTorch's caching allocator keeps freed ("inactive") PT blocks in its
+pools; their contents are dead, yet naive UM would still write them back to
+the CPU on eviction and migrate them in again on reuse. The DeepUM patch
+notifies the driver of PT block state changes; the driver then marks UM
+blocks that lie entirely inside an inactive PT block as *invalidated*:
+chosen as eviction victims they are simply dropped.
+
+Reactivation is handled conservatively: when a PT block turns active, every
+UM block it overlaps (even partially) loses its invalidated flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.um_space import UnifiedMemorySpace
+from ..torchsim.allocator import PTBlock
+
+
+@dataclass
+class InvalidationStats:
+    inactive_events: int = 0
+    active_events: int = 0
+    blocks_invalidated: int = 0
+    blocks_revalidated: int = 0
+
+
+class InactiveBlockRegistry:
+    """Tracks which UM blocks are covered by inactive PT blocks."""
+
+    def __init__(self, um: UnifiedMemorySpace):
+        self.um = um
+        self.stats = InvalidationStats()
+
+    # The allocator's state listener interface.
+    def __call__(self, pt_block: PTBlock, active: bool) -> None:
+        if active:
+            self.on_active(pt_block)
+        else:
+            self.on_inactive(pt_block)
+
+    def on_inactive(self, pt_block: PTBlock) -> None:
+        """Invalidate UM blocks fully contained in the inactive range."""
+        self.stats.inactive_events += 1
+        size = self.um.block_size
+        first = -(-pt_block.addr // size)  # first fully-inside block
+        last = pt_block.end // size        # one past the last
+        for idx in range(first, last):
+            blk = self.um.block(idx)
+            if not blk.invalidated:
+                blk.invalidated = True
+                self.stats.blocks_invalidated += 1
+
+    def on_active(self, pt_block: PTBlock) -> None:
+        """Clear the flag on every UM block the reused range overlaps."""
+        self.stats.active_events += 1
+        size = self.um.block_size
+        first = pt_block.addr // size
+        last = (pt_block.end - 1) // size
+        for idx in range(first, last + 1):
+            blk = self.um.block(idx)
+            if blk.invalidated:
+                blk.invalidated = False
+                self.stats.blocks_revalidated += 1

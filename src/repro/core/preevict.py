@@ -1,0 +1,88 @@
+"""Page pre-eviction (Section 5.1).
+
+When free GPU memory drops below a watermark, the pre-evictor evicts blocks
+during link idle time — off the fault critical path — so that demand faults
+and prefetches find room waiting. Victims must satisfy both paper
+conditions: least recently migrated, and *not* expected to be accessed by
+the current kernel or the next N predicted kernels (the prefetcher's
+protected set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.fault_handler import DriverFaultHandler
+from ..sim.gpu import GPUMemory
+from ..sim.um_space import UMBlock
+from .prefetcher import ChainingPrefetcher
+
+
+@dataclass
+class PreEvictorStats:
+    ticks: int = 0
+    evicted_blocks: int = 0
+    evicted_bytes: int = 0
+    protected_skips: int = 0
+
+
+class PreEvictor:
+    """Background eviction keeping ``low_watermark`` of capacity free."""
+
+    def __init__(
+        self,
+        gpu: GPUMemory,
+        handler: DriverFaultHandler,
+        prefetcher: ChainingPrefetcher,
+        *,
+        low_watermark: float = 0.02,
+        batch_blocks: int = 16,
+    ):
+        if not 0.0 < low_watermark < 1.0:
+            raise ValueError(f"low_watermark must be in (0, 1), got {low_watermark}")
+        self.gpu = gpu
+        self.handler = handler
+        self.prefetcher = prefetcher
+        self.low_watermark = low_watermark
+        self.batch_blocks = batch_blocks
+        self.stats = PreEvictorStats()
+
+    def needs_room(self) -> bool:
+        return self.gpu.free_bytes < self.low_watermark * self.gpu.capacity_bytes
+
+    def select_victims(self) -> list[UMBlock]:
+        """Victims: dead (invalidated) blocks first, then LRU-migrated.
+
+        Invalidated blocks cost nothing to evict (no write-back), so they
+        are always preferred; live victims follow the paper's two rules —
+        least recently migrated and not expected to be accessed by the
+        current or next N kernels (the prefetcher's protected set).
+        """
+        protected = self.prefetcher.protected_blocks()
+        victims: list[UMBlock] = []
+        live: list[UMBlock] = []
+        for blk in self.gpu.migration_order():
+            if blk.index in protected:
+                self.stats.protected_skips += 1
+                continue
+            if blk.invalidated:
+                victims.append(blk)
+                if len(victims) >= self.batch_blocks:
+                    return victims
+            elif len(live) < self.batch_blocks:
+                live.append(blk)
+        victims.extend(live[: self.batch_blocks - len(victims)])
+        return victims
+
+    def tick(self, now: float) -> bool:
+        """One idle-time opportunity; returns True if anything was evicted."""
+        if not self.needs_room():
+            return False
+        victims = self.select_victims()
+        if not victims:
+            return False
+        self.stats.ticks += 1
+        self.handler.evict(victims, now)
+        self.stats.evicted_blocks += len(victims)
+        self.stats.evicted_bytes += sum(v.populated_bytes for v in victims)
+        return True

@@ -1,0 +1,242 @@
+"""The prefetching thread: chaining through correlation tables (Section 4.2).
+
+Given a trigger block, it walks successor links in the current kernel's
+block table, emitting prefetch commands. When the walk reaches the table's
+*end* block, it predicts the next kernel via the execution table and hops
+to that kernel's *start* block — "chaining". The walk pauses once it has
+covered the next N kernels (the prefetch degree) and resumes as the
+executing kernels complete; a fault on a block outside the predicted
+window ends the chain and starts a new one from the faulted block.
+
+Position bookkeeping is in *absolute kernel sequence numbers*: the GPU is
+at position ``gpu_pos`` (incremented per launch) and the chain at
+``chain_pos`` (incremented per hop), with ``chain_pos - gpu_pos`` capped at
+the prefetch degree. Each position owns the set of blocks the chain
+predicted for that kernel; the union over live positions is the
+"expected to be accessed by the current and next N kernels" set used by
+the pre-evictor (Section 5.1). Sets retire exactly when their kernel
+completes, so chain restarts never drop near-term protection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from .correlator import Correlator
+from .exec_table import NO_KERNEL
+
+
+class ChainingPrefetcher:
+    """Chain walker producing prefetch commands (UM block indices)."""
+
+    def __init__(self, correlator: Correlator, degree: int):
+        if degree < 1:
+            raise ValueError(f"prefetch degree must be >= 1, got {degree}")
+        self.correlator = correlator
+        self.degree = degree
+        self._gpu_pos = 0        # kernel the GPU is executing
+        self._chain_pos = 0      # kernel the chain is predicting for
+        self._chain_exec: int = NO_KERNEL
+        self._chain_history: tuple[int, int, int] = (NO_KERNEL,) * 3
+        self._frontier: deque[int] = deque()
+        self._queue: deque[int] = deque()
+        # Predicted blocks per absolute kernel position (the window).
+        self._window_sets: dict[int, set[int]] = {}
+        self._protected: set[int] = set()
+        self.commands_emitted = 0
+        self.chain_breaks = 0
+
+    # ------------------------------------------------------------------ #
+    # triggers (driven by the driver)
+    # ------------------------------------------------------------------ #
+
+    def on_kernel_launch(self, exec_id: int) -> None:
+        """A kernel launches: advance the GPU position; revive the chain
+        from this kernel's table if it has died."""
+        self._gpu_pos += 1
+        if self._chain_pos < self._gpu_pos:
+            self._chain_pos = self._gpu_pos
+        if self._alive():
+            self._expand()
+            return
+        self._position_chain(exec_id)
+        table = self.correlator.block_tables.get(exec_id)
+        if table is not None and table.start_block is not None:
+            self._seed(table.start_block)
+        self._expand()
+
+    def on_kernel_end(self) -> None:
+        """The executing kernel finished: retire its predicted set."""
+        stale = [pos for pos in self._window_sets if pos <= self._gpu_pos]
+        if stale:
+            for pos in stale:
+                del self._window_sets[pos]
+            self._rebuild_protected()
+        self._expand()
+
+    def restart_from_fault(self, block: int) -> None:
+        """Re-sync the chain from a faulted block.
+
+        A fault on a block inside the predicted window means the chain is
+        on the right path and merely behind the GPU — leave it alone (the
+        queued commands are still correct). A fault on an unknown block
+        means the chain diverged: end it and start a new chain from the
+        faulted block, as the paper's prefetching thread does when a new
+        fault interrupt arrives. Already-enqueued commands survive — the
+        prefetch queue is a separate SPSC queue that the migration thread
+        keeps draining.
+        """
+        exec_id = self.correlator.current_exec
+        if exec_id == NO_KERNEL:
+            return
+        if block in self._protected and self._alive():
+            return
+        self._position_chain(exec_id)
+        self._frontier.append(block)
+        self._note_emitted(block)
+        self._queue.append(block)
+        self.commands_emitted += 1
+        self._expand()
+
+    # ------------------------------------------------------------------ #
+    # command consumption (the migration thread)
+    # ------------------------------------------------------------------ #
+
+    def pop_command(self) -> Optional[int]:
+        """Next UM block index to prefetch."""
+        while not self._queue:
+            if not self._step_chain():
+                return None
+        return self._queue.popleft()
+
+    def push_back(self, block: int) -> None:
+        """Return an unprocessed command to the front of the queue."""
+        self._queue.appendleft(block)
+
+    def protected_blocks(self) -> set[int]:
+        """Blocks predicted for the current and next N kernels."""
+        return self._protected
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _alive(self) -> bool:
+        """True while the chain has work or is paused at the window edge."""
+        return (
+            bool(self._frontier)
+            or bool(self._queue)
+            or self._chain_pos > self._gpu_pos
+        )
+
+    def _position_chain(self, exec_id: int) -> None:
+        """Point the walk at the GPU's current kernel."""
+        self._frontier.clear()
+        self._chain_exec = exec_id
+        self._chain_history = self.correlator.recent_history()
+        self._chain_pos = self._gpu_pos
+
+    def _expand(self) -> None:
+        """Eagerly walk the chain up to the look-ahead window.
+
+        The prefetching thread runs concurrently with the GPU in the paper;
+        emission must not be gated on the migration thread popping commands,
+        or the chain falls behind during fault storms.
+        """
+        while self._step_chain():
+            pass
+
+    def _seed(self, block: int) -> None:
+        """Predict ``block`` for the chain's current kernel.
+
+        Window membership is recorded unconditionally — a block used by
+        several kernels inside the window must stay protected until its
+        *last* predicted use retires. Only the prefetch command itself is
+        deduplicated.
+        """
+        already = block in self._protected
+        self._note_emitted(block)
+        if already:
+            return
+        self._frontier.append(block)
+        self._queue.append(block)
+        self.commands_emitted += 1
+
+    def _note_emitted(self, block: int) -> None:
+        self._window_sets.setdefault(self._chain_pos, set()).add(block)
+        self._protected.add(block)
+
+    def _rebuild_protected(self) -> None:
+        if self._window_sets:
+            self._protected = set().union(*self._window_sets.values())
+        else:
+            self._protected = set()
+
+    def _step_chain(self) -> bool:
+        """Expand one frontier block; returns False when the chain pauses.
+
+        Emits each not-yet-predicted successor as a prefetch command.
+        Reaching the recorded end block hands the chain to the predicted
+        next kernel (chaining); a failed prediction ends the chain.
+        """
+        if self._chain_exec == NO_KERNEL:
+            return False
+        table = self.correlator.block_tables.get(self._chain_exec)
+        if table is None:
+            return self._hop_to_next_kernel()
+        while self._frontier:
+            block = self._frontier.popleft()
+            emitted_any = False
+            for succ in table.successors(block):
+                if succ in self._protected:
+                    self._note_emitted(succ)  # refresh window membership
+                    continue
+                self._frontier.append(succ)
+                self._queue.append(succ)
+                self._note_emitted(succ)
+                self.commands_emitted += 1
+                emitted_any = True
+            if block == table.end_block:
+                return self._hop_to_next_kernel()
+            if emitted_any:
+                return True
+        # Frontier exhausted without meeting the end block: treat as end of
+        # this kernel's recorded pattern and hop onward.
+        return self._hop_to_next_kernel()
+
+    def _hop_to_next_kernel(self) -> bool:
+        """Advance the chain across kernel boundaries until it finds work.
+
+        Kernels that never fault (no recorded start) are hopped through:
+        they contribute nothing to prefetch but still consume look-ahead
+        window. The loop stops when the window is full (pause: resumes as
+        kernels complete) or a prediction fails (chain break).
+        """
+        while True:
+            if self._chain_pos - self._gpu_pos >= self.degree:
+                return False  # window full: pause
+            nxt = self.correlator.exec_table.predict_next(
+                self._chain_history, self._chain_exec
+            )
+            if nxt is None:
+                self.chain_breaks += 1
+                return False
+            self._chain_history = (
+                self._chain_history[1], self._chain_history[2], self._chain_exec,
+            )
+            self._chain_exec = nxt
+            self._chain_pos += 1
+            nxt_table = self.correlator.block_tables.get(nxt)
+            if nxt_table is None or nxt_table.start_block is None:
+                continue  # fault-free kernel: nothing to prefetch, chain on
+            start = nxt_table.start_block
+            if start in self._protected:
+                # Already predicted within the window (shared working set);
+                # refresh its membership and still expand it under this
+                # kernel's table so successors recorded here are found.
+                self._note_emitted(start)
+                self._frontier.append(start)
+                return True
+            self._seed(start)
+            return True

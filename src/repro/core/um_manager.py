@@ -1,0 +1,140 @@
+"""Memory manager running the kernel stream over unified memory.
+
+Shared substrate glue between torchsim and the engine: it decomposes each
+kernel's operand tensors into ordered UM block accesses (with first-touch
+population), enforces the host backing-store capacity, and drives
+:class:`~repro.sim.engine.UMSimulator`. With ``runtime=None`` it behaves as
+plain NVIDIA UM (the paper's naive-UM baseline); with a
+:class:`~repro.core.runtime.DeepUMRuntime` attached it is DeepUM.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..constants import PAGE_SIZE
+from ..sim.engine import BlockAccess, KernelExecution, UMSimulator
+from ..torchsim.kernels import KernelCostModel, KernelLaunch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..torchsim.context import Device
+    from .runtime import DeepUMRuntime
+
+
+class UMCapacityError(RuntimeError):
+    """The populated UM footprint exceeded the CPU backing store."""
+
+
+class UMMemoryManager:
+    """Runs kernels through the UM engine (naive UM or DeepUM)."""
+
+    def __init__(
+        self,
+        engine: UMSimulator,
+        host_capacity: int,
+        runtime: Optional["DeepUMRuntime"] = None,
+    ):
+        self.engine = engine
+        self.host_capacity = host_capacity
+        self.runtime = runtime
+        self.cost_model = KernelCostModel(engine.system.gpu)
+        self.populated_bytes = 0
+        self.peak_populated_bytes = 0
+        # (addr, nbytes) -> per-block [(block index, overlap pages)].
+        self._decomp_cache: dict[tuple[int, int], list[tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def run_kernel(self, launch: KernelLaunch, device: "Device") -> None:
+        now = self.engine.now
+        if self.runtime is not None:
+            self.runtime.before_launch(launch, now)
+        accesses = self._build_accesses(launch, device)
+        compute = self.cost_model.compute_time(launch)
+        self.engine.execute_kernel(
+            KernelExecution(payload=launch, accesses=accesses, compute_time=compute)
+        )
+
+    def elapsed(self) -> float:
+        self.engine.finish()
+        return self.engine.now
+
+    def handle_alloc_oom(self, nbytes: int, device: "Device") -> bool:
+        # UM allocation is virtual: it never fails at cudaMalloc time.
+        return False
+
+    def on_alloc(self, tensor, device: "Device") -> None:
+        return None
+
+    # ------------------------------------------------------------------ #
+
+    def _decompose(self, addr: int, nbytes: int) -> list[tuple[int, int]]:
+        """Block decomposition of a byte range, with first-touch population.
+
+        Population happens exactly once per distinct (addr, nbytes) range:
+        PT-block reuse returns the same range, so steady-state iterations
+        touch already-populated blocks, exactly like real UM.
+        """
+        key = (addr, nbytes)
+        cached = self._decomp_cache.get(key)
+        if cached is not None:
+            return cached
+        parts: list[tuple[int, int]] = []
+        block_size = self.engine.um.block_size
+        end = addr + nbytes
+        first = addr // block_size
+        last = (end - 1) // block_size
+        for idx in range(first, last + 1):
+            lo = max(addr, idx * block_size)
+            hi = min(end, (idx + 1) * block_size)
+            pages = (hi - lo + PAGE_SIZE - 1) // PAGE_SIZE
+            parts.append((idx, pages))
+            blk = self.engine.um.block(idx)
+            before = blk.populated_pages
+            blk.populate(pages)
+            grown = (blk.populated_pages - before) * PAGE_SIZE
+            if grown:
+                self.populated_bytes += grown
+                if blk.index in self.engine.gpu.resident:
+                    self.engine.gpu.used_bytes += grown
+        if self.populated_bytes > self.peak_populated_bytes:
+            self.peak_populated_bytes = self.populated_bytes
+        if self.populated_bytes > self.host_capacity:
+            raise UMCapacityError(
+                f"populated UM footprint {self.populated_bytes} B exceeds "
+                f"host capacity {self.host_capacity} B"
+            )
+        self._decomp_cache[key] = parts
+        return parts
+
+    def _build_accesses(
+        self, launch: KernelLaunch, device: "Device"
+    ) -> list[BlockAccess]:
+        """Ordered, deduplicated UM block accesses for one kernel."""
+        um = self.engine.um
+        seen: set[int] = set()
+        accesses: list[BlockAccess] = []
+        for pos, tensor in enumerate(launch.operands):
+            parts = self._decompose(tensor.addr, tensor.nbytes)
+            if launch.sparse is not None and pos == launch.sparse.tensor_index:
+                parts = self._sparse_subset(parts, launch.sparse.coverage, device)
+            for idx, pages in parts:
+                if idx in seen:
+                    continue
+                seen.add(idx)
+                accesses.append(BlockAccess(block=um.block(idx), pages=pages))
+        return accesses
+
+    def _sparse_subset(
+        self,
+        parts: list[tuple[int, int]],
+        coverage: float,
+        device: "Device",
+    ) -> list[tuple[int, int]]:
+        """Random subset in random order: irregular embedding access."""
+        count = max(1, int(len(parts) * coverage))
+        if count >= len(parts):
+            chosen = device.rng.permutation(len(parts))
+        else:
+            chosen = device.rng.choice(len(parts), size=count, replace=False)
+        return [parts[int(i)] for i in chosen]

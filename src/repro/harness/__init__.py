@@ -1,0 +1,25 @@
+"""Experiment harness: runs workloads under policies and reports tables."""
+
+from .experiment import (
+    POLICIES,
+    ExperimentResult,
+    calibrate_system,
+    make_policy,
+    run_experiment,
+)
+from .metrics import WindowMetrics
+from .report import format_table, geomean, speedup_table
+from .sweep import max_batch_search
+
+__all__ = [
+    "POLICIES",
+    "ExperimentResult",
+    "calibrate_system",
+    "make_policy",
+    "run_experiment",
+    "WindowMetrics",
+    "format_table",
+    "geomean",
+    "speedup_table",
+    "max_batch_search",
+]

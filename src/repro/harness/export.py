@@ -1,0 +1,83 @@
+"""Export experiment results to CSV / JSON for plotting or archiving.
+
+The benches print human-readable tables; this module gives programmatic
+consumers (notebooks, plotting scripts, CI dashboards) a stable record
+format for :class:`~repro.harness.experiment.ExperimentResult` grids.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict
+from typing import IO, Iterable, Mapping
+
+from .experiment import ExperimentResult
+
+#: Flat columns emitted per result row.
+FIELDS = (
+    "model", "policy", "paper_batch", "sim_batch", "oom", "oom_reason",
+    "seconds_per_100_iterations", "faults_per_iteration", "energy_joules",
+    "bytes_in_per_iteration", "bytes_out_per_iteration",
+    "peak_populated_bytes", "correlation_table_bytes",
+)
+
+
+def result_record(result: ExperimentResult) -> dict:
+    """Flatten one result into a plain dict of the exported fields."""
+    window = result.window
+    return {
+        "model": result.model,
+        "policy": result.policy,
+        "paper_batch": result.paper_batch,
+        "sim_batch": result.sim_batch,
+        "oom": result.oom,
+        "oom_reason": result.oom_reason,
+        "seconds_per_100_iterations": result.seconds_per_100_iterations,
+        "faults_per_iteration":
+            window.faults_per_iteration if window else None,
+        "energy_joules": window.energy_joules if window else None,
+        "bytes_in_per_iteration":
+            window.bytes_in / window.iterations if window else None,
+        "bytes_out_per_iteration":
+            window.bytes_out / window.iterations if window else None,
+        "peak_populated_bytes": result.peak_populated_bytes,
+        "correlation_table_bytes": result.correlation_table_bytes,
+    }
+
+
+def write_csv(results: Iterable[ExperimentResult], fh: IO[str]) -> int:
+    """Write results as CSV; returns the number of rows written."""
+    writer = csv.DictWriter(fh, fieldnames=FIELDS)
+    writer.writeheader()
+    count = 0
+    for result in results:
+        writer.writerow(result_record(result))
+        count += 1
+    return count
+
+
+def write_json(results: Iterable[ExperimentResult], fh: IO[str], *,
+               indent: int = 2) -> int:
+    """Write results as a JSON array; returns the number of rows."""
+    records = [result_record(r) for r in results]
+    json.dump(records, fh, indent=indent)
+    fh.write("\n")
+    return len(records)
+
+
+def save(results: Iterable[ExperimentResult], path: str) -> int:
+    """Save to ``path``; format chosen by extension (.csv or .json)."""
+    results = list(results)
+    with open(path, "w", newline="") as fh:
+        if path.endswith(".json"):
+            return write_json(results, fh)
+        if path.endswith(".csv"):
+            return write_csv(results, fh)
+    raise ValueError(f"unsupported export extension: {path!r}")
+
+
+def load_json(path: str) -> list[Mapping]:
+    """Load a previously exported JSON result file."""
+    with open(path) as fh:
+        return json.load(fh)

@@ -1,0 +1,74 @@
+"""Measurement-window snapshots for steady-state metrics.
+
+The paper reports per-iteration numbers after the correlation tables have
+learned; the harness therefore snapshots counters after a warm-up phase
+and reports deltas over the measured iterations only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    elapsed: float
+    page_faults: int
+    gpu_busy: float
+    link_busy: float
+    bytes_in: int
+    bytes_out: int
+
+
+@dataclass
+class WindowMetrics:
+    """Deltas between two snapshots, normalized per iteration."""
+
+    iterations: int
+    elapsed: float
+    page_faults: int
+    gpu_busy: float
+    link_busy: float
+    bytes_in: int
+    bytes_out: int
+    idle_watts: float
+    gpu_watts: float
+    link_watts: float
+
+    @staticmethod
+    def between(before: Snapshot, after: Snapshot, iterations: int,
+                idle_watts: float, gpu_watts: float, link_watts: float
+                ) -> "WindowMetrics":
+        if iterations <= 0:
+            raise ValueError("measurement window must cover >= 1 iteration")
+        return WindowMetrics(
+            iterations=iterations,
+            elapsed=after.elapsed - before.elapsed,
+            page_faults=after.page_faults - before.page_faults,
+            gpu_busy=after.gpu_busy - before.gpu_busy,
+            link_busy=after.link_busy - before.link_busy,
+            bytes_in=after.bytes_in - before.bytes_in,
+            bytes_out=after.bytes_out - before.bytes_out,
+            idle_watts=idle_watts,
+            gpu_watts=gpu_watts,
+            link_watts=link_watts,
+        )
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        return self.elapsed / self.iterations
+
+    @property
+    def faults_per_iteration(self) -> float:
+        return self.page_faults / self.iterations
+
+    @property
+    def energy_joules(self) -> float:
+        return (
+            self.idle_watts * self.elapsed
+            + self.gpu_watts * self.gpu_busy
+            + self.link_watts * self.link_busy
+        )
+
+    def seconds_per_100_iterations(self) -> float:
+        return 100.0 * self.seconds_per_iteration

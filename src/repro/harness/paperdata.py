@@ -1,0 +1,147 @@
+"""Reference data transcribed from the paper's evaluation section.
+
+Used by EXPERIMENTS.md generation and by benchmark output so each run can
+print "paper vs measured" side by side. Times are seconds per 100 training
+iterations (Fig. 9b); fault counts are per training iteration (Table 5).
+"""
+
+from __future__ import annotations
+
+# Fig. 9(b): elapsed seconds for 100 iterations; None = OOM / not reported.
+FIG9B_ELAPSED: dict[tuple[str, int], dict[str, float | None]] = {
+    ("gpt2-xl", 3): {"um": 4597, "lms": 1747, "lms-mod": 1990, "deepum": 1429},
+    ("gpt2-xl", 5): {"um": 7706, "lms": None, "lms-mod": 3020, "deepum": 2332},
+    ("gpt2-xl", 7): {"um": 10981, "lms": None, "lms-mod": 3997, "deepum": 3163},
+    ("gpt2-l", 3): {"um": 1865, "lms": 885, "lms-mod": 927, "deepum": 605},
+    ("gpt2-l", 5): {"um": 3839, "lms": None, "lms-mod": 1672, "deepum": 1163},
+    ("gpt2-l", 7): {"um": 5727, "lms": None, "lms-mod": None, "deepum": 1695},
+    ("bert-large", 14): {"um": 978, "lms": 611, "lms-mod": 665, "deepum": 290},
+    ("bert-large", 16): {"um": 1307, "lms": None, "lms-mod": 786, "deepum": 403},
+    ("bert-large", 18): {"um": 1430, "lms": None, "lms-mod": None, "deepum": 438},
+    ("bert-base", 29): {"um": 135, "lms": 450, "lms-mod": 456, "deepum": 129},
+    ("bert-base", 30): {"um": 273, "lms": None, "lms-mod": None, "deepum": 158},
+    ("bert-base", 31): {"um": 578, "lms": None, "lms-mod": None, "deepum": 222},
+    ("dlrm", 96_000): {"um": 1203, "lms": 1291, "lms-mod": 1153, "deepum": 1005},
+    ("dlrm", 128_000): {"um": 1657, "lms": 1789, "lms-mod": 1602, "deepum": 1363},
+    ("dlrm", 160_000): {"um": 2123, "lms": None, "lms-mod": None, "deepum": 1682},
+    ("dlrm", 192_000): {"um": 2894, "lms": None, "lms-mod": None, "deepum": 2201},
+    ("dlrm", 224_000): {"um": 3318, "lms": None, "lms-mod": None, "deepum": 2507},
+    ("resnet152", 1280): {"um": 31002, "lms": 3926, "lms-mod": 3992, "deepum": 3922},
+    ("resnet152", 1536): {"um": 38173, "lms": 4754, "lms-mod": 4972, "deepum": 4767},
+    ("resnet152", 1792): {"um": 49283, "lms": None, "lms-mod": 6340, "deepum": 5965},
+    ("resnet200", 1024): {"um": 32420, "lms": 4560, "lms-mod": 6124, "deepum": 4585},
+    ("resnet200", 1280): {"um": 44900, "lms": 5470, "lms-mod": 5571, "deepum": 5835},
+    ("resnet200", 1536): {"um": 57302, "lms": 7187, "lms-mod": 8407, "deepum": 7235},
+}
+
+# Headline averages from Section 6.2.
+PAPER_AVG_SPEEDUP_OVER_UM = 3.06
+PAPER_AVG_SPEEDUP_OVER_LMS = 1.11
+
+# Table 3: maximum possible batch sizes (V100 32 GB, 512 GB host).
+TABLE3_MAX_BATCH: dict[str, dict[str, int]] = {
+    "gpt2-xl": {"lms": 3, "deepum": 16},
+    "gpt2-l": {"lms": 3, "deepum": 24},
+    "bert-large": {"lms": 14, "deepum": 192},
+    "bert-base": {"lms": 29, "deepum": 256},
+    "dlrm": {"lms": 128_000, "deepum": 512_000},
+    "resnet200": {"lms": 1536, "deepum": 2304},
+    "resnet152": {"lms": 1536, "deepum": 1792},
+}
+
+# Table 4: correlation table sizes (MB) per model and batch size.
+TABLE4_TABLE_MB: dict[tuple[str, int], int] = {
+    ("gpt2-xl", 3): 308, ("gpt2-xl", 5): 344, ("gpt2-xl", 7): 348,
+    ("gpt2-l", 3): 169, ("gpt2-l", 5): 213, ("gpt2-l", 7): 232,
+    ("bert-large", 3): 78, ("bert-large", 5): 75, ("bert-large", 7): 74,
+    ("bert-base", 3): 19, ("bert-base", 5): 27, ("bert-base", 7): 33,
+    ("dlrm", 96_000): 13, ("dlrm", 128_000): 19, ("dlrm", 160_000): 30,
+    ("dlrm", 192_000): 31, ("dlrm", 224_000): 35,
+    ("resnet152", 1280): 115, ("resnet152", 1536): 128, ("resnet152", 1792): 130,
+    ("resnet200", 1024): 144, ("resnet200", 1280): 151, ("resnet200", 1536): 169,
+}
+
+# Table 5: average page faults per training iteration.
+TABLE5_FAULTS: dict[tuple[str, int], dict[str, int]] = {
+    ("gpt2-xl", 3): {"um": 7_437_122, "deepum": 687},
+    ("gpt2-xl", 5): {"um": 12_395_173, "deepum": 7_612},
+    ("gpt2-xl", 7): {"um": 17_210_705, "deepum": 2_549},
+    ("gpt2-l", 3): {"um": 2_948_920, "deepum": 235},
+    ("gpt2-l", 5): {"um": 6_055_304, "deepum": 476},
+    ("gpt2-l", 7): {"um": 8_974_631, "deepum": 884},
+    ("bert-large", 3): {"um": 1_171_717, "deepum": 2_913},
+    ("bert-large", 5): {"um": 1_777_710, "deepum": 84},
+    ("bert-large", 7): {"um": 1_834_746, "deepum": 1_355},
+    ("bert-base", 3): {"um": 88_459, "deepum": 1_595},
+    ("bert-base", 5): {"um": 349_106, "deepum": 4_536},
+    ("bert-base", 7): {"um": 1_077_223, "deepum": 5_531},
+    ("dlrm", 96_000): {"um": 1_263_865, "deepum": 3_706},
+    ("dlrm", 128_000): {"um": 1_712_886, "deepum": 6_912},
+    ("dlrm", 160_000): {"um": 2_583_610, "deepum": 22_624},
+    ("dlrm", 192_000): {"um": 3_471_958, "deepum": 32_139},
+    ("dlrm", 224_000): {"um": 4_278_593, "deepum": 38_437},
+    ("resnet152", 1280): {"um": 121_380_940, "deepum": 34_323},
+    ("resnet152", 1536): {"um": 144_893_625, "deepum": 72_598},
+    ("resnet152", 1792): {"um": 182_230_994, "deepum": 144_455},
+    ("resnet200", 1024): {"um": 126_734_315, "deepum": 107_093},
+    ("resnet200", 1280): {"um": 173_517_031, "deepum": 68_039},
+    ("resnet200", 1536): {"um": 207_933_814, "deepum": 118_472},
+}
+
+# Fig. 10: average execution-time reduction of the ablation steps.
+FIG10_REDUCTION = {
+    "prefetch": 0.456,
+    "prefetch+preevict": 0.637,
+    "prefetch+preevict+invalidate": 0.667,
+}
+
+# Fig. 11: the sweet spot of the prefetch degree.
+FIG11_BEST_DEGREE = 32
+
+# Table 6: block-table configurations swept in Fig. 12.
+TABLE6_CONFIGS = [
+    # (name, assoc, num_succs, num_rows)
+    ("Config0", 2, 4, 128),
+    ("Config1", 2, 8, 128),
+    ("Config2", 4, 4, 128),
+    ("Config3", 2, 4, 512),
+    ("Config4", 2, 8, 512),
+    ("Config5", 4, 4, 512),
+    ("Config6", 2, 4, 1024),
+    ("Config7", 2, 8, 1024),
+    ("Config8", 4, 4, 1024),
+    ("Config9", 2, 4, 2048),
+    ("Config10", 2, 8, 2048),
+    ("Config11", 4, 4, 2048),
+    ("Config12", 2, 4, 4096),
+]
+FIG12_BEST_CONFIG = "Config9"
+
+# Table 7: maximum batch sizes vs TensorFlow-based approaches
+# (V100 16 GB, host capped at 128 GB); None = does not work.
+TABLE7_MAX_BATCH: dict[str, dict[str, int | None]] = {
+    "resnet200-cifar": {"vdnn": 4_200, "autotm": 5_600, "swapadvisor": 5_400,
+                        "capuchin": 5_900, "sentinel": 5_700, "deepum": 6_400},
+    "bert-large-cola": {"vdnn": None, "autotm": 27, "swapadvisor": 25,
+                        "capuchin": 27, "sentinel": 28, "deepum": 64},
+    "dcgan": {"vdnn": 1_400, "autotm": 2_500, "swapadvisor": 2_400,
+              "capuchin": 2_700, "sentinel": 2_500, "deepum": 3_500},
+    "mobilenet": {"vdnn": 1_200, "autotm": 3_200, "swapadvisor": 3_100,
+                  "capuchin": 3_200, "sentinel": 3_200, "deepum": 5_100},
+}
+
+# Table 8: qualitative comparison of the approaches.
+TABLE8_COMPARISON = [
+    # (name, base framework, framework modified, user script modified,
+    #  run-time profiling)
+    ("vDNN", "-", True, True, False),
+    ("TFLMS", "TensorFlow", True, True, False),
+    ("Superneurons", "-", True, True, False),
+    ("FlashNeuron", "PyTorch", True, False, False),
+    ("AutoTM", "nGraph", True, True, False),
+    ("Capuchin", "TensorFlow", True, False, True),
+    ("SwapAdvisor", "MXNet", True, True, True),
+    ("Sentinel", "TensorFlow", True, True, True),
+    ("DeepSpeed", "PyTorch", False, True, True),
+    ("DeepUM", "PyTorch", True, False, True),
+]

@@ -1,0 +1,82 @@
+"""Parameter sweeps: maximum-batch search (Tables 3 and 7)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import DeepUMConfig, SystemConfig
+from ..core.um_manager import UMCapacityError
+from ..baselines import TensorSwapOOM
+from ..models.registry import get_model_config
+from ..torchsim.allocator import TorchSimOOM
+from .experiment import make_policy
+
+
+def _runs(model: str, paper_batch: int, policy: str, system: SystemConfig,
+          *, scale: float, iterations: int,
+          deepum_config: Optional[DeepUMConfig]) -> bool:
+    """True if the configuration completes ``iterations`` without OOM."""
+    cfg = get_model_config(model)
+    facade = make_policy(policy, system, deepum_config=deepum_config)
+    try:
+        workload = cfg.build(facade.device, cfg.sim_batch(paper_batch),
+                             scale=scale)
+        workload.run(iterations)
+    except (UMCapacityError, TorchSimOOM, TensorSwapOOM):
+        return False
+    return True
+
+
+def max_batch_search(
+    model: str,
+    policy: str,
+    system: SystemConfig,
+    *,
+    scale: float,
+    start_batch: Optional[int] = None,
+    iterations: int = 2,
+    deepum_config: Optional[DeepUMConfig] = None,
+) -> int:
+    """Largest paper-scale batch that trains without OOM.
+
+    Doubles from a known-good starting point, then binary-searches the
+    boundary. Batch granularity is the model's ``batch_divisor`` (one
+    simulated sample).
+    """
+    cfg = get_model_config(model)
+    step = cfg.batch_divisor
+    lo = start_batch if start_batch is not None else cfg.fig9_batches[0]
+    lo = max(step, (lo // step) * step)
+    if not _runs(model, lo, policy, system, scale=scale,
+                 iterations=iterations, deepum_config=deepum_config):
+        # Shrink until something runs (or give up at one simulated sample).
+        while lo > step:
+            lo //= 2
+            lo = max(step, (lo // step) * step)
+            if _runs(model, lo, policy, system, scale=scale,
+                     iterations=iterations, deepum_config=deepum_config):
+                break
+        else:
+            return 0
+        if lo == step and not _runs(model, lo, policy, system, scale=scale,
+                                    iterations=iterations,
+                                    deepum_config=deepum_config):
+            return 0
+    hi = lo * 2
+    while _runs(model, hi, policy, system, scale=scale,
+                iterations=iterations, deepum_config=deepum_config):
+        lo = hi
+        hi *= 2
+        if hi > lo * 64:  # paranoia bound; never hit in practice
+            break
+    # Binary search in (lo, hi): lo runs, hi fails.
+    while hi - lo > step:
+        mid = ((lo + hi) // 2 // step) * step
+        if mid in (lo, hi):
+            break
+        if _runs(model, mid, policy, system, scale=scale,
+                 iterations=iterations, deepum_config=deepum_config):
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,31 @@
+"""The paper's nine DNN workloads as kernel-trace generators.
+
+Each builder assembles a torchsim module graph with the published layer
+dimensions (optionally scaled down for laptop-sized simulation) and returns
+a :class:`~repro.models.base.Workload` that runs full training iterations
+(forward, backward, optimizer step) against whatever memory system the
+device is bound to.
+"""
+
+from .base import Workload
+from .gpt2 import build_gpt2
+from .bert import build_bert
+from .dlrm import build_dlrm
+from .resnet import build_resnet
+from .dcgan import build_dcgan
+from .mobilenet import build_mobilenet
+from .registry import MODEL_BUILDERS, ModelConfig, get_model_config, list_models
+
+__all__ = [
+    "Workload",
+    "build_gpt2",
+    "build_bert",
+    "build_dlrm",
+    "build_resnet",
+    "build_dcgan",
+    "build_mobilenet",
+    "MODEL_BUILDERS",
+    "ModelConfig",
+    "get_model_config",
+    "list_models",
+]

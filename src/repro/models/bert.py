@@ -1,0 +1,121 @@
+"""BERT (Base / Large) masked-LM fine-tuning on Wikitext/CoLA-shaped batches.
+
+Published dimensions: BERT Base is 12 layers, d_model 768, 12 heads;
+BERT Large is 24 layers, d_model 1024, 16 heads; FFN 4x, vocab 30522,
+sequence length 512 for Wikitext MLM and 128 for GLUE CoLA classification.
+"""
+
+from __future__ import annotations
+
+from ..torchsim import functional as F
+from ..torchsim.autograd import Tape
+from ..torchsim.context import Device
+from ..torchsim.dtypes import int64
+from ..torchsim.layers import Dropout, Embedding, LayerNorm, Linear
+from ..torchsim.module import Module
+from ..torchsim.optim import AdamW
+from ..torchsim.tensor import Tensor
+from .base import Workload, scaled
+from .gpt2 import CausalSelfAttention, reshape_copy
+
+
+class BertLayer(Module):
+    """Post-LN transformer encoder layer (attention is bidirectional, but
+    its kernel/memory profile matches the causal module exactly)."""
+
+    def __init__(self, device: Device, d_model: int, heads: int, ffn: int,
+                 dropout: float, name: str):
+        super().__init__()
+        self.attn = CausalSelfAttention(device, d_model, heads, dropout, f"{name}.attn")
+        self.ln1 = LayerNorm(device, d_model, name=f"{name}.ln1")
+        self.fc1 = Linear(device, d_model, ffn, name=f"{name}.fc1")
+        self.fc2 = Linear(device, ffn, d_model, name=f"{name}.fc2")
+        self.ln2 = LayerNorm(device, d_model, name=f"{name}.ln2")
+        self.drop = Dropout(dropout)
+
+    def forward(self, tape: Tape, x: Tensor) -> Tensor:
+        a = self.attn(tape, x)
+        x = self.ln1(tape, F.add(tape, x, a))
+        h = self.fc2(tape, F.gelu(tape, self.fc1(tape, x)))
+        h = self.drop(tape, h)
+        return self.ln2(tape, F.add(tape, x, h))
+
+
+class Bert(Module):
+    def __init__(self, device: Device, *, layers: int, d_model: int, heads: int,
+                 vocab: int, seq_len: int, num_labels: int = 0,
+                 dropout: float = 0.1):
+        super().__init__()
+        self.seq_len = seq_len
+        self.vocab = vocab
+        self.num_labels = num_labels
+        self.tok_emb = Embedding(device, vocab, d_model, name="tok_emb")
+        self.pos_emb = Embedding(device, seq_len, d_model, name="pos_emb")
+        self.seg_emb = Embedding(device, 2, d_model, name="seg_emb")
+        self.emb_ln = LayerNorm(device, d_model, name="emb_ln")
+        self.layers = [
+            BertLayer(device, d_model, heads, 4 * d_model, dropout, f"l{i}")
+            for i in range(layers)
+        ]
+        for i, layer in enumerate(self.layers):
+            setattr(self, f"l{i}", layer)
+        if num_labels:
+            # Sequence classification head (GLUE CoLA).
+            self.classifier = Linear(device, d_model, num_labels, name="classifier")
+        else:
+            # Masked-LM head (Wikitext).
+            self.mlm_head = Linear(device, d_model, vocab, name="mlm_head")
+
+    def forward(self, tape: Tape, tokens: Tensor, positions: Tensor,
+                segments: Tensor) -> Tensor:
+        x = F.add(tape, self.tok_emb(tape, tokens), self.pos_emb(tape, positions))
+        x = F.add(tape, x, self.seg_emb(tape, segments))
+        x = self.emb_ln(tape, x)
+        for layer in self.layers:
+            x = layer(tape, x)
+        b, t, d = x.shape
+        if self.num_labels:
+            pooled = reshape_copy(tape, x, (b, d), "cls_pool")
+            return self.classifier(tape, pooled)
+        flat = reshape_copy(tape, x, (b * t, d), "flatten_tokens")
+        return self.mlm_head(tape, flat)
+
+
+def build_bert(
+    device: Device,
+    batch_size: int,
+    *,
+    variant: str = "large",
+    dataset: str = "wikitext",
+    scale: float = 1.0,
+) -> Workload:
+    """Build a BERT fine-tuning workload (MLM for Wikitext, CoLA otherwise)."""
+    if variant == "large":
+        layers, d_model, heads = 24, 1024, 16
+    elif variant == "base":
+        layers, d_model, heads = 12, 768, 12
+    else:
+        raise ValueError(f"unknown BERT variant: {variant!r}")
+    seq_len = 512 if dataset == "wikitext" else 128
+    num_labels = 0 if dataset == "wikitext" else 2
+
+    d = scaled(d_model, scale, multiple=64)
+    heads = max(1, min(heads, d // 64))
+    n_layers = scaled(layers, min(1.0, 4 * scale), minimum=2)
+    vocab = scaled(30522, scale, minimum=512)
+    t_len = scaled(seq_len, min(1.0, 2 * scale), minimum=32, multiple=32)
+
+    model = Bert(device, layers=n_layers, d_model=d, heads=heads, vocab=vocab,
+                 seq_len=t_len, num_labels=num_labels)
+    optimizer = AdamW(device, model.parameters())
+    tokens = device.empty((batch_size, t_len), int64, persistent=True, name="tokens")
+    positions = device.empty((batch_size, t_len), int64, persistent=True, name="pos")
+    segments = device.empty((batch_size, t_len), int64, persistent=True, name="seg")
+    n_targets = batch_size if num_labels else batch_size * t_len
+    targets = device.empty((n_targets,), int64, persistent=True, name="targets")
+
+    def step(tape: Tape, iteration: int) -> Tensor:
+        logits = model(tape, tokens, positions, segments)
+        return F.cross_entropy(tape, logits, targets)
+
+    return Workload(f"bert-{variant}", device, model, optimizer, step)

@@ -1,0 +1,128 @@
+"""DCGAN training on celebA-shaped 64x64 images (Radford et al.).
+
+The standard PyTorch-examples DCGAN: a transposed-convolution generator
+from a 100-d latent and a strided-convolution discriminator, trained
+adversarially with BCE. One training iteration performs the usual three
+passes (D on real, D on fake, G through D), exercising two optimizers and
+a churny allocation pattern.
+"""
+
+from __future__ import annotations
+
+from ..torchsim import functional as F
+from ..torchsim.autograd import Tape
+from ..torchsim.context import Device
+from ..torchsim.dtypes import float32
+from ..torchsim.layers import (
+    BatchNorm2d,
+    Conv2d,
+    ConvTranspose2d,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from ..torchsim.module import Module
+from ..torchsim.optim import Adam
+from ..torchsim.tensor import Tensor
+from .base import Workload, scaled
+
+
+class Generator(Module):
+    def __init__(self, device: Device, latent: int, feat: int, channels: int = 3):
+        super().__init__()
+        self.latent = latent
+        self.net: list[Module] = []
+        dims = [(latent, feat * 8, 1, 0), (feat * 8, feat * 4, 2, 1),
+                (feat * 4, feat * 2, 2, 1), (feat * 2, feat, 2, 1)]
+        for i, (cin, cout, stride, pad) in enumerate(dims):
+            k = 4
+            conv = ConvTranspose2d(device, cin, cout, k, stride=stride,
+                                   padding=pad, name=f"g.conv{i}")
+            bn = BatchNorm2d(device, cout, name=f"g.bn{i}")
+            setattr(self, f"conv{i}", conv)
+            setattr(self, f"bn{i}", bn)
+            self.net.append((conv, bn))
+        self.out_conv = ConvTranspose2d(device, feat, channels, 4, stride=2,
+                                        padding=1, name="g.out")
+        self.relu = ReLU()
+        self.tanh = Tanh()
+
+    def forward(self, tape: Tape, z: Tensor) -> Tensor:
+        x = z
+        for conv, bn in self.net:
+            x = self.relu(tape, bn(tape, conv(tape, x)))
+        return self.tanh(tape, self.out_conv(tape, x))
+
+
+class Discriminator(Module):
+    def __init__(self, device: Device, feat: int, channels: int = 3):
+        super().__init__()
+        self.stem = Conv2d(device, channels, feat, 4, stride=2, padding=1,
+                           bias=False, name="d.stem")
+        self.net: list[tuple[Module, Module]] = []
+        dims = [(feat, feat * 2), (feat * 2, feat * 4), (feat * 4, feat * 8)]
+        for i, (cin, cout) in enumerate(dims):
+            conv = Conv2d(device, cin, cout, 4, stride=2, padding=1,
+                          bias=False, name=f"d.conv{i}")
+            bn = BatchNorm2d(device, cout, name=f"d.bn{i}")
+            setattr(self, f"dconv{i}", conv)
+            setattr(self, f"dbn{i}", bn)
+            self.net.append((conv, bn))
+        self.out_conv = Conv2d(device, feat * 8, 1, 4, stride=1, padding=0,
+                               bias=False, name="d.out")
+        self.lrelu = LeakyReLU()
+        self.sigmoid = Sigmoid()
+
+    def forward(self, tape: Tape, x: Tensor) -> Tensor:
+        x = self.lrelu(tape, self.stem(tape, x))
+        for conv, bn in self.net:
+            x = self.lrelu(tape, bn(tape, conv(tape, x)))
+        return self.sigmoid(tape, self.out_conv(tape, x))
+
+
+class DCGAN(Module):
+    def __init__(self, device: Device, latent: int, feat: int):
+        super().__init__()
+        self.generator = Generator(device, latent, feat)
+        self.discriminator = Discriminator(device, feat)
+
+
+def build_dcgan(
+    device: Device,
+    batch_size: int,
+    *,
+    scale: float = 1.0,
+) -> Workload:
+    """Build the DCGAN adversarial-training workload (64x64 celebA shapes)."""
+    latent = scaled(100, max(scale, 0.25), minimum=16)
+    feat = scaled(64, scale, minimum=8, multiple=8)
+    model = DCGAN(device, latent, feat)
+    g, d = model.generator, model.discriminator
+    opt_g = Adam(device, g.parameters())
+    opt_d = Adam(device, d.parameters())
+
+    real = device.empty((batch_size, 3, 64, 64), float32, persistent=True,
+                        name="real_images")
+    ones = device.empty((batch_size, 1, 1, 1), float32, persistent=True, name="ones")
+    zeros_t = device.empty((batch_size, 1, 1, 1), float32, persistent=True,
+                           name="zeros")
+
+    def step(tape: Tape, iteration: int) -> Tensor:
+        z = device.empty((batch_size, latent, 1, 1), float32, name="z")
+        fake = g(tape, z)
+        d_fake = d(tape, fake)
+        d_real = d(tape, real)
+        loss_d = F.add(tape, F.bce_loss(tape, d_real, ones),
+                       F.bce_loss(tape, d_fake, zeros_t))
+        # Generator pass against flipped labels (kernel profile of the
+        # standard three-pass DCGAN loop; the loss graph shares the fake
+        # batch, so its activations stay live through both backward paths).
+        d_fake2 = d(tape, fake)
+        loss_g = F.bce_loss(tape, d_fake2, ones)
+        total = F.add(tape, loss_d, loss_g)
+        z.release()
+        return total
+
+    return Workload("dcgan", device, model, opt_d, step,
+                    extra_optimizers=[opt_g])

@@ -1,0 +1,151 @@
+"""GPT-2 (L / XL) causal language-model training on Wikitext-shaped batches.
+
+Published dimensions: GPT-2 L has 36 layers with d_model 1280 (20 heads);
+GPT-2 XL has 48 layers with d_model 1600 (25 heads); both use a 4x FFN,
+vocabulary ~50257 and context length 1024. The workload is fine-tuning
+with AdamW, matching the paper's Hugging Face setup.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..torchsim import functional as F
+from ..torchsim.autograd import Tape
+from ..torchsim.context import Device
+from ..torchsim.dtypes import int64
+from ..torchsim.layers import Dropout, Embedding, LayerNorm, Linear
+from ..torchsim.module import Module
+from ..torchsim.optim import AdamW
+from ..torchsim.tensor import Tensor
+from .base import Workload, scaled
+
+
+def reshape_copy(tape: Tape, x: Tensor, shape: tuple[int, ...], kind: str) -> Tensor:
+    """Materializing layout change (head split/merge/slice), as the real
+    attention data paths do; the output element count follows ``shape``."""
+    device = tape.device
+    out = device.empty(shape, x.dtype)
+    sig = (x.shape, shape, kind)
+    F._emit(device, kind, sig, [x], [out], out.numel)
+
+    def backward(grad_out: Tensor) -> Sequence[Tensor]:
+        g = device.empty(x.shape, x.dtype)
+        F._emit(device, f"{kind}_bwd", sig, [grad_out], [g], x.numel)
+        return [g]
+
+    tape.record(kind, (x,), out, backward)
+    return out
+
+
+class CausalSelfAttention(Module):
+    def __init__(self, device: Device, d_model: int, heads: int,
+                 dropout: float, name: str):
+        super().__init__()
+        self.heads = heads
+        self.d_model = d_model
+        self.qkv = Linear(device, d_model, 3 * d_model, name=f"{name}.qkv")
+        self.proj = Linear(device, d_model, d_model, name=f"{name}.proj")
+        self.drop = Dropout(dropout)
+
+    def forward(self, tape: Tape, x: Tensor) -> Tensor:
+        b, t, d = x.shape
+        h = self.heads
+        dk = d // h
+        qkv = self.qkv(tape, x)                                     # [b, t, 3d]
+        q = reshape_copy(tape, qkv, (b * h, t, dk), "split_q")
+        k = reshape_copy(tape, qkv, (b * h, dk, t), "split_k")
+        v = reshape_copy(tape, qkv, (b * h, t, dk), "split_v")
+        scores = F.matmul(tape, q, k, tag="qk")                     # [b*h, t, t]
+        scores = F.scale(tape, scores, 1.0 / (dk ** 0.5))
+        probs = F.softmax(tape, scores)
+        probs = self.drop(tape, probs)
+        ctx = F.matmul(tape, probs, v, tag="av")                    # [b*h, t, dk]
+        merged = reshape_copy(tape, ctx, (b, t, d), "head_merge")
+        return self.proj(tape, merged)
+
+
+class TransformerBlock(Module):
+    def __init__(self, device: Device, d_model: int, heads: int, ffn: int,
+                 dropout: float, name: str):
+        super().__init__()
+        self.ln1 = LayerNorm(device, d_model, name=f"{name}.ln1")
+        self.attn = CausalSelfAttention(device, d_model, heads, dropout, f"{name}.attn")
+        self.ln2 = LayerNorm(device, d_model, name=f"{name}.ln2")
+        self.fc1 = Linear(device, d_model, ffn, name=f"{name}.fc1")
+        self.fc2 = Linear(device, ffn, d_model, name=f"{name}.fc2")
+        self.drop = Dropout(dropout)
+
+    def forward(self, tape: Tape, x: Tensor) -> Tensor:
+        a = self.attn(tape, self.ln1(tape, x))
+        x = F.add(tape, x, a)
+        h = self.fc2(tape, F.gelu(tape, self.fc1(tape, self.ln2(tape, x))))
+        h = self.drop(tape, h)
+        return F.add(tape, x, h)
+
+
+class GPT2(Module):
+    def __init__(self, device: Device, *, layers: int, d_model: int, heads: int,
+                 vocab: int, seq_len: int, dropout: float = 0.1):
+        super().__init__()
+        self.seq_len = seq_len
+        self.vocab = vocab
+        self.tok_emb = Embedding(device, vocab, d_model, name="tok_emb")
+        self.pos_emb = Embedding(device, seq_len, d_model, name="pos_emb")
+        self.blocks = [
+            TransformerBlock(device, d_model, heads, 4 * d_model, dropout, f"h{i}")
+            for i in range(layers)
+        ]
+        for i, blk in enumerate(self.blocks):
+            setattr(self, f"h{i}", blk)
+        self.ln_f = LayerNorm(device, d_model, name="ln_f")
+        self.lm_head = Linear(device, d_model, vocab, bias=False, name="lm_head")
+
+    def forward(self, tape: Tape, tokens: Tensor, positions: Tensor) -> Tensor:
+        x = F.add(tape, self.tok_emb(tape, tokens), self.pos_emb(tape, positions))
+        for blk in self.blocks:
+            x = blk(tape, x)
+        x = self.ln_f(tape, x)
+        b, t, d = x.shape
+        flat = reshape_copy(tape, x, (b * t, d), "flatten_tokens")
+        return self.lm_head(tape, flat)
+
+
+def build_gpt2(
+    device: Device,
+    batch_size: int,
+    *,
+    variant: str = "xl",
+    scale: float = 1.0,
+    seq_len: int = 1024,
+) -> Workload:
+    """Build a GPT-2 fine-tuning workload.
+
+    ``scale`` shrinks width-like dimensions linearly (and depth more
+    gently) so the model's footprint shrinks roughly with ``scale**2``,
+    matching a system config whose memories shrink by the same factor.
+    """
+    if variant == "xl":
+        layers, d_model, heads = 48, 1600, 25
+    elif variant == "l":
+        layers, d_model, heads = 36, 1280, 20
+    else:
+        raise ValueError(f"unknown GPT-2 variant: {variant!r}")
+    d = scaled(d_model, scale, multiple=64)
+    heads = max(1, min(heads, d // 64))
+    n_layers = scaled(layers, min(1.0, 4 * scale), minimum=2)
+    vocab = scaled(50257, scale, minimum=512)
+    t_len = scaled(seq_len, min(1.0, 2 * scale), minimum=64, multiple=64)
+
+    model = GPT2(device, layers=n_layers, d_model=d, heads=heads, vocab=vocab,
+                 seq_len=t_len)
+    optimizer = AdamW(device, model.parameters())
+    tokens = device.empty((batch_size, t_len), int64, persistent=True, name="tokens")
+    positions = device.empty((batch_size, t_len), int64, persistent=True, name="pos")
+    targets = device.empty((batch_size * t_len,), int64, persistent=True, name="targets")
+
+    def step(tape: Tape, iteration: int) -> Tensor:
+        logits = model(tape, tokens, positions)
+        return F.cross_entropy(tape, logits, targets)
+
+    return Workload(f"gpt2-{variant}", device, model, optimizer, step)

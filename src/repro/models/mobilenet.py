@@ -1,0 +1,85 @@
+"""MobileNet (v1) training on CIFAR-100-shaped 32x32 images.
+
+Depthwise-separable convolutions per Howard et al.: a stem conv followed by
+13 depthwise+pointwise pairs. The CIFAR variant keeps stride-1 early stages
+as in the standard PyTorch-examples adaptation.
+"""
+
+from __future__ import annotations
+
+from ..torchsim import functional as F
+from ..torchsim.autograd import Tape
+from ..torchsim.context import Device
+from ..torchsim.dtypes import float32, int64
+from ..torchsim.layers import BatchNorm2d, Conv2d, Linear, ReLU
+from ..torchsim.module import Module
+from ..torchsim.optim import SGD
+from ..torchsim.tensor import Tensor
+from .base import Workload, scaled
+
+# (output channels, stride) of the 13 depthwise-separable pairs.
+MOBILENET_CFG = [
+    (64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+    (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2), (1024, 1),
+]
+
+
+class DepthwiseSeparable(Module):
+    def __init__(self, device: Device, cin: int, cout: int, stride: int, name: str):
+        super().__init__()
+        self.dw = Conv2d(device, cin, cin, 3, stride=stride, padding=1,
+                         groups=cin, bias=False, name=f"{name}.dw")
+        self.dw_bn = BatchNorm2d(device, cin, name=f"{name}.dwbn")
+        self.pw = Conv2d(device, cin, cout, 1, bias=False, name=f"{name}.pw")
+        self.pw_bn = BatchNorm2d(device, cout, name=f"{name}.pwbn")
+        self.relu = ReLU()
+
+    def forward(self, tape: Tape, x: Tensor) -> Tensor:
+        x = self.relu(tape, self.dw_bn(tape, self.dw(tape, x)))
+        return self.relu(tape, self.pw_bn(tape, self.pw(tape, x)))
+
+
+class MobileNetV1(Module):
+    def __init__(self, device: Device, *, width: int, num_classes: int):
+        super().__init__()
+        self.stem = Conv2d(device, 3, width // 2, 3, stride=1, padding=1,
+                           bias=False, name="stem")
+        self.stem_bn = BatchNorm2d(device, width // 2, name="stem_bn")
+        self.relu = ReLU()
+        self.blocks: list[DepthwiseSeparable] = []
+        cin = width // 2
+        for i, (cout_base, stride) in enumerate(MOBILENET_CFG):
+            cout = max(8, cout_base * width // 64)
+            blk = DepthwiseSeparable(device, cin, cout, stride, f"b{i}")
+            self.blocks.append(blk)
+            setattr(self, f"b{i}", blk)
+            cin = cout
+        self.fc = Linear(device, cin, num_classes, name="fc")
+
+    def forward(self, tape: Tape, x: Tensor) -> Tensor:
+        x = self.relu(tape, self.stem_bn(tape, self.stem(tape, x)))
+        for blk in self.blocks:
+            x = blk(tape, x)
+        x = F.global_avg_pool2d(tape, x)
+        return self.fc(tape, x)
+
+
+def build_mobilenet(
+    device: Device,
+    batch_size: int,
+    *,
+    scale: float = 1.0,
+) -> Workload:
+    """Build the MobileNet/CIFAR-100 training workload."""
+    width = scaled(64, scale, minimum=8, multiple=8)
+    model = MobileNetV1(device, width=width, num_classes=100)
+    optimizer = SGD(device, model.parameters())
+    images = device.empty((batch_size, 3, 32, 32), float32, persistent=True,
+                          name="images")
+    labels = device.empty((batch_size,), int64, persistent=True, name="labels")
+
+    def step(tape: Tape, iteration: int) -> Tensor:
+        logits = model(tape, images)
+        return F.cross_entropy(tape, logits, labels)
+
+    return Workload("mobilenet", device, model, optimizer, step)

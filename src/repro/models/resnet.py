@@ -1,0 +1,127 @@
+"""ResNet-152 / ResNet-200 image-classification training.
+
+Bottleneck residual networks per He et al.: stage depths are (3, 8, 36, 3)
+for ResNet-152 and (3, 24, 36, 3) for ResNet-200, with base width 64 and
+bottleneck expansion 4. ImageNet inputs are 224x224 (CIFAR-10 inputs are
+32x32 with a lighter stem, used in the Fig. 13 comparison).
+"""
+
+from __future__ import annotations
+
+from ..torchsim import functional as F
+from ..torchsim.autograd import Tape
+from ..torchsim.context import Device
+from ..torchsim.dtypes import float32, int64
+from ..torchsim.layers import BatchNorm2d, Conv2d, Linear, MaxPool2d, ReLU
+from ..torchsim.module import Module
+from ..torchsim.optim import SGD
+from ..torchsim.tensor import Tensor
+from .base import Workload, scaled
+
+STAGE_DEPTHS = {
+    "resnet152": (3, 8, 36, 3),
+    "resnet200": (3, 24, 36, 3),
+}
+
+
+class Bottleneck(Module):
+    expansion = 4
+
+    def __init__(self, device: Device, in_ch: int, width: int, *,
+                 stride: int, name: str):
+        super().__init__()
+        out_ch = width * self.expansion
+        self.conv1 = Conv2d(device, in_ch, width, 1, bias=False, name=f"{name}.c1")
+        self.bn1 = BatchNorm2d(device, width, name=f"{name}.bn1")
+        self.conv2 = Conv2d(device, width, width, 3, stride=stride, padding=1,
+                            bias=False, name=f"{name}.c2")
+        self.bn2 = BatchNorm2d(device, width, name=f"{name}.bn2")
+        self.conv3 = Conv2d(device, width, out_ch, 1, bias=False, name=f"{name}.c3")
+        self.bn3 = BatchNorm2d(device, out_ch, name=f"{name}.bn3")
+        self.relu = ReLU()
+        self.downsample = None
+        if stride != 1 or in_ch != out_ch:
+            self.downsample = Conv2d(device, in_ch, out_ch, 1, stride=stride,
+                                     bias=False, name=f"{name}.down")
+            self.down_bn = BatchNorm2d(device, out_ch, name=f"{name}.dbn")
+
+    def forward(self, tape: Tape, x: Tensor) -> Tensor:
+        out = self.relu(tape, self.bn1(tape, self.conv1(tape, x)))
+        out = self.relu(tape, self.bn2(tape, self.conv2(tape, out)))
+        out = self.bn3(tape, self.conv3(tape, out))
+        shortcut = x
+        if self.downsample is not None:
+            shortcut = self.down_bn(tape, self.downsample(tape, x))
+        return self.relu(tape, F.add(tape, out, shortcut))
+
+
+class ResNet(Module):
+    def __init__(self, device: Device, *, depths: tuple[int, ...],
+                 base_width: int, num_classes: int, image_size: int,
+                 small_stem: bool):
+        super().__init__()
+        self.image_size = image_size
+        if small_stem:
+            self.stem = Conv2d(device, 3, base_width, 3, stride=1, padding=1,
+                               bias=False, name="stem")
+            self.pool = None
+        else:
+            self.stem = Conv2d(device, 3, base_width, 7, stride=2, padding=3,
+                               bias=False, name="stem")
+            self.pool = MaxPool2d(kernel=3, stride=2)
+        self.stem_bn = BatchNorm2d(device, base_width, name="stem_bn")
+        self.relu = ReLU()
+        self.blocks: list[Bottleneck] = []
+        in_ch = base_width
+        for stage, depth in enumerate(depths):
+            width = base_width * (2 ** stage)
+            for i in range(depth):
+                stride = 2 if (i == 0 and stage > 0) else 1
+                blk = Bottleneck(device, in_ch, width, stride=stride,
+                                 name=f"s{stage}b{i}")
+                self.blocks.append(blk)
+                setattr(self, f"s{stage}b{i}", blk)
+                in_ch = width * Bottleneck.expansion
+        self.fc = Linear(device, in_ch, num_classes, name="fc")
+
+    def forward(self, tape: Tape, x: Tensor) -> Tensor:
+        x = self.relu(tape, self.stem_bn(tape, self.stem(tape, x)))
+        if self.pool is not None:
+            x = self.pool(tape, x)
+        for blk in self.blocks:
+            x = blk(tape, x)
+        x = F.global_avg_pool2d(tape, x)
+        return self.fc(tape, x)
+
+
+def build_resnet(
+    device: Device,
+    batch_size: int,
+    *,
+    variant: str = "resnet152",
+    dataset: str = "imagenet",
+    scale: float = 1.0,
+) -> Workload:
+    """Build a ResNet training workload (ImageNet 224px or CIFAR-10 32px)."""
+    if variant not in STAGE_DEPTHS:
+        raise ValueError(f"unknown ResNet variant: {variant!r}")
+    depths = STAGE_DEPTHS[variant]
+    if scale < 1.0:
+        depths = tuple(max(1, round(d * max(4 * scale, 0.25))) for d in depths)
+    small = dataset != "imagenet"
+    image = 32 if small else scaled(224, min(1.0, 2 * scale), minimum=32, multiple=16)
+    base_width = scaled(64, scale, minimum=8, multiple=8)
+    classes = 10 if small else scaled(1000, max(scale, 0.1), minimum=10)
+
+    model = ResNet(device, depths=depths, base_width=base_width,
+                   num_classes=classes, image_size=image, small_stem=small)
+    optimizer = SGD(device, model.parameters())
+    images = device.empty((batch_size, 3, image, image), float32,
+                          persistent=True, name="images")
+    labels = device.empty((batch_size,), int64, persistent=True, name="labels")
+
+    def step(tape: Tape, iteration: int) -> Tensor:
+        logits = model(tape, images)
+        return F.cross_entropy(tape, logits, labels)
+
+    return Workload(variant, device, model, optimizer, step)

@@ -1,0 +1,45 @@
+"""Discrete-event substrate: unified memory, GPU residency, PCIe, faults.
+
+This package stands in for the hardware/driver stack the paper runs on: the
+GPU page-migration engine, the NVIDIA fault-handling pipeline of Fig. 3, the
+PCIe link, and a whole-system energy meter.
+"""
+
+from .address import (
+    block_index,
+    block_range,
+    blocks_spanned,
+    page_index,
+    pages_spanned,
+)
+from .um_space import UMBlock, UnifiedMemorySpace, BlockLocation
+from .gpu import GPUMemory
+from .interconnect import PCIeLink
+from .fault import FaultAccessType, FaultBuffer, FaultEntry, group_faults
+from .fault_handler import DriverFaultHandler, EvictionPolicy, LRUMigratedPolicy
+from .energy import EnergyMeter
+from .engine import DriverHooks, KernelExecution, UMSimulator
+
+__all__ = [
+    "block_index",
+    "block_range",
+    "blocks_spanned",
+    "page_index",
+    "pages_spanned",
+    "UMBlock",
+    "UnifiedMemorySpace",
+    "BlockLocation",
+    "GPUMemory",
+    "PCIeLink",
+    "FaultAccessType",
+    "FaultBuffer",
+    "FaultEntry",
+    "group_faults",
+    "DriverFaultHandler",
+    "EvictionPolicy",
+    "LRUMigratedPolicy",
+    "EnergyMeter",
+    "DriverHooks",
+    "KernelExecution",
+    "UMSimulator",
+]

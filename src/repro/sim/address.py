@@ -1,0 +1,52 @@
+"""Address arithmetic for pages and UM blocks.
+
+Addresses are plain integers into a single unified virtual address space.
+A *page* is 4 KB; a *UM block* is the NVIDIA driver's management unit of up
+to 512 contiguous pages (2 MB), and DeepUM manages migration and prefetching
+at this block granularity (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from ..constants import PAGE_SIZE, UM_BLOCK_SIZE
+
+
+def page_index(addr: int) -> int:
+    """Return the page number containing byte address ``addr``."""
+    return addr // PAGE_SIZE
+
+
+def block_index(addr: int) -> int:
+    """Return the UM block number containing byte address ``addr``."""
+    return addr // UM_BLOCK_SIZE
+
+
+def block_range(block: int) -> tuple[int, int]:
+    """Return the ``[start, end)`` byte range of UM block ``block``."""
+    start = block * UM_BLOCK_SIZE
+    return start, start + UM_BLOCK_SIZE
+
+
+def pages_spanned(addr: int, nbytes: int) -> range:
+    """Pages overlapped by the byte range ``[addr, addr + nbytes)``."""
+    if nbytes <= 0:
+        return range(0)
+    first = addr // PAGE_SIZE
+    last = (addr + nbytes - 1) // PAGE_SIZE
+    return range(first, last + 1)
+
+
+def blocks_spanned(addr: int, nbytes: int) -> range:
+    """UM blocks overlapped by the byte range ``[addr, addr + nbytes)``."""
+    if nbytes <= 0:
+        return range(0)
+    first = addr // UM_BLOCK_SIZE
+    last = (addr + nbytes - 1) // UM_BLOCK_SIZE
+    return range(first, last + 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (a positive int)."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return -(-value // alignment) * alignment

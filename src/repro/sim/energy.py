@@ -1,0 +1,46 @@
+"""Whole-system energy accounting (the paper's Hioki power-meter stand-in).
+
+Energy is integrated analytically from the simulated timeline:
+idle power runs for the full wall-clock, the GPU adds power while computing,
+and the PCIe/memory path adds power while transferring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import PowerSpec
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates busy time per component and integrates to joules."""
+
+    power: PowerSpec
+    gpu_busy_time: float = 0.0
+    link_busy_time: float = 0.0
+
+    def add_gpu_busy(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("busy time cannot be negative")
+        self.gpu_busy_time += seconds
+
+    def add_link_busy(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("busy time cannot be negative")
+        self.link_busy_time += seconds
+
+    def energy_joules(self, elapsed: float) -> float:
+        """Total system energy for a run of ``elapsed`` wall-clock seconds."""
+        if elapsed < 0:
+            raise ValueError("elapsed time cannot be negative")
+        return (
+            self.power.idle_watts * elapsed
+            + self.power.gpu_active_watts * self.gpu_busy_time
+            + self.power.link_active_watts * self.link_busy_time
+        )
+
+    def average_watts(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return self.energy_joules(elapsed) / elapsed

@@ -1,0 +1,259 @@
+"""The unified-memory execution engine.
+
+``UMSimulator`` advances two resource timelines — the GPU compute stream and
+the PCIe link — while walking each kernel's UM-block access sequence.
+Compute time is spread uniformly over the accesses; before every access the
+engine lets background work (the DeepUM migration thread draining the
+prefetch queue, and the pre-evictor) use the link while it is idle. A
+non-resident access raises a demand fault handled on the critical path by
+:class:`~repro.sim.fault_handler.DriverFaultHandler`; an access to a block
+whose prefetch is still in flight only pays the residual wait.
+
+This realizes the paper's central performance mechanics:
+
+* prefetched blocks hide their migration under compute,
+* the fault queue outranks the prefetch queue (a demand fault's transfer is
+  scheduled as soon as the link frees, ahead of queued prefetches),
+* pre-eviction keeps headroom so faults skip the eviction step,
+* invalidated victims generate no write-back traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Sequence
+
+from ..config import SystemConfig
+from .energy import EnergyMeter
+from .fault_handler import DriverFaultHandler, FaultHandlerStats
+from .gpu import GPUMemory
+from .interconnect import PCIeLink
+from .um_space import BlockLocation, UMBlock, UnifiedMemorySpace
+
+
+class DriverHooks(Protocol):
+    """Integration points the DeepUM driver (or a baseline) implements."""
+
+    def on_kernel_launch(self, payload: object, now: float) -> None:
+        """Runtime callback delivered just before a kernel launch (ioctl)."""
+        ...
+
+    def on_fault(self, block: UMBlock, now: float) -> None:
+        """Fault-handling thread passing a faulted block to the others."""
+        ...
+
+    def pop_prefetch(self) -> Optional[int]:
+        """Next UM block index from the prefetch queue, or None if empty."""
+        ...
+
+    def push_back_prefetch(self, block_index: int) -> None:
+        """Return an unprocessed command to the front of the queue."""
+        ...
+
+    def background_tick(self, now: float) -> bool:
+        """Idle-time work (pre-eviction); returns True if progress was made."""
+        ...
+
+    def on_kernel_end(self, now: float) -> None:
+        """Kernel completion signal (resumes paused chaining)."""
+        ...
+
+
+class NullHooks:
+    """No driver assistance: plain NVIDIA UM behaviour (the UM baseline)."""
+
+    def on_kernel_launch(self, payload: object, now: float) -> None:
+        return None
+
+    def on_fault(self, block: UMBlock, now: float) -> None:
+        return None
+
+    def pop_prefetch(self) -> Optional[int]:
+        return None
+
+    def push_back_prefetch(self, block_index: int) -> None:
+        return None
+
+    def background_tick(self, now: float) -> bool:
+        return False
+
+    def on_kernel_end(self, now: float) -> None:
+        return None
+
+
+@dataclass(frozen=True)
+class BlockAccess:
+    """One kernel touching ``pages`` populated pages of a UM block."""
+
+    block: UMBlock
+    pages: int
+
+
+@dataclass(frozen=True)
+class KernelExecution:
+    """Everything the engine needs to simulate one kernel."""
+
+    payload: object
+    accesses: Sequence[BlockAccess]
+    compute_time: float
+
+
+@dataclass
+class EngineMetrics:
+    kernels: int = 0
+    compute_time: float = 0.0
+    fault_wait_time: float = 0.0
+    inflight_wait_time: float = 0.0
+    prefetched_blocks: int = 0
+    prefetch_declined: int = 0
+    resident_hits: int = 0
+
+
+class UMSimulator:
+    """Simulates a stream of kernels over unified memory.
+
+    Parameters
+    ----------
+    system:
+        Machine description (GPU, link, fault costs, power).
+    hooks:
+        Driver integration (DeepUM or a baseline); defaults to naive UM.
+    """
+
+    def __init__(self, system: SystemConfig, hooks: DriverHooks | None = None,
+                 *, block_size: int | None = None):
+        self.system = system
+        from ..constants import UM_BLOCK_SIZE
+
+        self.um = UnifiedMemorySpace(
+            block_size=block_size if block_size else UM_BLOCK_SIZE
+        )
+        self.gpu = GPUMemory(capacity_bytes=system.gpu.memory_bytes)
+        self.link = PCIeLink(
+            bandwidth=system.link.bandwidth,
+            latency=system.link.latency,
+            page_overhead=system.link.page_overhead,
+        )
+        self.handler = DriverFaultHandler(
+            um=self.um, gpu=self.gpu, link=self.link, costs=system.fault
+        )
+        self.energy = EnergyMeter(power=system.power)
+        self.hooks: DriverHooks = hooks if hooks is not None else NullHooks()
+        self.now = 0.0
+        self.metrics = EngineMetrics()
+        # Completion instant of in-flight (prefetch) migrations per block.
+        self._available_at: dict[int, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # kernel execution
+    # ------------------------------------------------------------------ #
+
+    def execute_kernel(self, kernel: KernelExecution) -> float:
+        """Run one kernel; returns its completion time."""
+        t = self.now + self.system.gpu.kernel_launch_overhead
+        self.hooks.on_kernel_launch(kernel.payload, t)
+        accesses = kernel.accesses
+        n = len(accesses)
+        per_access = kernel.compute_time / n if n else 0.0
+        if n == 0:
+            self._drain_background(t + kernel.compute_time)
+            t += kernel.compute_time
+        for acc in accesses:
+            self._drain_background(t)
+            t = self._perform_access(acc, t)
+            t += per_access
+        self.metrics.kernels += 1
+        self.metrics.compute_time += kernel.compute_time
+        self.energy.add_gpu_busy(kernel.compute_time)
+        self.now = t
+        self.hooks.on_kernel_end(t)
+        return t
+
+    def _perform_access(self, acc: BlockAccess, t: float) -> float:
+        """Resolve residency for one block access; returns the new GPU time."""
+        blk = acc.block
+        if self.gpu.is_resident(blk):
+            ready = self._available_at.get(blk.index, 0.0)
+            if ready > t:
+                # Prefetch still in flight: the access faults but the driver
+                # finds the migration already running and only waits.
+                self.metrics.inflight_wait_time += ready - t
+                return ready
+            self.metrics.resident_hits += 1
+            return t
+        start = t
+        t = self.handler.resolve_block_fault(blk, t, page_faults=acc.pages)
+        self.metrics.fault_wait_time += t - start
+        self._available_at[blk.index] = t
+        self.hooks.on_fault(blk, t)
+        return t
+
+    # ------------------------------------------------------------------ #
+    # background work (migration thread + pre-evictor)
+    # ------------------------------------------------------------------ #
+
+    def _drain_background(self, until: float) -> None:
+        """Run the migration thread up to instant ``until``.
+
+        Prefetch commands that need the link are processed while the link
+        is idle before ``until``; commands that need no transfer (already
+        resident, or unpopulated blocks that admit for free) are processed
+        regardless of link state — the migration thread maps them without
+        touching PCIe. When the queue is empty, the pre-evictor gets idle
+        ticks.
+        """
+        while True:
+            link_idle = self.link.free_at < until
+            idx = self.hooks.pop_prefetch()
+            if idx is not None:
+                blk = self.um.block(idx)
+                if self.gpu.is_resident(blk):
+                    continue
+                needs_link = blk.location is BlockLocation.CPU
+                if needs_link and not link_idle:
+                    # Transfer required but the link is booked past the
+                    # horizon: put the command back and stop for now.
+                    self.hooks.push_back_prefetch(idx)
+                    break
+                earliest = max(self.link.free_at, 0.0)
+                end = self.handler.prefetch_block(blk, earliest)
+                if end is None:
+                    # Device full: prefer the pre-evictor's headroom-making
+                    # tick; without one, evict on the migration path (as the
+                    # UVM prefetch path does) — off the fault critical path
+                    # either way.
+                    if not self.hooks.background_tick(self.link.free_at):
+                        self.handler.make_room(
+                            blk.populated_bytes, self.link.free_at
+                        )
+                    end = self.handler.prefetch_block(
+                        blk, max(self.link.free_at, earliest)
+                    )
+                    if end is None:
+                        self.metrics.prefetch_declined += 1
+                        continue
+                self._available_at[blk.index] = end
+                self.metrics.prefetched_blocks += 1
+                continue
+            if not link_idle:
+                break
+            if not self.hooks.background_tick(self.link.free_at):
+                break
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stats(self) -> FaultHandlerStats:
+        return self.handler.stats
+
+    def finish(self) -> None:
+        """Synchronize accounting at the end of a run."""
+        self.energy.link_busy_time = self.link.busy_time
+        if self.link.free_at > self.now:
+            self.now = self.link.free_at
+
+    def energy_joules(self) -> float:
+        self.finish()
+        return self.energy.energy_joules(self.now)

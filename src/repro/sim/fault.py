@@ -1,0 +1,93 @@
+"""The GPU hardware fault buffer and fault preprocessing.
+
+Mirrors Section 2.3: the GPU accumulates faulted accesses (possibly several
+entries for the same page) in a circular buffer; the driver fetches entries,
+deduplicates page addresses, and groups them by UM block before handling.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+from .address import block_index, page_index
+
+
+class FaultAccessType(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class FaultEntry:
+    """One faulted access recorded by the GPU hardware."""
+
+    page: int
+    access: FaultAccessType
+    timestamp: float
+
+
+@dataclass
+class FaultBuffer:
+    """Circular hardware queue of faulted accesses.
+
+    ``capacity`` models the hardware depth; when the buffer is full the GPU
+    would stall fault generation, which we surface with ``dropped`` so tests
+    can assert the engine drains in time.
+    """
+
+    capacity: int = 4096
+
+    def __post_init__(self) -> None:
+        self._entries: deque[FaultEntry] = deque()
+        self.total_recorded = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(self, addr: int, access: FaultAccessType, timestamp: float) -> None:
+        """Record a faulted byte access (hardware side)."""
+        if len(self._entries) >= self.capacity:
+            self.dropped += 1
+            return
+        self._entries.append(FaultEntry(page_index(addr), access, timestamp))
+        self.total_recorded += 1
+
+    def record_page(self, page: int, access: FaultAccessType, timestamp: float) -> None:
+        if len(self._entries) >= self.capacity:
+            self.dropped += 1
+            return
+        self._entries.append(FaultEntry(page, access, timestamp))
+        self.total_recorded += 1
+
+    def drain(self) -> list[FaultEntry]:
+        """Fetch and clear all pending entries (driver step 1 of Fig. 3)."""
+        entries = list(self._entries)
+        self._entries.clear()
+        return entries
+
+
+def group_faults(entries: list[FaultEntry]) -> dict[int, list[FaultEntry]]:
+    """Driver preprocessing (step 2 of Fig. 3).
+
+    Deduplicates page addresses (keeping the strongest access type: a write
+    fault dominates a read fault for the same page) and groups the surviving
+    entries by UM block index, preserving first-fault order within a block.
+    """
+    strongest: dict[int, FaultEntry] = {}
+    order: list[int] = []
+    for entry in entries:
+        prev = strongest.get(entry.page)
+        if prev is None:
+            strongest[entry.page] = entry
+            order.append(entry.page)
+        elif prev.access is FaultAccessType.READ and entry.access is FaultAccessType.WRITE:
+            strongest[entry.page] = FaultEntry(entry.page, entry.access, prev.timestamp)
+    grouped: dict[int, list[FaultEntry]] = {}
+    for page in order:
+        entry = strongest[page]
+        blk = block_index(page * 4096)
+        grouped.setdefault(blk, []).append(entry)
+    return grouped

@@ -1,0 +1,179 @@
+"""The driver-side fault-handling pipeline (Fig. 3) and eviction policies.
+
+The handler resolves one batch of faulted UM blocks: check space, evict if
+needed (on the critical path, unless a pre-evictor kept headroom), populate,
+transfer, map, replay. DeepUM plugs into this via :class:`EvictionPolicy`
+(victim filtering) and block invalidation (skipping write-back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol
+
+from ..config import FaultCosts
+from .gpu import GPUMemory
+from .interconnect import PCIeLink
+from .um_space import BlockLocation, UMBlock, UnifiedMemorySpace
+
+
+class EvictionPolicy(Protocol):
+    """Chooses victim blocks to make ``needed_bytes`` of room."""
+
+    def select_victims(
+        self, gpu: GPUMemory, needed_bytes: int, now: float
+    ) -> list[UMBlock]:
+        """Return victims whose combined populated bytes cover the need."""
+        ...
+
+
+class LRUMigratedPolicy:
+    """NVIDIA driver default: evict least-recently-migrated blocks first."""
+
+    def select_victims(
+        self, gpu: GPUMemory, needed_bytes: int, now: float
+    ) -> list[UMBlock]:
+        victims: list[UMBlock] = []
+        reclaimed = 0
+        for blk in gpu.migration_order():
+            if reclaimed >= needed_bytes:
+                break
+            victims.append(blk)
+            reclaimed += blk.populated_bytes
+        return victims
+
+
+@dataclass
+class FaultHandlerStats:
+    """Counters the evaluation section reports (Table 5 and Fig. 10)."""
+
+    fault_batches: int = 0
+    faulted_blocks: int = 0
+    first_touch_faults: int = 0
+    page_faults: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
+    invalidated_evictions: int = 0
+    invalidated_bytes: int = 0
+    migrated_in_blocks: int = 0
+    migrated_in_bytes: int = 0
+    fault_stall_time: float = 0.0
+
+
+@dataclass
+class DriverFaultHandler:
+    """Resolves faulted UM blocks against GPU memory over the PCIe link.
+
+    ``is_invalidated`` lets DeepUM declare a victim's contents dead (its PT
+    block is inactive) so the write-back transfer is skipped entirely.
+    """
+
+    um: UnifiedMemorySpace
+    gpu: GPUMemory
+    link: PCIeLink
+    costs: FaultCosts
+    eviction_policy: EvictionPolicy = field(default_factory=LRUMigratedPolicy)
+    is_invalidated: Callable[[UMBlock], bool] = staticmethod(lambda blk: blk.invalidated)
+    stats: FaultHandlerStats = field(default_factory=FaultHandlerStats)
+
+    def resolve_block_fault(self, block: UMBlock, now: float, page_faults: int) -> float:
+        """Handle a demand fault on ``block``; returns the completion time.
+
+        The whole sequence — handling overhead, any eviction transfers, the
+        inbound migration, and the replay signal — is on the faulting SM's
+        critical path (the paper's motivation for pre-eviction).
+        """
+        self.stats.fault_batches += 1
+        self.stats.faulted_blocks += 1
+        self.stats.page_faults += page_faults
+        t = now + self.costs.handling_overhead
+        t = self.make_room(block.populated_bytes, t)
+        if block.location is BlockLocation.CPU:
+            # Valid data on the host: migrate it over the link. Demand
+            # migration pays the per-page fault tax (fragmented copies).
+            _, t = self.link.occupy(
+                t, block.populated_bytes, to_gpu=True,
+                faulted_pages=block.populated_pages,
+            )
+            self.stats.migrated_in_blocks += 1
+            self.stats.migrated_in_bytes += block.populated_bytes
+        else:
+            # UNPOPULATED: pages materialize on the device, transfer-free.
+            self.stats.first_touch_faults += 1
+        self.gpu.admit(block, t)
+        t += self.costs.replay_overhead
+        self.stats.fault_stall_time += t - now
+        return t
+
+    def make_room(self, needed_bytes: int, now: float) -> float:
+        """Evict until ``needed_bytes`` fit; returns when the room exists."""
+        t = now
+        while self.gpu.free_bytes < needed_bytes:
+            victims = self.eviction_policy.select_victims(
+                self.gpu, needed_bytes - self.gpu.free_bytes, t
+            )
+            if not victims:
+                raise RuntimeError(
+                    "eviction policy returned no victims while "
+                    f"{needed_bytes - self.gpu.free_bytes} bytes are still needed"
+                )
+            t = self.evict(victims, t)
+        return t
+
+    def evict(self, victims: Iterable[UMBlock], now: float) -> float:
+        """Evict ``victims``; invalidated blocks are dropped without traffic."""
+        t = now
+        for blk in victims:
+            if not self.gpu.is_resident(blk):
+                continue
+            if self.is_invalidated(blk):
+                self.gpu.remove(blk, to_cpu=False)
+                self.stats.invalidated_evictions += 1
+                self.stats.invalidated_bytes += blk.populated_bytes
+                continue
+            _, t = self.link.occupy(t, blk.populated_bytes, to_gpu=False)
+            self.gpu.remove(blk, to_cpu=True)
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += blk.populated_bytes
+        return t
+
+    def handle_batch(self, buffer, now: float) -> float:
+        """Drain a hardware fault buffer and resolve it (Fig. 3 end to end).
+
+        Steps 1-2 (fetch + preprocess) happen via
+        :func:`~repro.sim.fault.group_faults`: duplicate page entries are
+        removed and the survivors grouped per UM block; steps 3-9 run
+        through :meth:`resolve_block_fault` per faulted block, in
+        first-fault order. Returns the completion time of the batch (when
+        the replay signal would be sent).
+        """
+        from .fault import group_faults
+
+        grouped = group_faults(buffer.drain())
+        t = now
+        for block_index, entries in grouped.items():
+            block = self.um.block(block_index)
+            if self.gpu.is_resident(block):
+                continue
+            t = self.resolve_block_fault(block, t, page_faults=len(entries))
+        return t
+
+    def prefetch_block(self, block: UMBlock, earliest: float) -> float | None:
+        """Migrate ``block`` in off the critical path; None if no room.
+
+        Used by the migration thread for prefetch-queue commands: it must
+        not trigger critical-path evictions, so it declines when the device
+        is full (the pre-evictor is responsible for keeping headroom).
+        """
+        if self.gpu.is_resident(block):
+            return earliest
+        if not self.gpu.has_room_for(block):
+            return None
+        if block.location is BlockLocation.CPU:
+            _, end = self.link.occupy(earliest, block.populated_bytes, to_gpu=True)
+            self.stats.migrated_in_blocks += 1
+            self.stats.migrated_in_bytes += block.populated_bytes
+        else:
+            end = earliest
+        self.gpu.admit(block, end)
+        return end

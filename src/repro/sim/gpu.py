@@ -1,0 +1,78 @@
+"""GPU physical memory: residency bookkeeping and migration-order LRU.
+
+The NVIDIA driver evicts pages that were *least recently migrated* to the
+GPU (it has no hardware access tracking for UM pages), so residency is an
+ordered map keyed by migration time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from .um_space import BlockLocation, UMBlock
+
+
+class GPUOutOfMemory(RuntimeError):
+    """Raised when a raw (non-UM) reservation exceeds device capacity."""
+
+
+@dataclass
+class GPUMemory:
+    """Tracks which UM blocks are resident and how many bytes they occupy.
+
+    ``resident`` preserves migration order (oldest migration first) to
+    implement the least-recently-migrated eviction policy.
+    """
+
+    capacity_bytes: int
+    used_bytes: int = 0
+    resident: "OrderedDict[int, UMBlock]" = field(default_factory=OrderedDict)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def is_resident(self, block: UMBlock) -> bool:
+        return block.index in self.resident
+
+    def has_room_for(self, block: UMBlock) -> bool:
+        return block.populated_bytes <= self.free_bytes
+
+    def admit(self, block: UMBlock, now: float) -> None:
+        """Mark ``block`` resident after a migration completing at ``now``."""
+        if block.index in self.resident:
+            return
+        if block.populated_bytes > self.free_bytes:
+            raise GPUOutOfMemory(
+                f"admitting block {block.index} needs {block.populated_bytes} B "
+                f"but only {self.free_bytes} B free"
+            )
+        self.resident[block.index] = block
+        self.used_bytes += block.populated_bytes
+        block.location = BlockLocation.GPU
+        block.last_migrated_at = now
+
+    def remove(self, block: UMBlock, *, to_cpu: bool = True) -> None:
+        """Drop ``block`` from the device.
+
+        ``to_cpu=False`` models invalidation: the backing pages stay
+        reserved, but no valid copy exists anywhere, so the next GPU touch
+        repopulates on-device with no transfer.
+        """
+        if self.resident.pop(block.index, None) is None:
+            return
+        self.used_bytes -= block.populated_bytes
+        block.location = BlockLocation.CPU if to_cpu else BlockLocation.UNPOPULATED
+        if not to_cpu:
+            block.dirty = False
+
+    def migration_order(self):
+        """Blocks in least-recently-migrated-first order."""
+        return iter(self.resident.values())
+
+    def oldest(self) -> UMBlock | None:
+        """The least recently migrated resident block, if any."""
+        for blk in self.resident.values():
+            return blk
+        return None

@@ -1,0 +1,64 @@
+"""The PCIe link between host memory and GPU memory.
+
+A single-owner resource: demand-fault migrations, prefetch transfers, and
+evictions all serialize on it. The engine decides scheduling priority
+(fault queue over prefetch queue); the link only accounts for occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PCIeLink:
+    """Latency + bandwidth occupancy model of one PCIe 3.0 x16 link.
+
+    Driver-batched transfers (prefetch, eviction) run at full effective
+    bandwidth. Demand-fault migrations additionally pay ``page_overhead``
+    per 4 KB page — fault-buffer processing, TLB locks, replay, and
+    fragmented copies — which caps faulted migration at a few GB/s, as
+    observed on real hardware.
+    """
+
+    bandwidth: float
+    latency: float
+    page_overhead: float = 0.0
+    free_at: float = 0.0
+    busy_time: float = 0.0
+    bytes_to_gpu: int = 0
+    bytes_to_cpu: int = 0
+    faulted_pages: int = 0
+
+    def transfer_time(self, nbytes: int, *, faulted_pages: int = 0) -> float:
+        """Wire time for ``nbytes`` (latency + serialization + fault tax)."""
+        if nbytes <= 0:
+            return 0.0
+        return (
+            self.latency
+            + nbytes / self.bandwidth
+            + faulted_pages * self.page_overhead
+        )
+
+    def occupy(
+        self, earliest: float, nbytes: int, *, to_gpu: bool, faulted_pages: int = 0
+    ) -> tuple[float, float]:
+        """Schedule a transfer at the earliest feasible instant.
+
+        Returns ``(start, end)`` and advances the link's busy horizon.
+        """
+        start = max(earliest, self.free_at)
+        duration = self.transfer_time(nbytes, faulted_pages=faulted_pages)
+        end = start + duration
+        self.free_at = end
+        self.busy_time += duration
+        self.faulted_pages += faulted_pages
+        if to_gpu:
+            self.bytes_to_gpu += nbytes
+        else:
+            self.bytes_to_cpu += nbytes
+        return start, end
+
+    def idle_until(self, t: float) -> bool:
+        """True if the link is free at instant ``t``."""
+        return self.free_at <= t

@@ -1,0 +1,53 @@
+"""torchsim: a miniature PyTorch-like framework that emits kernel traces.
+
+Layers build real tensor graphs with real allocation churn through a
+faithful caching allocator; forward/backward/optimizer steps emit
+:class:`KernelLaunch` records whose cost comes from an analytic roofline
+model. The launches are consumed by a pluggable memory manager (unified
+memory with DeepUM, naive UM, or a tensor-swapping baseline).
+"""
+
+from .dtypes import DType, float16, float32, int32, int64
+from .kernels import KernelCostModel, KernelLaunch, SparseAccess
+from .backend import MemoryBackend, RawGPUBackend, UMBackend, BackendOOM
+from .allocator import AllocatorStats, CachingAllocator, PTBlock, TorchSimOOM
+from .tensor import Tensor
+from .context import Device, MemoryManager, SimpleManager
+from .autograd import Tape
+from .module import Module, Parameter, Sequential
+from . import functional
+from . import layers
+from .optim import SGD, Adam, AdamW, Optimizer
+
+__all__ = [
+    "DType",
+    "float16",
+    "float32",
+    "int32",
+    "int64",
+    "KernelCostModel",
+    "KernelLaunch",
+    "SparseAccess",
+    "MemoryBackend",
+    "RawGPUBackend",
+    "UMBackend",
+    "BackendOOM",
+    "AllocatorStats",
+    "CachingAllocator",
+    "PTBlock",
+    "TorchSimOOM",
+    "Tensor",
+    "Device",
+    "MemoryManager",
+    "SimpleManager",
+    "Tape",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "functional",
+    "layers",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "Optimizer",
+]

@@ -1,0 +1,96 @@
+"""Memory backends under the caching allocator.
+
+The allocator requests whole *segments* from a backend. Two backends exist:
+
+* :class:`UMBackend` — cudaMallocManaged: segments live in the unified
+  address space, allocation is virtual and only bounded by the host backing
+  store (this is the DeepUM runtime's wrapper behaviour);
+* :class:`RawGPUBackend` — cudaMalloc: segments consume physical device
+  memory and fail beyond capacity (what LMS and the TF-based baselines use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..sim.um_space import UnifiedMemorySpace
+from ..sim.address import align_up
+from ..constants import UM_BLOCK_SIZE
+
+
+class BackendOOM(RuntimeError):
+    """The backend cannot provide a segment (cudaMalloc failure)."""
+
+
+class MemoryBackend(Protocol):
+    def alloc_segment(self, nbytes: int) -> int:
+        """Reserve ``nbytes``; returns base address. Raises BackendOOM."""
+        ...
+
+    def free_segment(self, addr: int) -> None:
+        ...
+
+
+@dataclass
+class UMBackend:
+    """Segments come from the unified address space.
+
+    Allocation succeeds as long as the *populated* footprint can still be
+    backed by host memory; enforcement of the host limit happens at
+    population time in the manager, mirroring real first-touch semantics, so
+    this backend itself only bounds against a hard virtual ceiling.
+    """
+
+    um: UnifiedMemorySpace
+    host_capacity: int
+    reserved_bytes: int = 0
+    _sizes: dict[int, int] = field(default_factory=dict)
+
+    def alloc_segment(self, nbytes: int) -> int:
+        alloc = self.um.allocate(nbytes, alignment=self.um.block_size)
+        self.reserved_bytes += alloc.nbytes
+        self._sizes[alloc.addr] = alloc.nbytes
+        return alloc.addr
+
+    def free_segment(self, addr: int) -> None:
+        self.um.free(addr)
+        self.reserved_bytes -= self._sizes.pop(addr)
+
+
+@dataclass
+class RawGPUBackend:
+    """Segments consume physical GPU memory; hard capacity limit."""
+
+    capacity: int
+    used: int = 0
+    _next_addr: int = UM_BLOCK_SIZE
+    _sizes: dict[int, int] = field(default_factory=dict)
+    _free_ranges: list[tuple[int, int]] = field(default_factory=list)
+
+    def alloc_segment(self, nbytes: int) -> int:
+        size = align_up(nbytes, 512)
+        if self.used + size > self.capacity:
+            raise BackendOOM(
+                f"cudaMalloc of {size} B failed: {self.capacity - self.used} B free"
+            )
+        for i, (addr, sz) in enumerate(self._free_ranges):
+            if sz == size:
+                self._free_ranges.pop(i)
+                self.used += size
+                self._sizes[addr] = size
+                return addr
+        addr = self._next_addr
+        self._next_addr += size
+        self.used += size
+        self._sizes[addr] = size
+        return addr
+
+    def free_segment(self, addr: int) -> None:
+        size = self._sizes.pop(addr)
+        self.used -= size
+        self._free_ranges.append((addr, size))
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used

@@ -1,0 +1,22 @@
+"""Element types for simulated tensors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DType:
+    name: str
+    itemsize: int
+
+    def __repr__(self) -> str:
+        return f"torchsim.{self.name}"
+
+
+float16 = DType("float16", 2)
+float32 = DType("float32", 4)
+float64 = DType("float64", 8)
+int32 = DType("int32", 4)
+int64 = DType("int64", 8)
+uint8 = DType("uint8", 1)

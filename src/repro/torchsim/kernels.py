@@ -1,0 +1,96 @@
+"""Kernel launch records and the analytic cost model.
+
+A :class:`KernelLaunch` is what a CUDA kernel (or cuDNN/cuBLAS call) looks
+like to the memory system: a name, an argument signature (used by the DeepUM
+runtime to derive the execution ID), the operand tensors it reads/writes,
+and a FLOP count. The cost model turns FLOPs and bytes into compute time via
+a two-term roofline (compute-bound vs HBM-bound).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..config import GPUSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .tensor import Tensor
+
+_launch_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class SparseAccess:
+    """Irregular, input-dependent access to one operand (DLRM embeddings).
+
+    ``coverage`` is the expected fraction of the operand's UM blocks touched
+    in one launch; the touched subset and its order are drawn fresh from the
+    device RNG every launch, which is what defeats correlation prefetching.
+    """
+
+    tensor_index: int
+    coverage: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.coverage <= 1.0:
+            raise ValueError(f"coverage must be in (0, 1], got {self.coverage}")
+
+
+@dataclass
+class KernelLaunch:
+    """One kernel launch as seen by the runtime and memory system."""
+
+    name: str
+    arg_signature: tuple
+    reads: Sequence["Tensor"]
+    writes: Sequence["Tensor"]
+    flops: float
+    sparse: Optional[SparseAccess] = None
+    seq: int = field(default_factory=lambda: next(_launch_counter))
+
+    @property
+    def exec_signature(self) -> tuple:
+        """What the DeepUM runtime hashes to assign an execution ID."""
+        return (self.name, self.arg_signature)
+
+    @property
+    def operands(self) -> list["Tensor"]:
+        """Reads followed by writes, deduplicated, preserving order."""
+        seen: set[int] = set()
+        out = []
+        for t in itertools.chain(self.reads, self.writes):
+            if id(t) not in seen:
+                seen.add(id(t))
+                out.append(t)
+        return out
+
+    @property
+    def bytes_accessed(self) -> int:
+        total = 0
+        for i, t in enumerate(self.operands):
+            nbytes = t.nbytes
+            if self.sparse is not None and i == self.sparse.tensor_index:
+                nbytes = int(nbytes * self.sparse.coverage)
+            total += nbytes
+        return total
+
+    def __repr__(self) -> str:
+        return f"KernelLaunch({self.name}, seq={self.seq}, flops={self.flops:.3g})"
+
+
+@dataclass
+class KernelCostModel:
+    """Roofline: time = max(flops / sustained FLOPs, bytes / HBM bandwidth).
+
+    Launch overhead is charged by the engine, not here, because it overlaps
+    differently with migrations.
+    """
+
+    gpu: GPUSpec
+
+    def compute_time(self, launch: KernelLaunch) -> float:
+        flop_time = launch.flops / self.gpu.sustained_flops
+        mem_time = launch.bytes_accessed / self.gpu.hbm_bandwidth
+        return max(flop_time, mem_time)

@@ -1,0 +1,165 @@
+"""Neural-network layers built on the functional ops."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from . import functional as F
+from .dtypes import float32, int64
+from .module import Module, Parameter
+from .tensor import Tensor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .autograd import Tape
+    from .context import Device
+
+
+class Linear(Module):
+    def __init__(self, device: "Device", in_features: int, out_features: int,
+                 *, bias: bool = True, name: str = "linear"):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(device, (out_features, in_features), name=f"{name}.weight")
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = Parameter(device, (out_features,), name=f"{name}.bias")
+
+    def forward(self, tape: "Tape", x: Tensor) -> Tensor:
+        return F.linear(tape, x, self.weight, self.bias)
+
+
+class Conv2d(Module):
+    def __init__(self, device: "Device", in_channels: int, out_channels: int,
+                 kernel_size: int, *, stride: int = 1, padding: int = 0,
+                 groups: int = 1, bias: bool = True, name: str = "conv"):
+        super().__init__()
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        self.weight = Parameter(
+            device,
+            (out_channels, in_channels // groups, kernel_size, kernel_size),
+            name=f"{name}.weight",
+        )
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = Parameter(device, (out_channels,), name=f"{name}.bias")
+
+    def forward(self, tape: "Tape", x: Tensor) -> Tensor:
+        return F.conv2d(tape, x, self.weight, self.bias,
+                        stride=self.stride, padding=self.padding, groups=self.groups)
+
+
+class ConvTranspose2d(Module):
+    def __init__(self, device: "Device", in_channels: int, out_channels: int,
+                 kernel_size: int, *, stride: int = 1, padding: int = 0,
+                 bias: bool = False, name: str = "convT"):
+        super().__init__()
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            device, (in_channels, out_channels, kernel_size, kernel_size),
+            name=f"{name}.weight",
+        )
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = Parameter(device, (out_channels,), name=f"{name}.bias")
+
+    def forward(self, tape: "Tape", x: Tensor) -> Tensor:
+        return F.conv_transpose2d(tape, x, self.weight, self.bias,
+                                  stride=self.stride, padding=self.padding)
+
+
+class BatchNorm2d(Module):
+    def __init__(self, device: "Device", channels: int, *, name: str = "bn"):
+        super().__init__()
+        self.gamma = Parameter(device, (channels,), name=f"{name}.gamma")
+        self.beta = Parameter(device, (channels,), name=f"{name}.beta")
+
+    def forward(self, tape: "Tape", x: Tensor) -> Tensor:
+        return F.batch_norm2d(tape, x, self.gamma, self.beta)
+
+
+class LayerNorm(Module):
+    def __init__(self, device: "Device", dim: int, *, name: str = "ln"):
+        super().__init__()
+        self.gamma = Parameter(device, (dim,), name=f"{name}.gamma")
+        self.beta = Parameter(device, (dim,), name=f"{name}.beta")
+
+    def forward(self, tape: "Tape", x: Tensor) -> Tensor:
+        return F.layer_norm(tape, x, self.gamma, self.beta)
+
+
+class ReLU(Module):
+    def forward(self, tape: "Tape", x: Tensor) -> Tensor:
+        return F.relu(tape, x)
+
+
+class GELU(Module):
+    def forward(self, tape: "Tape", x: Tensor) -> Tensor:
+        return F.gelu(tape, x)
+
+
+class Tanh(Module):
+    def forward(self, tape: "Tape", x: Tensor) -> Tensor:
+        return F.tanh(tape, x)
+
+
+class Sigmoid(Module):
+    def forward(self, tape: "Tape", x: Tensor) -> Tensor:
+        return F.sigmoid(tape, x)
+
+
+class LeakyReLU(Module):
+    def forward(self, tape: "Tape", x: Tensor) -> Tensor:
+        return F.leaky_relu(tape, x)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.1):
+        super().__init__()
+        self.p = p
+
+    def forward(self, tape: "Tape", x: Tensor) -> Tensor:
+        return F.dropout(tape, x, self.p)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel: int, stride: int):
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, tape: "Tape", x: Tensor) -> Tensor:
+        return F.max_pool2d(tape, x, kernel=self.kernel, stride=self.stride)
+
+
+class Embedding(Module):
+    """Dense-gradient embedding (token / position tables)."""
+
+    def __init__(self, device: "Device", vocab: int, dim: int, *, name: str = "emb"):
+        super().__init__()
+        self.table = Parameter(device, (vocab, dim), name=f"{name}.table")
+
+    def forward(self, tape: "Tape", indices: Tensor) -> Tensor:
+        return F.embedding(tape, self.table, indices)
+
+
+class EmbeddingBag(Module):
+    """DLRM-style sparse embedding with irregular, input-dependent access.
+
+    The table's gradient is applied in place by a fused sparse scatter, so
+    the parameter is flagged ``sparse_grad`` and skipped by dense optimizers
+    (matching how DLRM trains its embeddings with sparse updates).
+    """
+
+    def __init__(self, device: "Device", vocab: int, dim: int, *,
+                 coverage: float, name: str = "embbag"):
+        super().__init__()
+        self.table = Parameter(device, (vocab, dim), name=f"{name}.table",
+                               sparse_grad=True)
+        self.coverage = coverage
+
+    def forward(self, tape: "Tape", indices: Tensor) -> Tensor:
+        return F.embedding_bag(tape, self.table, indices, coverage=self.coverage)

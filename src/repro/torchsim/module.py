@@ -1,0 +1,98 @@
+"""Module system: parameter containers mirroring ``torch.nn``."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from .dtypes import DType, float32
+from .tensor import Tensor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .autograd import Tape
+    from .context import Device
+
+
+class Parameter(Tensor):
+    """A persistent, gradient-requiring tensor."""
+
+    def __init__(self, device: "Device", shape: tuple[int, ...],
+                 dtype: DType = float32, *, name: str = "", sparse_grad: bool = False):
+        base = device.empty(shape, dtype, persistent=True, name=name, requires_grad=True)
+        super().__init__(
+            base.shape, base.dtype, base.storage,
+            persistent=True, name=name, requires_grad=True,
+        )
+        self.sparse_grad = sparse_grad
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` attributes in
+    ``__init__`` and implement ``forward(tape, *inputs)``.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def forward(self, tape: "Tape", *inputs: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, tape: "Tape", *inputs: Tensor) -> Tensor:
+        return self.forward(tape, *inputs)
+
+    # ------------------------------------------------------------------ #
+
+    def parameters(self) -> Iterator[Parameter]:
+        seen: set[int] = set()
+        for _, p in self.named_parameters():
+            if id(p) not in seen:
+                seen.add(id(p))
+                yield p
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, p in self._parameters.items():
+            yield f"{prefix}{name}", p
+        for name, mod in self._modules.items():
+            yield from mod.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for mod in self._modules.values():
+            yield from mod.modules()
+
+    def num_parameters(self) -> int:
+        return sum(p.numel for p in self.parameters())
+
+    def parameter_bytes(self) -> int:
+        return sum(p.nbytes for p in self.parameters())
+
+
+class Sequential(Module):
+    """Chains modules whose forward takes a single input tensor."""
+
+    def __init__(self, *mods: Module):
+        super().__init__()
+        self._seq: list[Module] = []
+        for i, mod in enumerate(mods):
+            setattr(self, f"m{i}", mod)
+            self._seq.append(mod)
+
+    def forward(self, tape: "Tape", x: Tensor) -> Tensor:
+        for mod in self._seq:
+            x = mod(tape, x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._seq)
+
+    def __iter__(self):
+        return iter(self._seq)

@@ -1,0 +1,118 @@
+"""Optimizers: one update kernel per parameter tensor, like real PyTorch.
+
+Optimizer state (momentum / Adam moments) is persistent memory — a large
+share of a training job's footprint, and a key reason the paper's models
+oversubscribe the GPU.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from .kernels import KernelLaunch
+from .module import Parameter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import Device
+    from .tensor import Tensor
+
+
+class Optimizer:
+    """Base: holds parameters, allocates per-parameter state lazily."""
+
+    state_slots = 0
+    kernel_name = "optimizer_step"
+    flops_per_elem = 2.0
+
+    def __init__(self, device: "Device", params: Iterable[Parameter]):
+        self.device = device
+        self.params: list[Parameter] = [
+            p for p in params if not getattr(p, "sparse_grad", False)
+        ]
+        self._state: dict[int, list["Tensor"]] = {}
+
+    def _state_of(self, p: Parameter) -> list["Tensor"]:
+        slots = self._state.get(id(p))
+        if slots is None:
+            slots = [
+                self.device.empty(p.shape, p.dtype, persistent=True,
+                                  name=f"{p.name}.opt{i}")
+                for i in range(self.state_slots)
+            ]
+            self._state[id(p)] = slots
+        return slots
+
+    def step(self) -> None:
+        """Apply one update kernel per parameter that has a gradient."""
+        for p in self.params:
+            if p.grad is None:
+                continue
+            state = self._state_of(p)
+            self.device.submit(
+                KernelLaunch(
+                    name=self.kernel_name,
+                    arg_signature=(p.shape, p.uid),
+                    reads=[p, p.grad] + state,
+                    writes=[p] + state,
+                    flops=self.flops_per_elem * p.numel,
+                )
+            )
+
+    def zero_grad(self) -> None:
+        """Zero gradients in place (one fill kernel per grad, like PyTorch)."""
+        for p in self.params:
+            if p.grad is None:
+                continue
+            self.device.submit(
+                KernelLaunch(
+                    name="zero_grad",
+                    arg_signature=(p.shape, p.uid),
+                    reads=[],
+                    writes=[p.grad],
+                    flops=float(p.numel),
+                )
+            )
+
+    def state_bytes(self) -> int:
+        return sum(sum(t.nbytes for t in slots) for slots in self._state.values())
+
+
+class SGD(Optimizer):
+    """SGD with momentum: one state slot per parameter."""
+
+    state_slots = 1
+    kernel_name = "sgd_step"
+    flops_per_elem = 4.0
+
+    def __init__(self, device: "Device", params: Iterable[Parameter],
+                 lr: float = 0.01, momentum: float = 0.9):
+        super().__init__(device, params)
+        self.lr = lr
+        self.momentum = momentum
+
+
+class Adam(Optimizer):
+    """Adam: two state slots (first and second moments)."""
+
+    state_slots = 2
+    kernel_name = "adam_step"
+    flops_per_elem = 10.0
+
+    def __init__(self, device: "Device", params: Iterable[Parameter],
+                 lr: float = 1e-4, betas: tuple[float, float] = (0.9, 0.999)):
+        super().__init__(device, params)
+        self.lr = lr
+        self.betas = betas
+
+
+class AdamW(Adam):
+    """AdamW: Adam with decoupled weight decay (same memory profile)."""
+
+    kernel_name = "adamw_step"
+    flops_per_elem = 12.0
+
+    def __init__(self, device: "Device", params: Iterable[Parameter],
+                 lr: float = 1e-4, betas: tuple[float, float] = (0.9, 0.999),
+                 weight_decay: float = 0.01):
+        super().__init__(device, params, lr=lr, betas=betas)
+        self.weight_decay = weight_decay

@@ -1,0 +1,165 @@
+"""Simulated tensors backed by caching-allocator PT blocks.
+
+A tensor owns (or shares, for views) a storage; storages are reference
+counted so that tape-driven releases free the PT block exactly once, when
+the last tensor referencing it goes away. No element data is held — the
+library simulates memory behaviour, not arithmetic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from .allocator import CachingAllocator, PTBlock
+from .dtypes import DType, float32
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import Device
+
+
+_storage_uid_counter = itertools.count(1)
+
+
+@dataclass
+class Storage:
+    """A contiguous byte range inside one PT block.
+
+    Tensor-swapping managers (LMS and friends) may temporarily detach the
+    PT block (``block = None``) while the data lives in a host copy; the
+    manager reattaches a freshly allocated block on swap-in. ``uid`` is a
+    never-reused identity for manager bookkeeping (``id()`` would be
+    recycled by the garbage collector).
+    """
+
+    block: Optional[PTBlock]
+    nbytes: int
+    allocator: CachingAllocator
+    refcount: int = 1
+    freed: bool = False
+    uid: int = field(default_factory=lambda: next(_storage_uid_counter))
+
+    @property
+    def addr(self) -> int:
+        if self.block is None:
+            raise RuntimeError("address of a swapped-out storage")
+        return self.block.addr
+
+    def retain(self) -> None:
+        if self.freed:
+            raise RuntimeError("retain after free")
+        self.refcount += 1
+
+    def release(self) -> None:
+        if self.freed:
+            raise RuntimeError("double release of storage")
+        self.refcount -= 1
+        if self.refcount == 0:
+            if self.block is not None:
+                self.allocator.free(self.block)
+                self.block = None
+            self.freed = True
+
+
+_tensor_uid_counter = itertools.count(1)
+
+
+class Tensor:
+    """A shaped view over a storage.
+
+    ``persistent`` marks model parameters / optimizer state / datasets:
+    tensors the tape must never free. ``uid`` is a stable identity used in
+    kernel argument signatures — the simulator's analog of the pointer
+    values the DeepUM runtime hashes (stable because parameters live for
+    the whole run, just as pooled allocations reuse addresses).
+    """
+
+    __slots__ = ("shape", "dtype", "storage", "persistent", "name", "grad",
+                 "requires_grad", "uid")
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        dtype: DType,
+        storage: Storage,
+        *,
+        persistent: bool = False,
+        name: str = "",
+        requires_grad: bool = False,
+    ):
+        self.shape = tuple(int(s) for s in shape)
+        self.uid = next(_tensor_uid_counter)
+        self.dtype = dtype
+        self.storage = storage
+        self.persistent = persistent
+        self.name = name
+        self.grad: Optional["Tensor"] = None
+        self.requires_grad = requires_grad
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def numel(self) -> int:
+        return math.prod(self.shape) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        return self.numel * self.dtype.itemsize
+
+    @property
+    def addr(self) -> int:
+        return self.storage.addr
+
+    @property
+    def alive(self) -> bool:
+        return not self.storage.freed
+
+    def view(self, *shape: int) -> "Tensor":
+        """Reshape sharing storage (no new memory, no kernel)."""
+        new_numel = math.prod(shape) if shape else 1
+        if new_numel != self.numel:
+            raise ValueError(f"view of {self.shape} as {shape}: element count differs")
+        self.storage.retain()
+        return Tensor(
+            tuple(shape),
+            self.dtype,
+            self.storage,
+            persistent=self.persistent,
+            name=self.name,
+            requires_grad=self.requires_grad,
+        )
+
+    def release(self) -> None:
+        """Drop this tensor's reference to its storage."""
+        self.storage.release()
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"Tensor{label}(shape={self.shape}, dtype={self.dtype.name}, addr={self.addr:#x})"
+
+
+def required_bytes(shape: tuple[int, ...], dtype: DType) -> int:
+    """Bytes a tensor of ``shape`` and ``dtype`` occupies (at least 1)."""
+    numel = math.prod(shape) if shape else 1
+    return max(1, numel * dtype.itemsize)
+
+
+def empty(
+    device: "Device",
+    shape: tuple[int, ...],
+    dtype: DType = float32,
+    *,
+    persistent: bool = False,
+    name: str = "",
+    requires_grad: bool = False,
+) -> Tensor:
+    """Allocate a tensor on ``device`` through its caching allocator."""
+    nbytes = required_bytes(shape, dtype)
+    block = device.allocator.allocate(nbytes)
+    storage = Storage(block=block, nbytes=nbytes, allocator=device.allocator)
+    return Tensor(
+        shape, dtype, storage,
+        persistent=persistent, name=name, requires_grad=requires_grad,
+    )

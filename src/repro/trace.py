@@ -1,0 +1,257 @@
+"""Kernel/fault trace capture and analysis.
+
+Records the event streams a DeepUM run produces — kernel launches with
+execution IDs, block faults, prefetches, evictions — and computes the
+summaries the paper reasons about: repetition of the kernel stream,
+per-kernel working sets, fault phases, and reuse distances. Traces
+serialize to JSON Lines for offline inspection.
+
+Usage::
+
+    tracer = Tracer.attach(deepum)
+    workload.run(5)
+    summary = tracer.summary()
+    tracer.save("run.jsonl")
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, defaultdict
+from dataclasses import asdict, dataclass, field
+from typing import IO, Iterable, Optional
+
+from .core.deepum import DeepUM
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event. ``kind`` is launch | fault | prefetch | evict."""
+
+    seq: int
+    kind: str
+    time: float
+    exec_id: int = -1
+    block: int = -1
+    kernel_name: str = ""
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), separators=(",", ":"))
+
+    @staticmethod
+    def from_json(line: str) -> "TraceEvent":
+        return TraceEvent(**json.loads(line))
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates the paper cares about, computed from an event stream."""
+
+    kernels: int = 0
+    distinct_exec_ids: int = 0
+    faults: int = 0
+    prefetches: int = 0
+    evictions: int = 0
+    faults_per_kernel: float = 0.0
+    #: Fraction of launch-sequence positions repeating between the last two
+    #: full iterations (1.0 = perfectly periodic, DeepUM's core assumption).
+    stream_periodicity: Optional[float] = None
+    #: Median number of kernels between consecutive faults on one block.
+    median_refault_gap: Optional[float] = None
+    hottest_kernels: list[tuple[str, int]] = field(default_factory=list)
+
+
+class Tracer:
+    """Collects events from a :class:`DeepUM` facade's driver hooks."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._seq = 0
+        self._kernel_pos = 0
+        self._detach_fns: list = []
+
+    # ------------------------------------------------------------------ #
+    # attachment
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def attach(cls, deepum: DeepUM) -> "Tracer":
+        """Instrument a DeepUM facade; returns the live tracer."""
+        tracer = cls()
+        runtime = deepum.runtime
+        driver = deepum.driver
+        gpu = deepum.engine.gpu
+
+        orig_before = runtime.before_launch
+
+        def before_launch(launch, now):
+            exec_id = orig_before(launch, now)
+            tracer._record("launch", now, exec_id=exec_id,
+                           kernel_name=launch.name)
+            tracer._kernel_pos += 1
+            return exec_id
+
+        runtime.before_launch = before_launch
+
+        orig_fault = driver.on_fault
+
+        def on_fault(block, now):
+            tracer._record("fault", now, block=block.index,
+                           exec_id=driver.correlator.current_exec)
+            orig_fault(block, now)
+
+        driver.on_fault = on_fault
+
+        orig_pop = driver.pop_prefetch
+
+        def pop_prefetch():
+            idx = orig_pop()
+            if idx is not None:
+                tracer._record("prefetch", deepum.engine.now, block=idx)
+            return idx
+
+        driver.pop_prefetch = pop_prefetch
+
+        orig_remove = gpu.remove
+
+        def remove(block, to_cpu=True):
+            if gpu.is_resident(block):
+                tracer._record("evict", deepum.engine.now, block=block.index)
+            orig_remove(block, to_cpu=to_cpu)
+
+        gpu.remove = remove
+
+        tracer._detach_fns = [
+            lambda: setattr(runtime, "before_launch", orig_before),
+            lambda: setattr(driver, "on_fault", orig_fault),
+            lambda: setattr(driver, "pop_prefetch", orig_pop),
+            lambda: setattr(gpu, "remove", orig_remove),
+        ]
+        return tracer
+
+    def detach(self) -> None:
+        for fn in self._detach_fns:
+            fn()
+        self._detach_fns = []
+
+    def _record(self, kind: str, time: float, *, exec_id: int = -1,
+                block: int = -1, kernel_name: str = "") -> None:
+        self.events.append(TraceEvent(
+            seq=self._seq, kind=kind, time=time, exec_id=exec_id,
+            block=block, kernel_name=kernel_name,
+        ))
+        self._seq += 1
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            self.write(fh)
+
+    def write(self, fh: IO[str]) -> None:
+        for event in self.events:
+            fh.write(event.to_json())
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Tracer":
+        tracer = cls()
+        with open(path) as fh:
+            tracer.events = [TraceEvent.from_json(line)
+                             for line in fh if line.strip()]
+        tracer._seq = len(tracer.events)
+        return tracer
+
+    # ------------------------------------------------------------------ #
+    # analysis
+    # ------------------------------------------------------------------ #
+
+    def launches(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == "launch"]
+
+    def summary(self) -> TraceSummary:
+        launches = self.launches()
+        faults = [e for e in self.events if e.kind == "fault"]
+        summary = TraceSummary(
+            kernels=len(launches),
+            distinct_exec_ids=len({e.exec_id for e in launches}),
+            faults=len(faults),
+            prefetches=sum(1 for e in self.events if e.kind == "prefetch"),
+            evictions=sum(1 for e in self.events if e.kind == "evict"),
+        )
+        if launches:
+            summary.faults_per_kernel = len(faults) / len(launches)
+        summary.stream_periodicity = self._periodicity(launches)
+        summary.median_refault_gap = self._median_refault_gap()
+        fault_kernels = Counter(e.kernel_name or str(e.exec_id)
+                                for e in faults if e.exec_id >= 0)
+        by_kernel = Counter()
+        exec_names = {e.exec_id: e.kernel_name for e in launches}
+        for e in faults:
+            by_kernel[exec_names.get(e.exec_id, str(e.exec_id))] += 1
+        summary.hottest_kernels = by_kernel.most_common(5)
+        del fault_kernels
+        return summary
+
+    @staticmethod
+    def _periodicity(launches: list[TraceEvent]) -> Optional[float]:
+        """Match the last two iterations of the exec-ID stream.
+
+        The period is estimated as the distance between the last two
+        occurrences of the final execution ID; positions where the two
+        candidate iterations agree count toward the score.
+        """
+        ids = [e.exec_id for e in launches]
+        if len(ids) < 4:
+            return None
+        last = ids[-1]
+        occurrences = [i for i, v in enumerate(ids) if v == last]
+        if len(occurrences) < 2:
+            return None
+        period = occurrences[-1] - occurrences[-2]
+        if period <= 0 or period * 2 > len(ids):
+            return None
+        a = ids[-period:]
+        b = ids[-2 * period:-period]
+        matches = sum(1 for x, y in zip(a, b) if x == y)
+        return matches / period
+
+    def _median_refault_gap(self) -> Optional[float]:
+        """Median kernel-count gap between repeat faults on one block."""
+        position = 0
+        last_fault_pos: dict[int, int] = {}
+        gaps: list[int] = []
+        for event in self.events:
+            if event.kind == "launch":
+                position += 1
+            elif event.kind == "fault" and event.block >= 0:
+                prev = last_fault_pos.get(event.block)
+                if prev is not None:
+                    gaps.append(position - prev)
+                last_fault_pos[event.block] = position
+        if not gaps:
+            return None
+        gaps.sort()
+        mid = len(gaps) // 2
+        if len(gaps) % 2:
+            return float(gaps[mid])
+        return (gaps[mid - 1] + gaps[mid]) / 2.0
+
+
+def iteration_fault_counts(events: Iterable[TraceEvent],
+                           kernels_per_iteration: int) -> list[int]:
+    """Faults per iteration, given the workload's kernel count."""
+    if kernels_per_iteration <= 0:
+        raise ValueError("kernels_per_iteration must be positive")
+    counts: dict[int, int] = defaultdict(int)
+    position = 0
+    for event in events:
+        if event.kind == "launch":
+            position += 1
+        elif event.kind == "fault":
+            counts[(position - 1) // kernels_per_iteration if position else 0] += 1
+    if not counts:
+        return []
+    return [counts.get(i, 0) for i in range(max(counts) + 1)]

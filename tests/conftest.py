@@ -1,0 +1,63 @@
+"""Shared fixtures: tiny systems and workloads that exercise real behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DeepUMConfig, GPUSpec, HostSpec, SystemConfig
+from repro.constants import GiB, MiB
+from repro.core.deepum import DeepUM
+from repro.baselines import IdealNoOversubscription, NaiveUM
+from repro.sim import UnifiedMemorySpace
+from repro.torchsim import functional as F
+from repro.torchsim import layers
+from repro.torchsim.autograd import Tape
+from repro.torchsim.backend import UMBackend
+from repro.torchsim.context import Device, SimpleManager
+from repro.torchsim.dtypes import int64
+from repro.torchsim.optim import SGD
+
+
+@pytest.fixture
+def tiny_system() -> SystemConfig:
+    """A GPU small enough that a toy MLP oversubscribes it."""
+    return SystemConfig(
+        gpu=GPUSpec(memory_bytes=64 * MiB),
+        host=HostSpec(memory_bytes=4 * GiB),
+    )
+
+
+@pytest.fixture
+def roomy_system() -> SystemConfig:
+    """A GPU that comfortably fits the toy workloads (no oversubscription)."""
+    return SystemConfig(
+        gpu=GPUSpec(memory_bytes=2 * GiB),
+        host=HostSpec(memory_bytes=16 * GiB),
+    )
+
+
+@pytest.fixture
+def sim_device() -> Device:
+    """A device with no memory simulation (graph-construction tests)."""
+    um = UnifiedMemorySpace()
+    return Device.with_backend(
+        UMBackend(um=um, host_capacity=1 << 50), SimpleManager()
+    )
+
+
+from workloads import make_mlp_workload  # noqa: F401  (fixture re-export)
+
+
+@pytest.fixture
+def deepum_tiny(tiny_system) -> DeepUM:
+    return DeepUM(tiny_system, DeepUMConfig(prefetch_degree=8))
+
+
+@pytest.fixture
+def naive_um_tiny(tiny_system) -> NaiveUM:
+    return NaiveUM(tiny_system)
+
+
+@pytest.fixture
+def ideal_tiny(tiny_system) -> IdealNoOversubscription:
+    return IdealNoOversubscription(tiny_system)

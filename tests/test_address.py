@@ -1,0 +1,76 @@
+"""Address arithmetic for pages and UM blocks."""
+
+import pytest
+
+from repro.constants import PAGE_SIZE, UM_BLOCK_SIZE
+from repro.sim.address import (
+    align_up,
+    block_index,
+    block_range,
+    blocks_spanned,
+    page_index,
+    pages_spanned,
+)
+
+
+def test_page_index_boundaries():
+    assert page_index(0) == 0
+    assert page_index(PAGE_SIZE - 1) == 0
+    assert page_index(PAGE_SIZE) == 1
+
+
+def test_block_index_boundaries():
+    assert block_index(0) == 0
+    assert block_index(UM_BLOCK_SIZE - 1) == 0
+    assert block_index(UM_BLOCK_SIZE) == 1
+
+
+def test_block_is_512_pages():
+    assert UM_BLOCK_SIZE == 512 * PAGE_SIZE
+
+
+def test_block_range_covers_exactly_one_block():
+    start, end = block_range(3)
+    assert end - start == UM_BLOCK_SIZE
+    assert block_index(start) == 3
+    assert block_index(end - 1) == 3
+    assert block_index(end) == 4
+
+
+def test_pages_spanned_single_byte():
+    assert list(pages_spanned(0, 1)) == [0]
+    assert list(pages_spanned(PAGE_SIZE, 1)) == [1]
+
+
+def test_pages_spanned_straddles_boundary():
+    pages = list(pages_spanned(PAGE_SIZE - 1, 2))
+    assert pages == [0, 1]
+
+
+def test_pages_spanned_empty_for_zero_bytes():
+    assert list(pages_spanned(123, 0)) == []
+
+
+def test_blocks_spanned_exact_block():
+    assert list(blocks_spanned(UM_BLOCK_SIZE, UM_BLOCK_SIZE)) == [1]
+
+
+def test_blocks_spanned_partial_blocks():
+    blocks = list(blocks_spanned(UM_BLOCK_SIZE // 2, UM_BLOCK_SIZE))
+    assert blocks == [0, 1]
+
+
+def test_blocks_spanned_empty():
+    assert list(blocks_spanned(0, 0)) == []
+
+
+def test_align_up_exact_and_rounding():
+    assert align_up(0, 512) == 0
+    assert align_up(1, 512) == 512
+    assert align_up(512, 512) == 512
+    assert align_up(513, 512) == 1024
+
+
+def test_align_up_rejects_nonpositive_alignment():
+    with pytest.raises(ValueError):
+        align_up(10, 0)

@@ -1,0 +1,114 @@
+"""Offline trace analysis: reuse distances, Belady/LRU bounds."""
+
+import pytest
+
+from repro.analysis import (
+    belady_misses,
+    block_trace_from_workload,
+    lru_misses,
+    phase_working_sets,
+    reuse_profile,
+    traffic_bounds,
+)
+from repro.models import build_bert
+
+
+def test_reuse_profile_simple_loop():
+    # Three blocks cycled twice: second pass reuses at stack distance 2.
+    trace = [1, 2, 3, 1, 2, 3]
+    profile = reuse_profile(trace)
+    assert profile.cold_misses == 3
+    assert profile.distances == [2, 2, 2]
+    assert profile.accesses == 6
+
+
+def test_reuse_profile_immediate_reuse():
+    profile = reuse_profile([5, 5, 5])
+    assert profile.distances == [0, 0]
+
+
+def test_miss_ratio_from_stack_distances():
+    trace = [1, 2, 3, 1, 2, 3] * 10
+    profile = reuse_profile(trace)
+    # Capacity 3 holds the loop: only cold misses.
+    assert profile.miss_ratio(3) == pytest.approx(3 / len(trace))
+    # Capacity 2 < loop size: everything misses under LRU.
+    assert profile.miss_ratio(2) == 1.0
+
+
+def test_miss_curve_monotone_nonincreasing():
+    trace = [i % 7 for i in range(200)] + [i % 3 for i in range(100)]
+    profile = reuse_profile(trace)
+    curve = profile.miss_curve([1, 2, 3, 5, 8, 13])
+    values = list(curve.values())
+    assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+
+def test_belady_on_cyclic_trace():
+    trace = [1, 2, 3] * 10
+    result = belady_misses(trace, capacity_blocks=2)
+    # MIN on a 3-block cycle with capacity 2 misses ~half the accesses;
+    # LRU misses all of them — the classic gap.
+    assert result.cold_misses == 3
+    assert result.misses < lru_misses(trace, 2)
+    assert lru_misses(trace, 2) == 30
+
+
+def test_belady_never_worse_than_lru():
+    import random
+    rng = random.Random(0)
+    trace = [rng.randrange(12) for _ in range(400)]
+    for cap in (1, 2, 4, 8):
+        assert belady_misses(trace, cap).misses <= lru_misses(trace, cap)
+
+
+def test_belady_large_capacity_only_cold():
+    trace = [1, 2, 3, 1, 2, 3]
+    result = belady_misses(trace, capacity_blocks=10)
+    assert result.misses == result.cold_misses == 3
+    assert result.capacity_misses == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        belady_misses([1], 0)
+    with pytest.raises(ValueError):
+        lru_misses([1], 0)
+    with pytest.raises(ValueError):
+        phase_working_sets([1], 0)
+
+
+def test_traffic_bounds_shape():
+    trace = [i % 20 for i in range(600)]
+    bound = traffic_bounds(trace, capacity_blocks=10)
+    assert bound.min_inbound_bytes <= bound.lru_inbound_bytes
+    assert bound.belady.miss_ratio <= 1.0
+
+
+def test_phase_working_sets():
+    trace = [1, 1, 2, 2, 3, 3, 3, 3]
+    assert phase_working_sets(trace, window=4) == [2, 1]
+
+
+def test_block_trace_from_real_workload():
+    trace = block_trace_from_workload(
+        lambda device: build_bert(device, 2, variant="base", scale=0.0625),
+        iterations=2,
+    )
+    assert len(trace) > 500
+    profile = reuse_profile(trace)
+    assert profile.working_set_blocks > 5
+    # Training loops reuse blocks heavily: most accesses are reuses.
+    assert len(profile.distances) > profile.cold_misses
+
+
+def test_real_workload_belady_gap_exists():
+    """The gap between LRU and MIN on a real training trace is the space
+    the paper's prefetcher hides (it cannot reduce MIN's traffic)."""
+    trace = block_trace_from_workload(
+        lambda device: build_bert(device, 2, variant="base", scale=0.0625),
+        iterations=2,
+    )
+    working = reuse_profile(trace).working_set_blocks
+    cap = max(2, working // 2)
+    assert belady_misses(trace, cap).misses <= lru_misses(trace, cap)

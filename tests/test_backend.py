@@ -1,0 +1,43 @@
+"""Memory backends: UM (virtual) and raw GPU (hard capacity)."""
+
+import pytest
+
+from repro.constants import MiB, UM_BLOCK_SIZE
+from repro.sim.um_space import UnifiedMemorySpace
+from repro.torchsim.backend import BackendOOM, RawGPUBackend, UMBackend
+
+
+def test_um_backend_segments_block_aligned():
+    backend = UMBackend(um=UnifiedMemorySpace(), host_capacity=1 << 40)
+    addr = backend.alloc_segment(3 * MiB)
+    assert addr % UM_BLOCK_SIZE == 0
+    assert backend.reserved_bytes >= 3 * MiB
+
+
+def test_um_backend_free_returns_bytes():
+    backend = UMBackend(um=UnifiedMemorySpace(), host_capacity=1 << 40)
+    addr = backend.alloc_segment(2 * MiB)
+    backend.free_segment(addr)
+    assert backend.reserved_bytes == 0
+
+
+def test_raw_backend_enforces_capacity():
+    backend = RawGPUBackend(capacity=4 * MiB)
+    backend.alloc_segment(3 * MiB)
+    with pytest.raises(BackendOOM):
+        backend.alloc_segment(2 * MiB)
+
+
+def test_raw_backend_free_and_reuse():
+    backend = RawGPUBackend(capacity=4 * MiB)
+    addr = backend.alloc_segment(2 * MiB)
+    backend.free_segment(addr)
+    assert backend.free_bytes == 4 * MiB
+    addr2 = backend.alloc_segment(2 * MiB)
+    assert addr2 == addr  # exact-size free range reused
+
+
+def test_raw_backend_rounds_to_512():
+    backend = RawGPUBackend(capacity=4 * MiB)
+    backend.alloc_segment(100)
+    assert backend.used == 512

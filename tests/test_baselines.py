@@ -1,0 +1,139 @@
+"""Baseline memory systems: LMS, LMS-mod, and the five TF-based planners."""
+
+import pytest
+
+from repro.baselines import (
+    LMS,
+    AutoTM,
+    Capuchin,
+    LMSMod,
+    NaiveUM,
+    Sentinel,
+    SwapAdvisor,
+    TensorSwapOOM,
+    VDNN,
+)
+from repro.baselines.lms import LMSPlanner
+from repro.baselines.tf_baselines import SentinelPlanner, VDNNPlanner
+from repro.config import GPUSpec, HostSpec, SystemConfig
+from repro.constants import GiB, MiB
+from repro.models.registry import get_model_config
+
+from workloads import make_mlp_workload
+
+TINY = 0.0625
+
+
+def small_system(gpu_mb=48):
+    return SystemConfig(gpu=GPUSpec(memory_bytes=gpu_mb * MiB),
+                        host=HostSpec(memory_bytes=4 * GiB))
+
+
+def run_mlp(facade, iterations=4, **kw):
+    step, _, _ = make_mlp_workload(facade.device, **kw)
+    for _ in range(iterations):
+        step()
+    return facade
+
+
+MLP_KW = dict(layers_n=8, dim=1024, batch=256)
+
+
+def test_lms_trains_with_oversubscription():
+    lms = run_mlp(LMS(small_system()), **MLP_KW)
+    assert lms.manager.stats.swap_outs > 0
+    assert lms.manager.stats.swap_ins > 0
+    assert lms.elapsed() > 0
+
+
+def test_lms_swaps_only_when_needed():
+    roomy = run_mlp(LMS(small_system(gpu_mb=2048)), **MLP_KW)
+    assert roomy.manager.stats.bytes_in == 0
+
+
+def test_lms_free_run_is_compute_plus_overheads():
+    """With everything resident, LMS time is compute + launch overheads +
+    one-time cudaMalloc charges for reserved segments (no transfers)."""
+    lms = run_mlp(LMS(small_system(gpu_mb=2048)), **MLP_KW)
+    mgr = lms.manager
+    expected = (
+        mgr.compute_time
+        + mgr._kernels_run * lms.system.gpu.kernel_launch_overhead
+        + len(lms.device.allocator.segments) * mgr.cuda_malloc_cost
+    )
+    assert lms.manager.link.busy_time == 0
+    assert lms.elapsed() == pytest.approx(expected, rel=0.05)
+
+
+def test_lms_mod_flushes_cache():
+    mod = run_mlp(LMSMod(small_system()), **MLP_KW)
+    assert mod.device.allocator.stats.cache_flushes > 0
+
+
+def test_sentinel_moves_fewer_bytes_per_swap_than_lms():
+    """Sentinel's hot/cold page separation moves only a fraction of each
+    tensor, while LMS always moves whole tensors."""
+    lms = run_mlp(LMS(small_system()), **MLP_KW)
+    sentinel = run_mlp(Sentinel(small_system()), **MLP_KW)
+    lms_per_swap = lms.manager.stats.bytes_out / lms.manager.stats.swap_outs
+    sent_per_swap = (sentinel.manager.stats.bytes_out
+                     / sentinel.manager.stats.swap_outs)
+    assert sent_per_swap < lms_per_swap
+
+
+def test_vdnn_rejects_transformer_like_models():
+    """vDNN supports CNNs only: BERT 'does not work' (Table 7)."""
+    system = small_system(gpu_mb=512)
+    vdnn = VDNN(system)
+    cfg = get_model_config("bert-base")
+    workload = cfg.build(vdnn.device, 2, scale=TINY)
+    with pytest.raises(TensorSwapOOM, match="convolutional"):
+        workload.run(2)
+
+
+def test_vdnn_accepts_convnets():
+    system = small_system(gpu_mb=512)
+    vdnn = VDNN(system)
+    cfg = get_model_config("mobilenet")
+    workload = cfg.build(vdnn.device, 16, scale=TINY)
+    workload.run(2)  # must not raise
+
+
+def test_all_tf_baselines_run_mlp():
+    for cls in (AutoTM, SwapAdvisor, Capuchin, Sentinel):
+        facade = run_mlp(cls(small_system()), iterations=3, **MLP_KW)
+        assert facade.elapsed() > 0
+
+
+def test_swapadvisor_is_seeded_deterministic():
+    a = run_mlp(SwapAdvisor(small_system(), seed=7), iterations=3, **MLP_KW)
+    b = run_mlp(SwapAdvisor(small_system(), seed=7), iterations=3, **MLP_KW)
+    assert a.elapsed() == pytest.approx(b.elapsed())
+
+
+def test_capuchin_recomputes_cheap_activations():
+    cap = run_mlp(Capuchin(small_system(gpu_mb=40)), iterations=3, **MLP_KW)
+    assert cap.manager.stats.recomputes > 0
+
+
+def test_working_set_larger_than_gpu_ooms():
+    lms = LMS(small_system(gpu_mb=16))
+    with pytest.raises((TensorSwapOOM, Exception)):
+        run_mlp(lms, iterations=1, layers_n=2, dim=4096, batch=4096)
+
+
+def test_planner_knobs_documented_defaults():
+    assert LMSPlanner.eager_swapout is True
+    assert SentinelPlanner.transfer_fraction < 1.0
+    assert VDNNPlanner.requires_convolutions is True
+
+
+def test_energy_accounting_positive():
+    lms = run_mlp(LMS(small_system()), iterations=2, **MLP_KW)
+    assert lms.energy_joules() > 0
+
+
+def test_um_baseline_counts_page_faults():
+    um = run_mlp(NaiveUM(small_system()), iterations=2, **MLP_KW)
+    assert um.page_faults > 0
+    assert um.peak_populated_bytes > 0

@@ -1,0 +1,88 @@
+"""UM block correlation tables: geometry, MRU successors, associativity."""
+
+import pytest
+
+from repro.core.block_table import BlockCorrelationTable, BlockTableConfig
+
+
+@pytest.fixture
+def table():
+    return BlockCorrelationTable(BlockTableConfig(num_rows=8, assoc=2, num_succs=4))
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        BlockTableConfig(num_rows=0, assoc=2, num_succs=4)
+    with pytest.raises(ValueError):
+        BlockTableConfig(num_rows=8, assoc=0, num_succs=4)
+
+
+def test_record_and_lookup(table):
+    table.record_successor(10, 20)
+    assert table.successors(10) == [20]
+    assert 10 in table
+
+
+def test_self_successor_ignored(table):
+    table.record_successor(5, 5)
+    assert 5 not in table
+
+
+def test_successors_mru_ordered(table):
+    for succ in (1, 2, 3):
+        table.record_successor(10, succ)
+    assert table.successors(10) == [3, 2, 1]
+    table.record_successor(10, 2)  # refresh moves 2 to the front
+    assert table.successors(10) == [2, 3, 1]
+
+
+def test_successors_capped_at_num_succs(table):
+    for succ in range(1, 8):
+        table.record_successor(10, succ)
+    succs = table.successors(10)
+    assert len(succs) == 4
+    assert succs == [7, 6, 5, 4]  # MRU kept, oldest dropped
+
+
+def test_row_associativity_evicts_lru_way(table):
+    # Blocks 0, 8, 16 map to the same row (num_rows=8); assoc=2.
+    table.record_successor(0, 100)
+    table.record_successor(8, 101)
+    table.record_successor(16, 102)
+    assert 0 not in table          # least recently updated way evicted
+    assert 8 in table and 16 in table
+    assert table.conflicts == 1
+
+
+def test_update_refreshes_way_lru(table):
+    table.record_successor(0, 100)
+    table.record_successor(8, 101)
+    table.record_successor(0, 103)  # 0 becomes most recent
+    table.record_successor(16, 102)
+    assert 8 not in table
+    assert 0 in table
+
+
+def test_unknown_block_has_no_successors(table):
+    assert table.successors(99) == []
+
+
+def test_start_end_blocks(table):
+    assert table.start_block is None and table.end_block is None
+    table.start_block, table.end_block = 3, 9
+    assert (table.start_block, table.end_block) == (3, 9)
+
+
+def test_size_bytes_follows_geometry():
+    small = BlockCorrelationTable(BlockTableConfig(128, 2, 4))
+    big = BlockCorrelationTable(BlockTableConfig(2048, 2, 4))
+    assert big.size_bytes > small.size_bytes
+    wide = BlockCorrelationTable(BlockTableConfig(128, 2, 8))
+    assert wide.size_bytes > small.size_bytes
+
+
+def test_iter_blocks_and_num_entries(table):
+    table.record_successor(1, 2)
+    table.record_successor(3, 4)
+    assert sorted(table.iter_blocks()) == [1, 3]
+    assert table.num_entries == 2

@@ -1,0 +1,52 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_prints_models_and_policies(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("gpt2-xl", "bert-large", "dlrm", "resnet152"):
+        assert name in out
+    assert "deepum" in out and "sentinel" in out
+
+
+def test_run_reports_speedups(capsys):
+    assert main(["run", "bert-base", "--batch", "30",
+                 "--policies", "um,deepum",
+                 "--warmup", "2", "--measure", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup vs UM" in out
+    assert "deepum" in out
+
+
+def test_run_default_batch_is_grid_midpoint(capsys):
+    assert main(["run", "bert-base", "--policies", "ideal",
+                 "--warmup", "1", "--measure", "1"]) == 0
+    assert "@ paper batch 30" in capsys.readouterr().out
+
+
+def test_unknown_policy_exits():
+    with pytest.raises(SystemExit):
+        main(["run", "bert-base", "--policies", "magic"])
+
+
+def test_unknown_model_raises():
+    with pytest.raises(KeyError):
+        main(["run", "alexnet"])
+
+
+def test_sweep_degree(capsys):
+    assert main(["sweep-degree", "bert-base", "--degrees", "1,8",
+                 "--warmup", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "prefetch degree sweep" in out
+
+
+def test_parser_has_all_subcommands():
+    parser = build_parser()
+    text = parser.format_help()
+    for cmd in ("list", "run", "max-batch", "sweep-degree"):
+        assert cmd in text

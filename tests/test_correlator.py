@@ -1,0 +1,89 @@
+"""The correlator thread: table updates from launches and faults."""
+
+import pytest
+
+from repro.core.block_table import BlockTableConfig
+from repro.core.correlator import Correlator
+from repro.core.exec_table import NO_KERNEL
+
+
+@pytest.fixture
+def cor():
+    return Correlator(BlockTableConfig(num_rows=64, assoc=2, num_succs=4))
+
+
+def test_launch_sequence_builds_exec_records(cor):
+    for eid in (1, 2, 3, 4, 5):
+        cor.on_kernel_launch(eid)
+    # When 5 launched, the record for 4 (preceded by 1,2,3) was written.
+    assert cor.exec_table.predict_next((1, 2, 3), 4) == 5
+
+
+def test_history_padded_with_no_kernel(cor):
+    cor.on_kernel_launch(1)
+    cor.on_kernel_launch(2)
+    assert cor.exec_table.predict_next((NO_KERNEL,) * 3, 1) == 2
+
+
+def test_fault_sequence_builds_block_chain(cor):
+    cor.on_kernel_launch(7)
+    for blk in (10, 11, 12):
+        cor.on_fault(blk)
+    table = cor.block_table(7)
+    assert table.start_block == 10
+    assert table.successors(10) == [11]
+    assert table.successors(11) == [12]
+
+
+def test_end_block_set_on_next_launch(cor):
+    cor.on_kernel_launch(7)
+    cor.on_fault(10)
+    cor.on_fault(11)
+    cor.on_kernel_launch(8)
+    assert cor.block_table(7).end_block == 11
+
+
+def test_faultless_kernel_keeps_old_end_block(cor):
+    cor.on_kernel_launch(7)
+    cor.on_fault(10)
+    cor.on_kernel_launch(8)   # kernel 8 never faults
+    cor.on_kernel_launch(9)
+    assert cor.block_table(7).end_block == 10
+    assert cor.block_table(8).end_block is None
+
+
+def test_cross_kernel_faults_use_start_not_successor(cor):
+    """The hand-off between kernels is via end/start pointers, not pairs."""
+    cor.on_kernel_launch(1)
+    cor.on_fault(10)
+    cor.on_kernel_launch(2)
+    cor.on_fault(20)
+    assert cor.block_table(2).start_block == 20
+    assert cor.block_table(1).successors(10) == []
+
+
+def test_fault_before_any_launch_is_ignored(cor):
+    cor.on_fault(5)
+    assert cor.block_tables == {}
+
+
+def test_recent_history_window(cor):
+    for eid in (1, 2, 3, 4):
+        cor.on_kernel_launch(eid)
+    assert cor.recent_history() == (1, 2, 3)
+    assert cor.current_exec == 4
+
+
+def test_table_size_bytes_counts_all_tables(cor):
+    cor.on_kernel_launch(1)
+    cor.on_fault(10)
+    one = cor.table_size_bytes
+    cor.on_kernel_launch(2)
+    cor.on_fault(20)
+    assert cor.table_size_bytes > one
+
+
+def test_block_table_created_lazily_per_exec_id(cor):
+    assert cor.block_tables == {}
+    cor.block_table(3)
+    assert set(cor.block_tables) == {3}

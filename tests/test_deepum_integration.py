@@ -1,0 +1,108 @@
+"""End-to-end DeepUM behaviour on a real training loop.
+
+These tests assert the paper's qualitative claims on a toy workload:
+correlation prefetching reduces faults and time over naive UM, the
+optimizations stack (Fig. 10), and the runtime stays transparent (no user
+code changes beyond choosing a device).
+"""
+
+import pytest
+
+from repro.config import DeepUMConfig
+from repro.core.deepum import DeepUM
+from repro.baselines import IdealNoOversubscription, NaiveUM
+
+from workloads import make_mlp_workload
+
+
+def run_training(facade, iterations=6):
+    step, _, _ = make_mlp_workload(facade.device, layers_n=8, dim=1024, batch=256)
+    for _ in range(iterations):
+        step()
+    return facade
+
+
+def test_workload_oversubscribes_tiny_gpu(tiny_system, ideal_tiny):
+    run_training(ideal_tiny)
+    assert ideal_tiny.peak_populated_bytes > tiny_system.gpu.memory_bytes
+
+
+def test_deepum_reduces_faults_vs_um(tiny_system):
+    um = run_training(NaiveUM(tiny_system))
+    deepum = run_training(DeepUM(tiny_system, DeepUMConfig(prefetch_degree=8)))
+    assert deepum.page_faults < um.page_faults
+
+
+def test_deepum_faster_than_um(tiny_system):
+    um = run_training(NaiveUM(tiny_system))
+    deepum = run_training(DeepUM(tiny_system, DeepUMConfig(prefetch_degree=8)))
+    assert deepum.elapsed() < um.elapsed()
+
+
+def test_ideal_is_fastest(tiny_system):
+    ideal = run_training(IdealNoOversubscription(tiny_system))
+    deepum = run_training(DeepUM(tiny_system))
+    assert ideal.elapsed() < deepum.elapsed()
+    assert ideal.engine.stats.evictions == 0
+
+
+def test_steady_state_faults_decline(tiny_system):
+    deepum = DeepUM(tiny_system, DeepUMConfig(prefetch_degree=8))
+    step, _, _ = make_mlp_workload(deepum.device, layers_n=8, dim=1024, batch=256)
+    step()
+    first = deepum.engine.stats.faulted_blocks
+    for _ in range(4):
+        step()
+    before = deepum.engine.stats.faulted_blocks
+    step()
+    steady = deepum.engine.stats.faulted_blocks - before
+    assert steady < first  # tables learned: later iterations fault less
+
+
+def test_optimizations_stack(tiny_system):
+    """Fig. 10 ordering: prefetch < +pre-eviction < +invalidation on time
+    (allowing ties — the toy workload is small)."""
+    times = {}
+    for name, cfg in {
+        "none": DeepUMConfig(enable_prefetch=False, enable_preeviction=False,
+                             enable_invalidation=False),
+        "prefetch": DeepUMConfig(prefetch_degree=8, enable_preeviction=False,
+                                 enable_invalidation=False),
+        "all": DeepUMConfig(prefetch_degree=8),
+    }.items():
+        times[name] = run_training(DeepUM(tiny_system, cfg)).elapsed()
+    assert times["prefetch"] < times["none"]
+    assert times["all"] <= times["prefetch"] * 1.05
+
+
+def test_correlation_tables_grow_with_model(tiny_system):
+    deepum = run_training(DeepUM(tiny_system))
+    assert deepum.correlation_table_bytes > 0
+    assert len(deepum.runtime.exec_ids) > 10
+
+
+def test_exec_ids_stable_across_iterations(tiny_system):
+    deepum = DeepUM(tiny_system)
+    step, _, _ = make_mlp_workload(deepum.device, layers_n=4, dim=256, batch=32)
+    step()
+    step()
+    ids_after_two = len(deepum.runtime.exec_ids)
+    step()
+    # A steady-state iteration introduces no new execution IDs.
+    assert len(deepum.runtime.exec_ids) == ids_after_two
+
+
+def test_invalidation_drops_dead_blocks(tiny_system):
+    deepum = run_training(DeepUM(tiny_system))
+    assert deepum.engine.stats.invalidated_evictions > 0
+
+
+def test_host_capacity_enforced(tiny_system):
+    from dataclasses import replace
+    from repro.config import HostSpec
+    from repro.core.um_manager import UMCapacityError
+
+    starved = replace(tiny_system, host=HostSpec(memory_bytes=8 * 1024 * 1024))
+    deepum = DeepUM(starved)
+    with pytest.raises(UMCapacityError):
+        run_training(deepum, iterations=1)

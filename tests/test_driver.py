@@ -1,0 +1,114 @@
+"""DeepUMDriver hook wiring and DeepUM eviction policy."""
+
+import pytest
+
+from repro.config import DeepUMConfig, GPUSpec, HostSpec, SystemConfig
+from repro.constants import GiB, MiB, UM_BLOCK_SIZE
+from repro.core.driver import DeepUMDriver, DeepUMEvictionPolicy
+from repro.core.runtime import DeepUMRuntime
+from repro.sim.engine import UMSimulator
+from repro.sim.um_space import BlockLocation
+
+
+def make_driver(config=None):
+    system = SystemConfig(gpu=GPUSpec(memory_bytes=8 * UM_BLOCK_SIZE),
+                          host=HostSpec(memory_bytes=1 * GiB))
+    engine = UMSimulator(system)
+    driver = DeepUMDriver(engine, config or DeepUMConfig(prefetch_degree=4))
+    engine.hooks = driver
+    return engine, driver
+
+
+def resident(engine, idx, now, invalidated=False):
+    blk = engine.um.block(idx)
+    blk.populate(512)
+    blk.location = BlockLocation.CPU
+    blk.invalidated = invalidated
+    engine.gpu.admit(blk, now)
+    return blk
+
+
+def test_exec_id_flows_launch_to_correlator():
+    engine, driver = make_driver()
+    driver.notify_execution_id(7, 0.0)
+    assert driver.correlator.current_exec == 7
+
+
+def test_fault_updates_tables_and_prefetcher():
+    engine, driver = make_driver()
+    driver.notify_execution_id(1, 0.0)
+    blk = engine.um.block(3)
+    driver.on_fault(blk, 0.1)
+    assert driver.correlator.block_table(1).start_block == 3
+    assert 3 in driver.prefetcher.protected_blocks()
+
+
+def test_prefetch_disabled_pops_nothing():
+    engine, driver = make_driver(DeepUMConfig(enable_prefetch=False))
+    driver.notify_execution_id(1, 0.0)
+    driver.on_fault(engine.um.block(3), 0.1)
+    assert driver.pop_prefetch() is None
+
+
+def test_preeviction_disabled_tick_is_noop():
+    engine, driver = make_driver(DeepUMConfig(enable_preeviction=False))
+    for i in range(8):
+        resident(engine, i, float(i))
+    assert driver.background_tick(10.0) is False
+
+
+def test_invalidation_disabled_always_writes_back():
+    engine, driver = make_driver(DeepUMConfig(enable_invalidation=False))
+    blk = resident(engine, 0, 0.0, invalidated=True)
+    engine.handler.evict([blk], 1.0)
+    assert engine.stats.invalidated_evictions == 0
+    assert engine.link.bytes_to_cpu == blk.populated_bytes
+
+
+def test_history_depth_wired_through():
+    engine, driver = make_driver(DeepUMConfig(exec_history_depth=1))
+    assert driver.correlator.history_depth == 1
+
+
+def test_eviction_policy_orders_dead_cold_hot():
+    engine, driver = make_driver()
+    dead = resident(engine, 0, 0.0, invalidated=True)
+    cold = resident(engine, 1, 1.0)
+    hot = resident(engine, 2, 2.0)
+    driver.prefetcher._note_emitted(hot.index)  # predicted soon
+    policy = engine.handler.eviction_policy
+    assert isinstance(policy, DeepUMEvictionPolicy)
+    victims = policy.select_victims(engine.gpu, 3 * UM_BLOCK_SIZE, now=3.0)
+    assert [v.index for v in victims] == [0, 1, 2]
+
+
+def test_eviction_policy_protects_predicted_until_needed():
+    engine, driver = make_driver()
+    hot = resident(engine, 0, 0.0)
+    cold = resident(engine, 1, 1.0)
+    driver.prefetcher._note_emitted(hot.index)
+    victims = engine.handler.eviction_policy.select_victims(
+        engine.gpu, UM_BLOCK_SIZE, now=2.0)
+    assert victims[0] is cold
+
+
+def test_runtime_assigns_stable_exec_ids():
+    engine, driver = make_driver()
+    runtime = DeepUMRuntime(driver)
+
+    class FakeLaunch:
+        def __init__(self, sig):
+            self.exec_signature = sig
+
+    a = runtime.before_launch(FakeLaunch(("sgemm", 1)), 0.0)
+    b = runtime.before_launch(FakeLaunch(("relu", 2)), 0.1)
+    a2 = runtime.before_launch(FakeLaunch(("sgemm", 1)), 0.2)
+    assert a == a2 != b
+    assert runtime.launches == 3
+
+
+def test_correlation_table_bytes_property():
+    engine, driver = make_driver()
+    driver.notify_execution_id(1, 0.0)
+    driver.on_fault(engine.um.block(3), 0.1)
+    assert driver.correlation_table_bytes > 0

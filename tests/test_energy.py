@@ -1,0 +1,49 @@
+"""Energy integration over the simulated timeline."""
+
+import pytest
+
+from repro.config import PowerSpec
+from repro.sim.energy import EnergyMeter
+
+
+@pytest.fixture
+def meter():
+    return EnergyMeter(power=PowerSpec(idle_watts=100.0, gpu_active_watts=200.0,
+                                       link_active_watts=50.0))
+
+
+def test_idle_only(meter):
+    assert meter.energy_joules(10.0) == pytest.approx(1000.0)
+
+
+def test_gpu_and_link_components(meter):
+    meter.add_gpu_busy(2.0)
+    meter.add_link_busy(4.0)
+    assert meter.energy_joules(10.0) == pytest.approx(1000 + 400 + 200)
+
+
+def test_average_watts(meter):
+    meter.add_gpu_busy(5.0)
+    assert meter.average_watts(10.0) == pytest.approx((1000 + 1000) / 10.0)
+
+
+def test_average_watts_zero_elapsed(meter):
+    assert meter.average_watts(0.0) == 0.0
+
+
+def test_negative_busy_rejected(meter):
+    with pytest.raises(ValueError):
+        meter.add_gpu_busy(-1.0)
+    with pytest.raises(ValueError):
+        meter.add_link_busy(-1.0)
+
+
+def test_negative_elapsed_rejected(meter):
+    with pytest.raises(ValueError):
+        meter.energy_joules(-1.0)
+
+
+def test_shorter_run_uses_less_energy(meter):
+    """The paper's observation: energy tracks runtime closely."""
+    meter.add_gpu_busy(1.0)
+    assert meter.energy_joules(5.0) < meter.energy_joules(10.0)

@@ -1,0 +1,150 @@
+"""The UM execution engine: faults, in-flight waits, background drain."""
+
+import pytest
+
+from repro.config import GPUSpec, HostSpec, SystemConfig
+from repro.constants import MiB, UM_BLOCK_SIZE
+from repro.sim.engine import BlockAccess, KernelExecution, UMSimulator
+from repro.sim.um_space import BlockLocation
+
+
+def make_engine(capacity_blocks=8):
+    system = SystemConfig(
+        gpu=GPUSpec(memory_bytes=capacity_blocks * UM_BLOCK_SIZE),
+        host=HostSpec(memory_bytes=1 * 1024 * MiB),
+    )
+    return UMSimulator(system)
+
+
+def cpu_block(engine, idx):
+    blk = engine.um.block(idx)
+    blk.populate(512)
+    blk.location = BlockLocation.CPU
+    return blk
+
+
+def kernel(blocks, compute=1e-3, payload="k"):
+    return KernelExecution(
+        payload=payload,
+        accesses=[BlockAccess(block=b, pages=b.populated_pages) for b in blocks],
+        compute_time=compute,
+    )
+
+
+def test_compute_only_kernel_advances_time():
+    eng = make_engine()
+    end = eng.execute_kernel(kernel([], compute=5e-3))
+    assert end == pytest.approx(eng.system.gpu.kernel_launch_overhead + 5e-3)
+    assert eng.metrics.kernels == 1
+    assert eng.metrics.compute_time == pytest.approx(5e-3)
+
+
+def test_nonresident_access_faults():
+    eng = make_engine()
+    blk = cpu_block(eng, 0)
+    eng.execute_kernel(kernel([blk]))
+    assert eng.stats.faulted_blocks == 1
+    assert eng.stats.page_faults == 512
+    assert eng.gpu.is_resident(blk)
+
+
+def test_resident_access_hits():
+    eng = make_engine()
+    blk = cpu_block(eng, 0)
+    eng.execute_kernel(kernel([blk]))
+    eng.execute_kernel(kernel([blk]))
+    assert eng.stats.faulted_blocks == 1
+    assert eng.metrics.resident_hits >= 1
+
+
+def test_fault_time_lands_on_critical_path():
+    eng = make_engine()
+    blk = cpu_block(eng, 0)
+    end = eng.execute_kernel(kernel([blk], compute=1e-3))
+    assert end > 1e-3  # fault handling added to the kernel's time
+    assert eng.metrics.fault_wait_time > 0
+
+
+class OneShotPrefetchHooks:
+    """Hooks that prefetch a fixed list of blocks, then go quiet."""
+
+    def __init__(self, blocks):
+        self.queue = list(blocks)
+        self.pushed_back = []
+
+    def on_kernel_launch(self, payload, now):
+        return None
+
+    def on_fault(self, block, now):
+        return None
+
+    def pop_prefetch(self):
+        return self.queue.pop(0) if self.queue else None
+
+    def push_back_prefetch(self, idx):
+        self.queue.insert(0, idx)
+        self.pushed_back.append(idx)
+
+    def background_tick(self, now):
+        return False
+
+    def on_kernel_end(self, now):
+        return None
+
+
+def test_prefetched_block_avoids_fault():
+    eng = make_engine()
+    blk = cpu_block(eng, 3)
+    eng.hooks = OneShotPrefetchHooks([3])
+    # A long compute-only kernel gives the migration thread link time.
+    eng.execute_kernel(kernel([], compute=10e-3, payload="warm"))
+    eng.execute_kernel(kernel([blk], payload="use"))
+    assert eng.stats.faulted_blocks == 0
+    assert eng.metrics.prefetched_blocks == 1
+
+
+def test_inflight_prefetch_costs_only_residual_wait():
+    eng = make_engine()
+    blk = cpu_block(eng, 3)
+    eng.hooks = OneShotPrefetchHooks([3])
+    # Tiny compute: the access arrives while the transfer is in flight.
+    eng.execute_kernel(kernel([blk], compute=1e-6))
+    assert eng.stats.faulted_blocks == 0
+    assert eng.metrics.inflight_wait_time > 0
+
+
+def test_unpopulated_prefetch_processes_even_with_busy_link():
+    eng = make_engine()
+    fresh = eng.um.block(5)
+    fresh.populate(512)  # UNPOPULATED: free admit
+    eng.hooks = OneShotPrefetchHooks([5])
+    # Saturate the link far past the kernel horizon.
+    eng.link.occupy(0.0, int(1e12), to_gpu=True)
+    eng.execute_kernel(kernel([], compute=1e-6))
+    assert eng.gpu.is_resident(fresh)
+
+
+def test_cpu_prefetch_pushed_back_when_link_busy():
+    eng = make_engine()
+    blk = cpu_block(eng, 5)
+    hooks = OneShotPrefetchHooks([5])
+    eng.hooks = hooks
+    eng.link.occupy(0.0, int(1e12), to_gpu=True)
+    eng.execute_kernel(kernel([], compute=1e-6))
+    assert hooks.pushed_back == [5]
+    assert not eng.gpu.is_resident(blk)
+
+
+def test_finish_syncs_link_time():
+    eng = make_engine()
+    eng.link.occupy(0.0, int(12e9), to_gpu=True)  # ~1 s transfer
+    eng.execute_kernel(kernel([], compute=1e-3))
+    eng.finish()
+    assert eng.now >= 1.0
+    assert eng.energy.link_busy_time == eng.link.busy_time
+
+
+def test_energy_joules_positive():
+    eng = make_engine()
+    eng.execute_kernel(kernel([], compute=1e-3))
+    assert eng.energy_joules() > 0

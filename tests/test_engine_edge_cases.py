@@ -1,0 +1,148 @@
+"""Engine edge cases: headroom making, declines, null hooks, accounting."""
+
+import pytest
+
+from repro.config import GPUSpec, HostSpec, SystemConfig
+from repro.constants import GiB, UM_BLOCK_SIZE
+from repro.sim.engine import BlockAccess, KernelExecution, NullHooks, UMSimulator
+from repro.sim.um_space import BlockLocation
+
+
+def make_engine(capacity_blocks=2):
+    system = SystemConfig(
+        gpu=GPUSpec(memory_bytes=capacity_blocks * UM_BLOCK_SIZE),
+        host=HostSpec(memory_bytes=1 * GiB),
+    )
+    return UMSimulator(system)
+
+
+def cpu_block(engine, idx):
+    blk = engine.um.block(idx)
+    blk.populate(512)
+    blk.location = BlockLocation.CPU
+    return blk
+
+
+def kernel(blocks, compute=1e-3):
+    return KernelExecution(
+        payload="k",
+        accesses=[BlockAccess(block=b, pages=b.populated_pages) for b in blocks],
+        compute_time=compute,
+    )
+
+
+class QueueHooks(NullHooks):
+    """Minimal prefetch queue for engine tests."""
+
+    def __init__(self, commands):
+        self.commands = list(commands)
+        self.ticks = 0
+
+    def pop_prefetch(self):
+        return self.commands.pop(0) if self.commands else None
+
+    def push_back_prefetch(self, idx):
+        self.commands.insert(0, idx)
+
+    def background_tick(self, now):
+        self.ticks += 1
+        return False
+
+
+def test_prefetch_evicts_on_migration_path_when_full():
+    """A full device must not kill prefetching: the migration path evicts
+    (like cudaMemPrefetchAsync) off the fault critical path."""
+    eng = make_engine(capacity_blocks=2)
+    occupants = [cpu_block(eng, i) for i in range(2)]
+    for blk in occupants:
+        eng.execute_kernel(kernel([blk]))
+    incoming = cpu_block(eng, 5)
+    eng.hooks = QueueHooks([5])
+    eng.execute_kernel(kernel([], compute=10e-3))
+    assert eng.gpu.is_resident(incoming)
+    assert eng.metrics.prefetched_blocks == 1
+    assert eng.stats.evictions >= 1
+
+
+def test_fault_makes_room_by_evicting_lru():
+    eng = make_engine(capacity_blocks=1)
+    a, b = cpu_block(eng, 0), cpu_block(eng, 1)
+    eng.execute_kernel(kernel([a]))
+    eng.execute_kernel(kernel([b]))
+    assert not eng.gpu.is_resident(a)
+    assert eng.gpu.is_resident(b)
+    assert a.location is BlockLocation.CPU  # written back
+
+
+def test_alternating_working_set_thrashes():
+    """Cyclic access beyond capacity: every access faults (UM's downfall)."""
+    eng = make_engine(capacity_blocks=2)
+    blocks = [cpu_block(eng, i) for i in range(3)]
+    for _ in range(3):
+        for blk in blocks:
+            eng.execute_kernel(kernel([blk]))
+    assert eng.stats.faulted_blocks == 9
+
+
+def test_zero_compute_kernel_with_accesses():
+    eng = make_engine()
+    blk = cpu_block(eng, 0)
+    end = eng.execute_kernel(kernel([blk], compute=0.0))
+    assert end > 0.0  # fault handling still takes time
+
+
+def test_per_access_compute_spreads_evenly():
+    eng = make_engine(capacity_blocks=4)
+    blocks = [cpu_block(eng, i) for i in range(4)]
+    eng.execute_kernel(kernel(blocks, compute=0.0))  # fault everything in
+    start = eng.now
+    eng.execute_kernel(kernel(blocks, compute=8e-3))
+    assert eng.now - start == pytest.approx(
+        8e-3 + eng.system.gpu.kernel_launch_overhead)
+
+
+def test_hooks_called_in_order():
+    calls = []
+
+    class Recorder(NullHooks):
+        def on_kernel_launch(self, payload, now):
+            calls.append("launch")
+
+        def on_fault(self, block, now):
+            calls.append("fault")
+
+        def on_kernel_end(self, now):
+            calls.append("end")
+
+    eng = make_engine()
+    eng.hooks = Recorder()
+    eng.execute_kernel(kernel([cpu_block(eng, 0)]))
+    assert calls == ["launch", "fault", "end"]
+
+
+def test_metrics_resident_hit_counting():
+    eng = make_engine(capacity_blocks=2)
+    blk = cpu_block(eng, 0)
+    eng.execute_kernel(kernel([blk]))
+    eng.execute_kernel(kernel([blk]))
+    eng.execute_kernel(kernel([blk]))
+    assert eng.metrics.resident_hits == 2
+    assert eng.metrics.kernels == 3
+
+
+def test_background_tick_offered_when_queue_empty():
+    eng = make_engine()
+    hooks = QueueHooks([])
+    eng.hooks = hooks
+    eng.execute_kernel(kernel([], compute=1e-3))
+    assert hooks.ticks >= 1
+
+
+def test_null_hooks_complete_interface():
+    hooks = NullHooks()
+    assert hooks.pop_prefetch() is None
+    assert hooks.background_tick(0.0) is False
+    assert hooks.on_kernel_launch(None, 0.0) is None
+    assert hooks.on_fault(None, 0.0) is None
+    assert hooks.on_kernel_end(0.0) is None
+    assert hooks.push_back_prefetch(1) is None

@@ -1,0 +1,72 @@
+"""Execution IDs and the execution-ID correlation table."""
+
+from repro.core.exec_table import (
+    NO_KERNEL,
+    ExecutionCorrelationTable,
+    ExecutionIDTable,
+)
+
+
+def test_ids_are_stable_per_signature():
+    table = ExecutionIDTable()
+    a = table.assign(("sgemm", (64, 64)))
+    b = table.assign(("relu", (64,)))
+    assert a != b
+    assert table.assign(("sgemm", (64, 64))) == a
+    assert len(table) == 2
+
+
+def test_id_table_size_bytes_grows():
+    table = ExecutionIDTable()
+    table.assign("a")
+    s1 = table.size_bytes
+    table.assign("b")
+    assert table.size_bytes > s1
+
+
+def test_record_and_predict_exact_history():
+    table = ExecutionCorrelationTable()
+    table.record((1, 2, 3), current=4, next_id=5)
+    assert table.predict_next((1, 2, 3), 4) == 5
+    assert table.hits == 1
+
+
+def test_prediction_requires_matching_history():
+    """A wrong next-kernel prediction is expensive, so the paper matches
+    the full 3-deep history rather than guessing."""
+    table = ExecutionCorrelationTable()
+    table.record((1, 2, 3), current=4, next_id=5)
+    assert table.predict_next((9, 2, 3), 4) is None
+    assert table.misses == 1
+
+
+def test_unknown_kernel_misses():
+    table = ExecutionCorrelationTable()
+    assert table.predict_next((NO_KERNEL,) * 3, 7) is None
+
+
+def test_same_history_updates_in_place():
+    """Re-observation refreshes the record instead of appending forever."""
+    table = ExecutionCorrelationTable()
+    table.record((1, 2, 3), 4, 5)
+    table.record((1, 2, 3), 4, 6)
+    assert table.predict_next((1, 2, 3), 4) == 6
+    assert table.num_records() == 1
+
+
+def test_variable_records_per_entry():
+    """An entry holds all distinct histories (the paper keeps everything)."""
+    table = ExecutionCorrelationTable()
+    for h in range(10):
+        table.record((h, h, h), 4, h + 100)
+    assert table.num_records() == 10
+    for h in range(10):
+        assert table.predict_next((h, h, h), 4) == h + 100
+
+
+def test_size_bytes_counts_records():
+    table = ExecutionCorrelationTable()
+    table.record((1, 2, 3), 4, 5)
+    one = table.size_bytes
+    table.record((2, 3, 4), 4, 6)
+    assert table.size_bytes > one

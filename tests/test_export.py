@@ -1,0 +1,78 @@
+"""Result export (CSV/JSON)."""
+
+import io
+import json
+
+import pytest
+
+from repro.harness import calibrate_system, run_experiment
+from repro.harness.export import (
+    FIELDS,
+    load_json,
+    result_record,
+    save,
+    write_csv,
+    write_json,
+)
+
+TINY = 0.0625
+
+
+@pytest.fixture(scope="module")
+def results():
+    system = calibrate_system("bert-base", scale=TINY, mid_batch=8)
+    return [
+        run_experiment("bert-base", 8, policy, scale=TINY, system=system,
+                       warmup_iterations=2, measure_iterations=2)
+        for policy in ("um", "deepum")
+    ]
+
+
+def test_record_has_all_fields(results):
+    record = result_record(results[0])
+    assert set(record) == set(FIELDS)
+    assert record["model"] == "bert-base"
+    assert record["seconds_per_100_iterations"] > 0
+
+
+def test_csv_round_trippable(results):
+    buf = io.StringIO()
+    assert write_csv(results, buf) == 2
+    lines = buf.getvalue().splitlines()
+    assert lines[0].split(",") == list(FIELDS)
+    assert len(lines) == 3
+
+
+def test_json_round_trip(results, tmp_path):
+    path = tmp_path / "results.json"
+    assert save(results, str(path)) == 2
+    loaded = load_json(str(path))
+    assert loaded[0]["policy"] == "um"
+    assert loaded[1]["policy"] == "deepum"
+    assert loaded[1]["faults_per_iteration"] < loaded[0]["faults_per_iteration"]
+
+
+def test_save_csv_by_extension(results, tmp_path):
+    path = tmp_path / "results.csv"
+    assert save(results, str(path)) == 2
+    assert path.read_text().startswith("model,")
+
+
+def test_save_rejects_unknown_extension(results, tmp_path):
+    with pytest.raises(ValueError):
+        save(results, str(tmp_path / "results.parquet"))
+
+
+def test_oom_result_exports_cleanly():
+    from repro.config import GPUSpec, HostSpec, SystemConfig
+    from repro.constants import MiB
+
+    starved = SystemConfig(gpu=GPUSpec(memory_bytes=16 * MiB),
+                           host=HostSpec(memory_bytes=12 * MiB))
+    result = run_experiment("bert-base", 8, "um", scale=TINY, system=starved)
+    record = result_record(result)
+    assert record["oom"] is True
+    assert record["seconds_per_100_iterations"] is None
+    buf = io.StringIO()
+    write_json([result], buf)
+    assert json.loads(buf.getvalue())[0]["oom"] is True

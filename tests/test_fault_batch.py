@@ -1,0 +1,89 @@
+"""End-to-end fault-buffer batches through the handler (Fig. 3)."""
+
+import pytest
+
+from repro.config import FaultCosts, LinkSpec
+from repro.constants import PAGE_SIZE, PAGES_PER_UM_BLOCK, UM_BLOCK_SIZE
+from repro.sim.fault import FaultAccessType, FaultBuffer
+from repro.sim.fault_handler import DriverFaultHandler
+from repro.sim.gpu import GPUMemory
+from repro.sim.interconnect import PCIeLink
+from repro.sim.um_space import BlockLocation, UnifiedMemorySpace
+
+
+def make_handler(capacity_blocks=4):
+    um = UnifiedMemorySpace()
+    gpu = GPUMemory(capacity_bytes=capacity_blocks * UM_BLOCK_SIZE)
+    spec = LinkSpec()
+    link = PCIeLink(bandwidth=spec.bandwidth, latency=spec.latency,
+                    page_overhead=spec.page_overhead)
+    return um, gpu, DriverFaultHandler(um=um, gpu=gpu, link=link,
+                                       costs=FaultCosts())
+
+
+def cpu_block(um, idx):
+    blk = um.block(idx)
+    blk.populate(512)
+    blk.location = BlockLocation.CPU
+    return blk
+
+
+def test_batch_resolves_all_faulted_blocks():
+    um, gpu, handler = make_handler()
+    a, b = cpu_block(um, 0), cpu_block(um, 1)
+    buffer = FaultBuffer()
+    buffer.record(0, FaultAccessType.READ, 0.0)
+    buffer.record(UM_BLOCK_SIZE, FaultAccessType.WRITE, 0.1)
+    end = handler.handle_batch(buffer, now=0.0)
+    assert gpu.is_resident(a) and gpu.is_resident(b)
+    assert end > 0.0
+    assert len(buffer) == 0
+
+
+def test_batch_dedups_pages_before_counting():
+    um, gpu, handler = make_handler()
+    cpu_block(um, 0)
+    buffer = FaultBuffer()
+    for _ in range(5):  # the GPU raises many entries for one hot page
+        buffer.record(0, FaultAccessType.READ, 0.0)
+    buffer.record(PAGE_SIZE, FaultAccessType.READ, 0.0)
+    handler.handle_batch(buffer, now=0.0)
+    assert handler.stats.page_faults == 2  # pages 0 and 1, deduplicated
+
+
+def test_batch_skips_blocks_already_resident():
+    um, gpu, handler = make_handler()
+    blk = cpu_block(um, 0)
+    handler.resolve_block_fault(blk, 0.0, 512)
+    batches_before = handler.stats.fault_batches
+    buffer = FaultBuffer()
+    buffer.record(0, FaultAccessType.READ, 1.0)
+    handler.handle_batch(buffer, now=1.0)
+    assert handler.stats.fault_batches == batches_before
+
+
+def test_batch_preserves_first_fault_order():
+    um, gpu, handler = make_handler(capacity_blocks=1)
+    cpu_block(um, 0)
+    cpu_block(um, 1)
+    buffer = FaultBuffer()
+    buffer.record(UM_BLOCK_SIZE, FaultAccessType.READ, 0.0)  # block 1 first
+    buffer.record(0, FaultAccessType.READ, 0.1)
+    handler.handle_batch(buffer, now=0.0)
+    # With room for one block, the later-faulting block (0) wins: block 1
+    # was resolved first, then evicted for block 0.
+    assert gpu.is_resident(um.block(0))
+    assert not gpu.is_resident(um.block(1))
+
+
+def test_batch_serializes_transfers():
+    um, gpu, handler = make_handler()
+    for i in range(3):
+        cpu_block(um, i)
+    buffer = FaultBuffer()
+    for i in range(3):
+        buffer.record(i * UM_BLOCK_SIZE, FaultAccessType.READ, 0.0)
+    end = handler.handle_batch(buffer, now=0.0)
+    single = handler.link.transfer_time(
+        UM_BLOCK_SIZE, faulted_pages=PAGES_PER_UM_BLOCK)
+    assert end >= 3 * single

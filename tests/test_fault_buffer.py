@@ -1,0 +1,74 @@
+"""Hardware fault buffer and driver-side fault preprocessing (Fig. 3)."""
+
+from repro.constants import PAGE_SIZE, PAGES_PER_UM_BLOCK
+from repro.sim.fault import FaultAccessType, FaultBuffer, FaultEntry, group_faults
+
+
+def test_record_and_drain():
+    buf = FaultBuffer()
+    buf.record(0, FaultAccessType.READ, 0.0)
+    buf.record(PAGE_SIZE, FaultAccessType.WRITE, 1.0)
+    entries = buf.drain()
+    assert [e.page for e in entries] == [0, 1]
+    assert len(buf) == 0
+
+
+def test_drain_clears_buffer():
+    buf = FaultBuffer()
+    buf.record(0, FaultAccessType.READ, 0.0)
+    buf.drain()
+    assert buf.drain() == []
+
+
+def test_capacity_drops_overflow():
+    buf = FaultBuffer(capacity=2)
+    for i in range(5):
+        buf.record(i * PAGE_SIZE, FaultAccessType.READ, 0.0)
+    assert len(buf) == 2
+    assert buf.dropped == 3
+    assert buf.total_recorded == 2
+
+
+def test_group_faults_dedups_pages():
+    entries = [
+        FaultEntry(0, FaultAccessType.READ, 0.0),
+        FaultEntry(0, FaultAccessType.READ, 1.0),
+        FaultEntry(1, FaultAccessType.READ, 2.0),
+    ]
+    grouped = group_faults(entries)
+    assert len(grouped[0]) == 2  # pages 0 and 1, same UM block
+    pages = [e.page for e in grouped[0]]
+    assert pages == [0, 1]
+
+
+def test_group_faults_write_dominates_read():
+    entries = [
+        FaultEntry(0, FaultAccessType.READ, 0.0),
+        FaultEntry(0, FaultAccessType.WRITE, 1.0),
+    ]
+    grouped = group_faults(entries)
+    (entry,) = grouped[0]
+    assert entry.access is FaultAccessType.WRITE
+    assert entry.timestamp == 0.0  # first-fault timestamp preserved
+
+
+def test_group_faults_groups_by_um_block():
+    entries = [
+        FaultEntry(0, FaultAccessType.READ, 0.0),
+        FaultEntry(PAGES_PER_UM_BLOCK, FaultAccessType.READ, 1.0),
+        FaultEntry(1, FaultAccessType.READ, 2.0),
+    ]
+    grouped = group_faults(entries)
+    assert set(grouped) == {0, 1}
+    assert [e.page for e in grouped[0]] == [0, 1]
+    assert [e.page for e in grouped[1]] == [PAGES_PER_UM_BLOCK]
+
+
+def test_group_faults_preserves_first_fault_order():
+    entries = [
+        FaultEntry(5, FaultAccessType.READ, 0.0),
+        FaultEntry(3, FaultAccessType.READ, 1.0),
+        FaultEntry(5, FaultAccessType.WRITE, 2.0),
+    ]
+    grouped = group_faults(entries)
+    assert [e.page for e in grouped[0]] == [5, 3]

@@ -1,0 +1,138 @@
+"""The driver fault-handling pipeline: eviction, migration, invalidation."""
+
+import pytest
+
+from repro.config import FaultCosts, LinkSpec
+from repro.constants import UM_BLOCK_SIZE
+from repro.sim.fault_handler import DriverFaultHandler, LRUMigratedPolicy
+from repro.sim.gpu import GPUMemory
+from repro.sim.interconnect import PCIeLink
+from repro.sim.um_space import BlockLocation, UnifiedMemorySpace
+
+
+def make_handler(capacity_blocks=4):
+    um = UnifiedMemorySpace()
+    gpu = GPUMemory(capacity_bytes=capacity_blocks * UM_BLOCK_SIZE)
+    spec = LinkSpec()
+    link = PCIeLink(bandwidth=spec.bandwidth, latency=spec.latency,
+                    page_overhead=spec.page_overhead)
+    handler = DriverFaultHandler(um=um, gpu=gpu, link=link, costs=FaultCosts())
+    return um, gpu, link, handler
+
+
+def full_block(um, idx, *, on_cpu=True):
+    blk = um.block(idx)
+    blk.populate(512)
+    if on_cpu:
+        blk.location = BlockLocation.CPU
+    return blk
+
+
+def test_fault_migrates_cpu_block():
+    um, gpu, link, handler = make_handler()
+    blk = full_block(um, 0)
+    t = handler.resolve_block_fault(blk, now=0.0, page_faults=512)
+    assert gpu.is_resident(blk)
+    assert handler.stats.page_faults == 512
+    assert handler.stats.migrated_in_bytes == UM_BLOCK_SIZE
+    # handling + transfer (with page tax) + replay are all on the path
+    expected_min = (handler.costs.handling_overhead
+                    + link.transfer_time(UM_BLOCK_SIZE, faulted_pages=512)
+                    + handler.costs.replay_overhead)
+    assert t == pytest.approx(expected_min)
+
+
+def test_first_touch_fault_needs_no_transfer():
+    um, gpu, link, handler = make_handler()
+    blk = full_block(um, 0, on_cpu=False)  # UNPOPULATED
+    t = handler.resolve_block_fault(blk, now=0.0, page_faults=512)
+    assert gpu.is_resident(blk)
+    assert handler.stats.migrated_in_bytes == 0
+    assert handler.stats.first_touch_faults == 1
+    assert link.bytes_to_gpu == 0
+    assert t == pytest.approx(
+        handler.costs.handling_overhead + handler.costs.replay_overhead
+    )
+
+
+def test_fault_evicts_when_full():
+    um, gpu, link, handler = make_handler(capacity_blocks=2)
+    a = full_block(um, 0)
+    b = full_block(um, 1)
+    handler.resolve_block_fault(a, 0.0, 512)
+    handler.resolve_block_fault(b, 1.0, 512)
+    c = full_block(um, 2)
+    handler.resolve_block_fault(c, 2.0, 512)
+    # Least recently migrated (a) was evicted and written back.
+    assert not gpu.is_resident(a)
+    assert a.location is BlockLocation.CPU
+    assert handler.stats.evictions == 1
+    assert link.bytes_to_cpu == UM_BLOCK_SIZE
+
+
+def test_invalidated_victim_is_dropped_without_traffic():
+    um, gpu, link, handler = make_handler(capacity_blocks=1)
+    a = full_block(um, 0)
+    handler.resolve_block_fault(a, 0.0, 512)
+    a.invalidated = True
+    b = full_block(um, 1)
+    handler.resolve_block_fault(b, 1.0, 512)
+    assert not gpu.is_resident(a)
+    assert a.location is BlockLocation.UNPOPULATED
+    assert handler.stats.invalidated_evictions == 1
+    assert handler.stats.evictions == 0
+    assert link.bytes_to_cpu == 0
+
+
+def test_prefetch_block_moves_off_critical_path():
+    um, gpu, link, handler = make_handler()
+    blk = full_block(um, 0)
+    end = handler.prefetch_block(blk, earliest=0.0)
+    assert end is not None
+    assert gpu.is_resident(blk)
+    # Prefetch pays no per-page fault tax.
+    assert end == pytest.approx(link.transfer_time(UM_BLOCK_SIZE))
+
+
+def test_prefetch_declines_when_full():
+    um, gpu, link, handler = make_handler(capacity_blocks=1)
+    handler.resolve_block_fault(full_block(um, 0), 0.0, 512)
+    assert handler.prefetch_block(full_block(um, 1), 0.0) is None
+
+
+def test_prefetch_resident_is_instant():
+    um, gpu, link, handler = make_handler()
+    blk = full_block(um, 0)
+    handler.prefetch_block(blk, 0.0)
+    assert handler.prefetch_block(blk, 5.0) == 5.0
+
+
+def test_prefetch_unpopulated_admits_for_free():
+    um, gpu, link, handler = make_handler()
+    blk = full_block(um, 0, on_cpu=False)
+    end = handler.prefetch_block(blk, earliest=3.0)
+    assert end == 3.0
+    assert gpu.is_resident(blk)
+    assert link.bytes_to_gpu == 0
+
+
+def test_make_room_raises_without_victims():
+    um, gpu, link, handler = make_handler(capacity_blocks=1)
+
+    class NoVictims:
+        def select_victims(self, gpu, needed, now):
+            return []
+
+    handler.eviction_policy = NoVictims()
+    handler.resolve_block_fault(full_block(um, 0), 0.0, 512)
+    with pytest.raises(RuntimeError):
+        handler.resolve_block_fault(full_block(um, 1), 1.0, 512)
+
+
+def test_lru_migrated_policy_orders_by_migration():
+    um, gpu, link, handler = make_handler(capacity_blocks=3)
+    blocks = [full_block(um, i) for i in range(3)]
+    for i, blk in enumerate(blocks):
+        handler.resolve_block_fault(blk, float(i), 512)
+    victims = LRUMigratedPolicy().select_victims(gpu, UM_BLOCK_SIZE, now=5.0)
+    assert victims[0] is blocks[0]

@@ -1,0 +1,187 @@
+"""Functional ops: shapes, FLOPs, kernel emission, backward structure."""
+
+import pytest
+
+from repro.torchsim import functional as F
+from repro.torchsim.autograd import Tape
+from repro.torchsim.dtypes import int64, uint8
+
+
+@pytest.fixture
+def tape(sim_device):
+    return Tape(device=sim_device)
+
+
+def last_launch(device, name=None):
+    launches = device.manager.launches
+    if name is None:
+        return launches[-1]
+    return next(l for l in reversed(launches) if l.name == name)
+
+
+def test_linear_shapes_and_flops(tape, sim_device):
+    x = sim_device.empty((3, 4, 16))
+    w = sim_device.empty((32, 16), persistent=True)
+    y = F.linear(tape, x, w)
+    assert y.shape == (3, 4, 32)
+    k = last_launch(sim_device, "sgemm")
+    assert k.flops == 2.0 * 12 * 16 * 32
+
+
+def test_linear_shape_mismatch(tape, sim_device):
+    with pytest.raises(ValueError):
+        F.linear(tape, sim_device.empty((2, 8)), sim_device.empty((4, 16)))
+
+
+def test_matmul_batched(tape, sim_device):
+    a = sim_device.empty((6, 10, 8))
+    b = sim_device.empty((6, 8, 12))
+    y = F.matmul(tape, a, b)
+    assert y.shape == (6, 10, 12)
+    assert last_launch(sim_device, "bmm").flops == 2.0 * 6 * 10 * 8 * 12
+
+
+def test_matmul_dim_checks(tape, sim_device):
+    with pytest.raises(ValueError):
+        F.matmul(tape, sim_device.empty((2, 3, 4)), sim_device.empty((2, 5, 6)))
+    with pytest.raises(ValueError):
+        F.matmul(tape, sim_device.empty((2, 3, 4)), sim_device.empty((3, 4, 6)))
+
+
+def test_conv2d_output_shape(tape, sim_device):
+    x = sim_device.empty((2, 3, 32, 32))
+    w = sim_device.empty((8, 3, 3, 3), persistent=True)
+    y = F.conv2d(tape, x, w, stride=1, padding=1)
+    assert y.shape == (2, 8, 32, 32)
+
+
+def test_conv2d_strided(tape, sim_device):
+    x = sim_device.empty((1, 4, 16, 16))
+    w = sim_device.empty((4, 4, 3, 3), persistent=True)
+    y = F.conv2d(tape, x, w, stride=2, padding=1)
+    assert y.shape == (1, 4, 8, 8)
+
+
+def test_conv2d_grouped_flops(tape, sim_device):
+    x = sim_device.empty((1, 8, 8, 8))
+    w_dense = sim_device.empty((8, 8, 3, 3), persistent=True)
+    F.conv2d(tape, x, w_dense, padding=1)
+    dense = last_launch(sim_device, "conv2d_fwd").flops
+    w_dw = sim_device.empty((8, 1, 3, 3), persistent=True)
+    F.conv2d(tape, x, w_dw, padding=1, groups=8)
+    depthwise = last_launch(sim_device, "conv2d_fwd").flops
+    assert depthwise == dense / 8
+
+
+def test_conv2d_collapsed_output_raises(tape, sim_device):
+    x = sim_device.empty((1, 1, 2, 2))
+    w = sim_device.empty((1, 1, 5, 5), persistent=True)
+    with pytest.raises(ValueError):
+        F.conv2d(tape, x, w)
+
+
+def test_conv_transpose2d_upsamples(tape, sim_device):
+    x = sim_device.empty((2, 16, 8, 8))
+    w = sim_device.empty((16, 8, 4, 4), persistent=True)
+    y = F.conv_transpose2d(tape, x, w, stride=2, padding=1)
+    assert y.shape == (2, 8, 16, 16)
+
+
+def test_norms_save_stats(tape, sim_device):
+    x = sim_device.empty((2, 4, 8, 8))
+    g = sim_device.empty((4,), persistent=True)
+    b = sim_device.empty((4,), persistent=True)
+    y = F.batch_norm2d(tape, x, g, b)
+    assert y.shape == x.shape
+    k = last_launch(sim_device, "batch_norm_fwd")
+    assert len(k.writes) == 2  # output + saved statistics
+
+
+def test_layer_norm_shape(tape, sim_device):
+    x = sim_device.empty((2, 6, 32))
+    g = sim_device.empty((32,), persistent=True)
+    b = sim_device.empty((32,), persistent=True)
+    assert F.layer_norm(tape, x, g, b).shape == x.shape
+
+
+def test_softmax_saves_output_for_backward(tape, sim_device):
+    x = sim_device.empty((2, 8))
+    y = F.softmax(tape, x)
+    entry = tape.entries[-1]
+    assert entry.saved == (y,)
+
+
+def test_dropout_allocates_byte_mask(tape, sim_device):
+    x = sim_device.empty((4, 16))
+    F.dropout(tape, x, 0.1)
+    k = last_launch(sim_device, "dropout_fwd")
+    mask = k.writes[1]
+    assert mask.dtype is uint8
+    assert mask.nbytes == x.numel
+
+
+def test_add_requires_same_shape(tape, sim_device):
+    with pytest.raises(ValueError):
+        F.add(tape, sim_device.empty((2, 2)), sim_device.empty((2, 3)))
+
+
+def test_max_pool_shapes_and_indices(tape, sim_device):
+    x = sim_device.empty((1, 2, 8, 8))
+    y = F.max_pool2d(tape, x, kernel=2, stride=2)
+    assert y.shape == (1, 2, 4, 4)
+    k = last_launch(sim_device, "max_pool2d_fwd")
+    assert k.writes[1].dtype is int64
+
+
+def test_global_avg_pool(tape, sim_device):
+    x = sim_device.empty((3, 7, 4, 4))
+    assert F.global_avg_pool2d(tape, x).shape == (3, 7)
+
+
+def test_embedding_output_shape(tape, sim_device):
+    table = sim_device.empty((100, 16), persistent=True)
+    idx = sim_device.empty((2, 5), int64, persistent=True)
+    assert F.embedding(tape, table, idx).shape == (2, 5, 16)
+
+
+def test_embedding_bag_is_sparse_both_ways(tape, sim_device):
+    table = sim_device.empty((1000, 16), persistent=True)
+    idx = sim_device.empty((8,), int64, persistent=True)
+    y = F.embedding_bag(tape, table, idx, coverage=0.3)
+    assert y.shape == (8, 16)
+    fwd = last_launch(sim_device, "embedding_bag_fwd")
+    assert fwd.sparse is not None and fwd.sparse.coverage == 0.3
+    tape.backward(F.mse_loss(tape, y, sim_device.empty((8, 16), persistent=True)))
+    bwd = last_launch(sim_device, "embedding_bag_bwd")
+    assert bwd.sparse is not None
+    assert table in bwd.writes  # fused in-place sparse update
+
+
+def test_cross_entropy_scalar_loss(tape, sim_device):
+    logits = sim_device.empty((4, 10))
+    t = sim_device.empty((4,), int64, persistent=True)
+    loss = F.cross_entropy(tape, logits, t)
+    assert loss.shape == (1,)
+
+
+def test_concat_features(tape, sim_device):
+    parts = [sim_device.empty((4, 3)), sim_device.empty((4, 5))]
+    y = F.concat_features(tape, parts)
+    assert y.shape == (4, 8)
+
+
+def test_concat_features_batch_mismatch(tape, sim_device):
+    with pytest.raises(ValueError):
+        F.concat_features(tape, [sim_device.empty((4, 3)),
+                                 sim_device.empty((5, 3))])
+
+
+def test_unary_backward_round_trip(tape, sim_device):
+    for op, bwd in [(F.relu, "relu_bwd"), (F.gelu, "gelu_bwd"),
+                    (F.tanh, "tanh_bwd"), (F.sigmoid, "sigmoid_bwd"),
+                    (F.leaky_relu, "leaky_relu_bwd")]:
+        t2 = Tape(device=sim_device)
+        x = sim_device.empty((4, 4))
+        y = op(t2, x)
+        t2.backward(F.mse_loss(t2, y, sim_device.empty((4, 4), persistent=True)))
+        assert any(l.name == bwd for l in sim_device.manager.launches)

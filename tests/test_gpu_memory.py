@@ -1,0 +1,104 @@
+"""GPU residency bookkeeping and migration-order LRU."""
+
+import pytest
+
+from repro.constants import UM_BLOCK_SIZE
+from repro.sim.gpu import GPUMemory, GPUOutOfMemory
+from repro.sim.um_space import BlockLocation, UnifiedMemorySpace
+
+
+@pytest.fixture
+def gpu():
+    return GPUMemory(capacity_bytes=4 * UM_BLOCK_SIZE)
+
+
+def _full_block(um, idx):
+    blk = um.block(idx)
+    blk.populate(512)
+    return blk
+
+
+def test_admit_tracks_usage(gpu):
+    um = UnifiedMemorySpace()
+    blk = _full_block(um, 0)
+    gpu.admit(blk, now=1.0)
+    assert gpu.is_resident(blk)
+    assert gpu.used_bytes == UM_BLOCK_SIZE
+    assert blk.location is BlockLocation.GPU
+    assert blk.last_migrated_at == 1.0
+
+
+def test_admit_is_idempotent(gpu):
+    um = UnifiedMemorySpace()
+    blk = _full_block(um, 0)
+    gpu.admit(blk, now=1.0)
+    gpu.admit(blk, now=2.0)
+    assert gpu.used_bytes == UM_BLOCK_SIZE
+
+
+def test_admit_overflow_raises(gpu):
+    um = UnifiedMemorySpace()
+    for i in range(4):
+        gpu.admit(_full_block(um, i), now=float(i))
+    with pytest.raises(GPUOutOfMemory):
+        gpu.admit(_full_block(um, 4), now=5.0)
+
+
+def test_remove_to_cpu(gpu):
+    um = UnifiedMemorySpace()
+    blk = _full_block(um, 0)
+    gpu.admit(blk, now=0.0)
+    gpu.remove(blk, to_cpu=True)
+    assert not gpu.is_resident(blk)
+    assert gpu.used_bytes == 0
+    assert blk.location is BlockLocation.CPU
+
+
+def test_remove_invalidated_keeps_backing_pages(gpu):
+    """Invalidation drops data but keeps the reservation: the next GPU
+    touch repopulates on-device with no transfer."""
+    um = UnifiedMemorySpace()
+    blk = _full_block(um, 0)
+    gpu.admit(blk, now=0.0)
+    gpu.remove(blk, to_cpu=False)
+    assert blk.location is BlockLocation.UNPOPULATED
+    assert blk.populated_pages == 512
+
+
+def test_remove_nonresident_is_noop(gpu):
+    um = UnifiedMemorySpace()
+    blk = _full_block(um, 0)
+    gpu.remove(blk)
+    assert gpu.used_bytes == 0
+
+
+def test_migration_order_is_fifo_of_admission(gpu):
+    um = UnifiedMemorySpace()
+    blocks = [_full_block(um, i) for i in range(4)]
+    for i, blk in enumerate(blocks):
+        gpu.admit(blk, now=float(i))
+    assert [b.index for b in gpu.migration_order()] == [0, 1, 2, 3]
+    assert gpu.oldest() is blocks[0]
+
+
+def test_readmission_refreshes_migration_order(gpu):
+    um = UnifiedMemorySpace()
+    blocks = [_full_block(um, i) for i in range(3)]
+    for i, blk in enumerate(blocks):
+        gpu.admit(blk, now=float(i))
+    gpu.remove(blocks[0])
+    gpu.admit(blocks[0], now=10.0)
+    assert [b.index for b in gpu.migration_order()] == [1, 2, 0]
+
+
+def test_has_room_for(gpu):
+    um = UnifiedMemorySpace()
+    for i in range(3):
+        gpu.admit(_full_block(um, i), now=0.0)
+    assert gpu.has_room_for(_full_block(um, 10))
+    gpu.admit(_full_block(um, 3), now=0.0)
+    assert not gpu.has_room_for(_full_block(um, 11))
+
+
+def test_oldest_empty_is_none(gpu):
+    assert gpu.oldest() is None

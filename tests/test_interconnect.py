@@ -1,0 +1,63 @@
+"""PCIe link occupancy, serialization, and the demand-fault page tax."""
+
+import pytest
+
+from repro.sim.interconnect import PCIeLink
+
+
+@pytest.fixture
+def link():
+    return PCIeLink(bandwidth=10e9, latency=10e-6, page_overhead=1e-6)
+
+
+def test_transfer_time_latency_plus_serialization(link):
+    assert link.transfer_time(10e9) == pytest.approx(1.0 + 10e-6)
+
+
+def test_transfer_time_zero_bytes_is_free(link):
+    assert link.transfer_time(0) == 0.0
+
+
+def test_faulted_pages_add_overhead(link):
+    base = link.transfer_time(1 << 20)
+    taxed = link.transfer_time(1 << 20, faulted_pages=256)
+    assert taxed == pytest.approx(base + 256e-6)
+
+
+def test_occupy_serializes_transfers(link):
+    s1, e1 = link.occupy(0.0, 10e9, to_gpu=True)
+    s2, e2 = link.occupy(0.0, 10e9, to_gpu=False)
+    assert s1 == 0.0
+    assert s2 == pytest.approx(e1)
+    assert e2 > e1
+
+
+def test_occupy_waits_for_earliest(link):
+    start, end = link.occupy(5.0, 10e9, to_gpu=True)
+    assert start == 5.0
+
+
+def test_occupy_accounts_direction(link):
+    link.occupy(0.0, 1000, to_gpu=True)
+    link.occupy(0.0, 2000, to_gpu=False)
+    assert link.bytes_to_gpu == 1000
+    assert link.bytes_to_cpu == 2000
+
+
+def test_busy_time_accumulates(link):
+    link.occupy(0.0, 10e9, to_gpu=True)
+    link.occupy(0.0, 10e9, to_gpu=True)
+    assert link.busy_time == pytest.approx(2.0 + 20e-6)
+
+
+def test_idle_until(link):
+    assert link.idle_until(0.0)
+    link.occupy(0.0, 10e9, to_gpu=True)
+    assert not link.idle_until(0.5)
+    assert link.idle_until(2.0)
+
+
+def test_faulted_pages_counter(link):
+    link.occupy(0.0, 4096, to_gpu=True, faulted_pages=1)
+    link.occupy(0.0, 4096, to_gpu=True, faulted_pages=3)
+    assert link.faulted_pages == 4

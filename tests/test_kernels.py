@@ -1,0 +1,71 @@
+"""Kernel launch records and the roofline cost model."""
+
+import pytest
+
+from repro.config import GPUSpec
+from repro.torchsim.kernels import KernelCostModel, KernelLaunch, SparseAccess
+
+
+def launch(sim_device, name="k", flops=1e6, sparse=None, n_reads=2):
+    reads = [sim_device.empty((256, 256)) for _ in range(n_reads)]
+    writes = [sim_device.empty((256, 256))]
+    return KernelLaunch(name=name, arg_signature=(1,), reads=reads,
+                        writes=writes, flops=flops, sparse=sparse)
+
+
+def test_exec_signature_combines_name_and_args(sim_device):
+    k = launch(sim_device)
+    assert k.exec_signature == ("k", (1,))
+
+
+def test_operands_dedup_preserving_order(sim_device):
+    t = sim_device.empty((4,))
+    k = KernelLaunch("k", (), reads=[t, t], writes=[t], flops=1.0)
+    assert k.operands == [t]
+
+
+def test_bytes_accessed_sums_operands(sim_device):
+    k = launch(sim_device)
+    assert k.bytes_accessed == 3 * 256 * 256 * 4
+
+
+def test_sparse_access_scales_bytes(sim_device):
+    k = launch(sim_device, sparse=SparseAccess(tensor_index=0, coverage=0.5))
+    full = 3 * 256 * 256 * 4
+    assert k.bytes_accessed == full - (256 * 256 * 4) // 2
+
+
+def test_sparse_coverage_validation():
+    with pytest.raises(ValueError):
+        SparseAccess(tensor_index=0, coverage=0.0)
+    with pytest.raises(ValueError):
+        SparseAccess(tensor_index=0, coverage=1.5)
+
+
+def test_seq_monotonic(sim_device):
+    a = launch(sim_device)
+    b = launch(sim_device)
+    assert b.seq > a.seq
+
+
+def test_cost_model_compute_bound(sim_device):
+    gpu = GPUSpec(flops_per_second=1e12, compute_efficiency=1.0,
+                  hbm_bandwidth=1e12)
+    model = KernelCostModel(gpu)
+    k = launch(sim_device, flops=1e9)  # 1 ms compute vs ~0.8 us memory
+    assert model.compute_time(k) == pytest.approx(1e-3)
+
+
+def test_cost_model_memory_bound(sim_device):
+    gpu = GPUSpec(flops_per_second=1e15, compute_efficiency=1.0,
+                  hbm_bandwidth=1e9)
+    model = KernelCostModel(gpu)
+    k = launch(sim_device, flops=1.0)
+    assert model.compute_time(k) == pytest.approx(k.bytes_accessed / 1e9)
+
+
+def test_cost_scales_with_efficiency(sim_device):
+    fast = KernelCostModel(GPUSpec(compute_efficiency=1.0))
+    slow = KernelCostModel(GPUSpec(compute_efficiency=0.5))
+    k = launch(sim_device, flops=1e14)
+    assert slow.compute_time(k) == pytest.approx(2 * fast.compute_time(k))

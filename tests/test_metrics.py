@@ -1,0 +1,46 @@
+"""Measurement-window metrics."""
+
+import pytest
+
+from repro.harness.metrics import Snapshot, WindowMetrics
+
+
+def snap(elapsed, faults=0, gpu=0.0, link=0.0, bin_=0, bout=0):
+    return Snapshot(elapsed=elapsed, page_faults=faults, gpu_busy=gpu,
+                    link_busy=link, bytes_in=bin_, bytes_out=bout)
+
+
+def window(before, after, iters=2):
+    return WindowMetrics.between(before, after, iters,
+                                 idle_watts=100.0, gpu_watts=200.0,
+                                 link_watts=50.0)
+
+
+def test_between_computes_deltas():
+    w = window(snap(1.0, faults=10, gpu=0.5, link=0.2, bin_=100, bout=50),
+               snap(3.0, faults=30, gpu=1.5, link=0.6, bin_=400, bout=250))
+    assert w.elapsed == pytest.approx(2.0)
+    assert w.page_faults == 20
+    assert w.gpu_busy == pytest.approx(1.0)
+    assert w.bytes_in == 300 and w.bytes_out == 200
+
+
+def test_per_iteration_normalization():
+    w = window(snap(0.0), snap(4.0), iters=4)
+    assert w.seconds_per_iteration == 1.0
+    assert w.seconds_per_100_iterations() == 100.0
+
+
+def test_faults_per_iteration():
+    w = window(snap(0.0, faults=0), snap(1.0, faults=10), iters=5)
+    assert w.faults_per_iteration == 2.0
+
+
+def test_energy_integrates_components():
+    w = window(snap(0.0), snap(2.0, gpu=1.0, link=0.5))
+    assert w.energy_joules == pytest.approx(100 * 2 + 200 * 1 + 50 * 0.5)
+
+
+def test_zero_iterations_rejected():
+    with pytest.raises(ValueError):
+        window(snap(0.0), snap(1.0), iters=0)

@@ -1,0 +1,131 @@
+"""Finer-grained model structure checks (shapes, kernels, scaling rules)."""
+
+import pytest
+
+from repro.models.gpt2 import GPT2, build_gpt2, reshape_copy
+from repro.models.bert import build_bert
+from repro.models.dlrm import build_dlrm
+from repro.models.resnet import STAGE_DEPTHS, build_resnet
+from repro.models.mobilenet import MOBILENET_CFG, build_mobilenet
+from repro.sim import UnifiedMemorySpace
+from repro.torchsim.autograd import Tape
+from repro.torchsim.backend import UMBackend
+from repro.torchsim.context import Device, SimpleManager
+
+
+def fresh_device():
+    return Device.with_backend(
+        UMBackend(um=UnifiedMemorySpace(), host_capacity=1 << 50),
+        SimpleManager(),
+    )
+
+
+def kernel_names(device):
+    return [l.name for l in device.manager.launches]
+
+
+def test_gpt2_attention_kernel_sequence():
+    device = fresh_device()
+    workload = build_gpt2(device, 2, variant="l", scale=0.0625)
+    workload.step()
+    names = kernel_names(device)
+    # attention pipeline: qkv gemm, splits, qk bmm, softmax, av bmm, merge
+    for expected in ("sgemm", "split_q", "split_k", "split_v", "bmm",
+                     "softmax_fwd", "head_merge"):
+        assert expected in names, expected
+
+
+def test_gpt2_heads_divide_width():
+    device = fresh_device()
+    workload = build_gpt2(device, 2, variant="xl", scale=0.0625)
+    model = workload.model
+    attn = model.blocks[0].attn
+    assert attn.d_model % attn.heads == 0
+
+
+def test_gpt2_unknown_variant():
+    with pytest.raises(ValueError):
+        build_gpt2(fresh_device(), 2, variant="xxl")
+
+
+def test_reshape_copy_backward_restores_shape():
+    device = fresh_device()
+    tape = Tape(device=device)
+    x = device.empty((2, 4, 8))
+    y = reshape_copy(tape, x, (8, 8), "test_reshape")
+    assert y.shape == (8, 8)
+    entry = tape.entries[-1]
+    (gx,) = entry.backward(device.empty((8, 8)))
+    assert gx.shape == x.shape
+
+
+def test_bert_mlm_vs_cola_heads_differ():
+    mlm = build_bert(fresh_device(), 2, variant="base", dataset="wikitext",
+                     scale=0.0625)
+    cola = build_bert(fresh_device(), 2, variant="base", dataset="cola",
+                      scale=0.0625)
+    assert mlm.model.num_labels == 0
+    assert cola.model.num_labels == 2
+    # CoLA's classification head is far smaller than the MLM vocab head.
+    assert cola.model.num_parameters() < mlm.model.num_parameters()
+
+
+def test_bert_unknown_variant():
+    with pytest.raises(ValueError):
+        build_bert(fresh_device(), 2, variant="huge")
+
+
+def test_dlrm_coverage_grows_with_batch():
+    small = build_dlrm(fresh_device(), 500, scale=0.1)
+    large = build_dlrm(fresh_device(), 4000, scale=0.1)
+    assert large.model.tables[0].coverage > small.model.tables[0].coverage
+    assert 0.0 < small.model.tables[0].coverage <= 1.0
+
+
+def test_dlrm_has_26_tables_and_dense_mlp():
+    workload = build_dlrm(fresh_device(), 100, scale=0.1)
+    assert len(workload.model.tables) == 26
+    workload.step()
+
+
+def test_resnet_stage_depths_published():
+    assert STAGE_DEPTHS["resnet152"] == (3, 8, 36, 3)
+    assert STAGE_DEPTHS["resnet200"] == (3, 24, 36, 3)
+
+
+def test_resnet_full_scale_block_count():
+    device = fresh_device()
+    workload = build_resnet(device, 1, variant="resnet152",
+                            dataset="imagenet", scale=1.0)
+    assert len(workload.model.blocks) == 50  # 3 + 8 + 36 + 3
+
+
+def test_resnet_downsamples_on_stage_transitions():
+    device = fresh_device()
+    workload = build_resnet(device, 1, variant="resnet152",
+                            dataset="cifar10", scale=0.125)
+    blocks = workload.model.blocks
+    assert blocks[0].downsample is not None      # channel widening
+    with_down = [b for b in blocks if b.downsample is not None]
+    assert len(with_down) == 4                   # one per stage
+
+
+def test_resnet_unknown_variant():
+    with pytest.raises(ValueError):
+        build_resnet(fresh_device(), 1, variant="resnet999")
+
+
+def test_mobilenet_depthwise_pairs():
+    device = fresh_device()
+    workload = build_mobilenet(device, 8, scale=0.25)
+    assert len(workload.model.blocks) == len(MOBILENET_CFG) == 13
+    workload.step()
+    names = kernel_names(device)
+    grouped = [l for l in device.manager.launches
+               if l.name == "conv2d_fwd" and l.arg_signature[4] > 1]
+    assert len(grouped) == 13  # one depthwise conv per pair
+
+
+def test_workload_repr():
+    workload = build_mobilenet(fresh_device(), 4, scale=0.25)
+    assert "mobilenet" in repr(workload)

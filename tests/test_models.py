@@ -1,0 +1,152 @@
+"""The nine workload models: construction, determinism, footprint scaling."""
+
+import pytest
+
+from repro.models.base import Workload, scaled
+from repro.models.registry import MODEL_BUILDERS, get_model_config, list_models
+from repro.sim import UnifiedMemorySpace
+from repro.torchsim.backend import UMBackend
+from repro.torchsim.context import Device, SimpleManager
+
+TINY = 0.0625  # very small dims: fast construction for every model
+
+
+def fresh_device(seed=0):
+    um = UnifiedMemorySpace()
+    return Device.with_backend(
+        UMBackend(um=um, host_capacity=1 << 50), SimpleManager(), seed=seed
+    )
+
+
+def test_registry_lists_all_paper_models():
+    names = list_models()
+    for expected in ["gpt2-xl", "gpt2-l", "bert-large", "bert-base", "dlrm",
+                     "resnet152", "resnet200", "resnet200-cifar",
+                     "bert-large-cola", "dcgan", "mobilenet"]:
+        assert expected in names
+
+
+def test_unknown_model_raises():
+    with pytest.raises(KeyError):
+        get_model_config("alexnet")
+
+
+@pytest.mark.parametrize("name", list_models())
+def test_every_model_builds_and_trains(name):
+    cfg = get_model_config(name)
+    device = fresh_device()
+    workload = cfg.build(device, cfg.sim_batch(cfg.fig9_batches[0]), scale=TINY)
+    assert isinstance(workload, Workload)
+    workload.step()
+    assert device.kernel_count > 20
+    assert workload.model.num_parameters() > 0
+
+
+@pytest.mark.parametrize("name", ["gpt2-l", "bert-base", "resnet152",
+                                  "mobilenet", "dcgan"])
+def test_steady_state_kernel_stream_is_periodic(name):
+    """Iterations 2 and 3 launch identical kernel sequences — the
+    repetition DeepUM's correlation tables rely on."""
+    cfg = get_model_config(name)
+    device = fresh_device()
+    workload = cfg.build(device, cfg.sim_batch(cfg.fig9_batches[0]), scale=TINY)
+    workload.step()
+    launches = device.manager.launches
+    start2 = len(launches)
+    workload.step()
+    start3 = len(launches)
+    workload.step()
+    iter2 = [l.exec_signature for l in launches[start2:start3]]
+    iter3 = [l.exec_signature for l in launches[start3:]]
+    assert iter2 == iter3
+
+
+def test_memory_steady_after_warmup():
+    cfg = get_model_config("bert-base")
+    device = fresh_device()
+    workload = cfg.build(device, 2, scale=TINY)
+    workload.step()
+    workload.step()
+    after_two = device.allocator.stats.allocated_bytes
+    workload.step()
+    assert device.allocator.stats.allocated_bytes == after_two
+
+
+def test_footprint_grows_with_batch():
+    cfg = get_model_config("bert-base")
+    sizes = []
+    for batch in (2, 8):
+        device = fresh_device()
+        workload = cfg.build(device, batch, scale=TINY)
+        workload.step()
+        sizes.append(device.allocator.stats.peak_allocated)
+    assert sizes[1] > sizes[0]
+
+
+def test_footprint_grows_with_scale():
+    cfg = get_model_config("gpt2-l")
+    sizes = []
+    for scale in (TINY, 2 * TINY):
+        device = fresh_device()
+        workload = cfg.build(device, 2, scale=scale)
+        workload.step()
+        sizes.append(device.allocator.stats.peak_allocated)
+    assert sizes[1] > 2 * sizes[0]
+
+
+def test_dlrm_embedding_access_is_irregular():
+    """DLRM's table lookups go through SparseAccess — the defining trait."""
+    cfg = get_model_config("dlrm")
+    device = fresh_device()
+    workload = cfg.build(device, 64, scale=TINY)
+    workload.step()
+    sparse = [l for l in device.manager.launches if l.sparse is not None]
+    assert len(sparse) >= 26  # one lookup per categorical feature
+
+
+def test_dlrm_tables_skip_dense_optimizer():
+    cfg = get_model_config("dlrm")
+    device = fresh_device()
+    workload = cfg.build(device, 64, scale=TINY)
+    table_params = {id(t.table) for t in workload.model.tables}
+    assert all(id(p) not in table_params for p in workload.optimizer.params)
+
+
+def test_gpt2_variants_differ_in_size():
+    dl, dxl = fresh_device(), fresh_device()
+    wl = get_model_config("gpt2-l").build(dl, 2, scale=TINY)
+    wxl = get_model_config("gpt2-xl").build(dxl, 2, scale=TINY)
+    assert wxl.model.num_parameters() > wl.model.num_parameters()
+
+
+def test_resnet200_deeper_than_152():
+    d152, d200 = fresh_device(), fresh_device()
+    w152 = get_model_config("resnet152").build(d152, 4, scale=TINY)
+    w200 = get_model_config("resnet200").build(d200, 4, scale=TINY)
+    assert len(w200.model.blocks) > len(w152.model.blocks)
+
+
+def test_dcgan_uses_two_optimizers():
+    device = fresh_device()
+    workload = get_model_config("dcgan").build(device, 8, scale=TINY)
+    assert len(workload.extra_optimizers) == 1
+    workload.step()
+    assert any(l.name == "adam_step" for l in device.manager.launches)
+
+
+def test_bert_cola_has_classifier_head():
+    device = fresh_device()
+    workload = get_model_config("bert-large-cola").build(device, 4, scale=TINY)
+    assert workload.model.num_labels == 2
+
+
+def test_sim_batch_floor():
+    cfg = get_model_config("resnet152")
+    assert cfg.sim_batch(1) == 1
+    assert cfg.sim_batch(1280) == 1280 // cfg.batch_divisor
+
+
+def test_scaled_helper():
+    assert scaled(100, 0.5) == 50
+    assert scaled(100, 0.001, minimum=8) == 8
+    assert scaled(100, 0.5, multiple=8) == 48

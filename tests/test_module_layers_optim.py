@@ -1,0 +1,147 @@
+"""Module system, layers, and optimizers."""
+
+import pytest
+
+from repro.torchsim import functional as F
+from repro.torchsim.autograd import Tape
+from repro.torchsim.dtypes import int64
+from repro.torchsim.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    EmbeddingBag,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.torchsim.module import Module, Parameter, Sequential
+from repro.torchsim.optim import SGD, Adam, AdamW
+
+
+def test_parameters_are_discovered_recursively(sim_device):
+    class Net(Module):
+        def __init__(self, device):
+            super().__init__()
+            self.a = Linear(device, 4, 4, name="a")
+            self.b = Sequential(Linear(device, 4, 4, name="b"), ReLU())
+
+    net = Net(sim_device)
+    names = dict(net.named_parameters())
+    assert "a.weight" in names and "a.bias" in names
+    assert any("m0.weight" in n for n in names)
+    assert net.num_parameters() == 2 * (16 + 4)
+
+
+def test_parameters_deduplicated(sim_device):
+    class Shared(Module):
+        def __init__(self, device):
+            super().__init__()
+            lin = Linear(device, 4, 4)
+            self.a = lin
+            self.b = lin
+
+    assert len(list(Shared(sim_device).parameters())) == 2  # weight + bias
+
+
+def test_sequential_applies_in_order(sim_device):
+    seq = Sequential(Linear(sim_device, 8, 16, name="l1"),
+                     ReLU(),
+                     Linear(sim_device, 16, 4, name="l2"))
+    tape = Tape(device=sim_device)
+    y = seq(tape, sim_device.empty((2, 8)))
+    assert y.shape == (2, 4)
+    assert len(seq) == 3
+
+
+def test_layer_forward_shapes(sim_device):
+    tape = Tape(device=sim_device)
+    x = sim_device.empty((2, 3, 16, 16))
+    y = Conv2d(sim_device, 3, 8, 3, padding=1)(tape, x)
+    y = BatchNorm2d(sim_device, 8)(tape, y)
+    y = MaxPool2d(kernel=2, stride=2)(tape, y)
+    assert y.shape == (2, 8, 8, 8)
+
+
+def test_linear_no_bias(sim_device):
+    lin = Linear(sim_device, 8, 8, bias=False)
+    assert lin.bias is None
+    assert len(list(lin.parameters())) == 1
+
+
+def test_dropout_layer(sim_device):
+    tape = Tape(device=sim_device)
+    y = Dropout(0.5)(tape, sim_device.empty((4, 4)))
+    assert y.shape == (4, 4)
+
+
+def test_embedding_layers(sim_device):
+    tape = Tape(device=sim_device)
+    idx = sim_device.empty((3, 7), int64, persistent=True)
+    y = Embedding(sim_device, 50, 8)(tape, idx)
+    assert y.shape == (3, 7, 8)
+    bag_idx = sim_device.empty((5,), int64, persistent=True)
+    bag = EmbeddingBag(sim_device, 1000, 8, coverage=0.5)
+    assert bag(tape, bag_idx).shape == (5, 8)
+    assert bag.table.sparse_grad
+
+
+def test_layernorm_params(sim_device):
+    ln = LayerNorm(sim_device, 32)
+    assert {p.shape for p in ln.parameters()} == {(32,)}
+
+
+def _train_one_step(sim_device, opt_cls, **kw):
+    lin = Linear(sim_device, 8, 8)
+    opt = opt_cls(sim_device, lin.parameters(), **kw)
+    tape = Tape(device=sim_device)
+    x = sim_device.empty((2, 8))
+    t = sim_device.empty((2,), int64, persistent=True)
+    tape.backward(F.cross_entropy(tape, lin(tape, x), t))
+    opt.step()
+    opt.zero_grad()
+    return lin, opt
+
+
+def test_sgd_state_and_kernels(sim_device):
+    lin, opt = _train_one_step(sim_device, SGD, lr=0.1, momentum=0.9)
+    steps = [l for l in sim_device.manager.launches if l.name == "sgd_step"]
+    assert len(steps) == 2  # weight + bias
+    # momentum: one state tensor per parameter
+    assert opt.state_bytes() == lin.weight.nbytes + lin.bias.nbytes
+
+
+def test_adam_has_two_state_slots(sim_device):
+    lin, opt = _train_one_step(sim_device, Adam)
+    assert opt.state_bytes() == 2 * (lin.weight.nbytes + lin.bias.nbytes)
+
+
+def test_adamw_kernel_name(sim_device):
+    _train_one_step(sim_device, AdamW)
+    assert any(l.name == "adamw_step" for l in sim_device.manager.launches)
+
+
+def test_optimizer_skips_sparse_grad_params(sim_device):
+    bag = EmbeddingBag(sim_device, 100, 8, coverage=0.5)
+    lin = Linear(sim_device, 8, 8)
+    opt = SGD(sim_device, list(bag.parameters()) + list(lin.parameters()))
+    assert bag.table not in opt.params
+    assert lin.weight in opt.params
+
+
+def test_step_skips_params_without_grad(sim_device):
+    lin = Linear(sim_device, 4, 4)
+    opt = SGD(sim_device, lin.parameters())
+    opt.step()  # no grads yet: no kernels
+    assert not any(l.name == "sgd_step" for l in sim_device.manager.launches)
+
+
+def test_zero_grad_emits_fill(sim_device):
+    _train_one_step(sim_device, SGD)
+    assert any(l.name == "zero_grad" for l in sim_device.manager.launches)
+
+
+def test_parameter_bytes(sim_device):
+    lin = Linear(sim_device, 16, 16)
+    assert lin.parameter_bytes() == (16 * 16 + 16) * 4

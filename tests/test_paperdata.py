@@ -1,0 +1,99 @@
+"""Consistency of the transcribed paper-reference data."""
+
+from repro.harness.paperdata import (
+    FIG9B_ELAPSED,
+    FIG10_REDUCTION,
+    FIG11_BEST_DEGREE,
+    FIG12_BEST_CONFIG,
+    PAPER_AVG_SPEEDUP_OVER_LMS,
+    PAPER_AVG_SPEEDUP_OVER_UM,
+    TABLE3_MAX_BATCH,
+    TABLE4_TABLE_MB,
+    TABLE5_FAULTS,
+    TABLE6_CONFIGS,
+    TABLE7_MAX_BATCH,
+    TABLE8_COMPARISON,
+)
+from repro.models.registry import MODEL_BUILDERS
+
+
+def test_fig9b_models_are_registered():
+    for model, _ in FIG9B_ELAPSED:
+        assert model in MODEL_BUILDERS
+
+
+def test_fig9b_batches_match_registry_grids():
+    for (model, batch) in FIG9B_ELAPSED:
+        assert batch in MODEL_BUILDERS[model].fig9_batches
+
+
+def test_fig9b_deepum_beats_um_everywhere_but_dlrm_is_closest():
+    ratios = {}
+    for (model, batch), cells in FIG9B_ELAPSED.items():
+        if cells["um"] and cells["deepum"]:
+            ratios.setdefault(model, []).append(cells["um"] / cells["deepum"])
+    means = {m: sum(v) / len(v) for m, v in ratios.items()}
+    assert all(mean > 1.0 for mean in means.values())
+    assert means["dlrm"] == min(means.values())
+
+
+def test_headline_averages_consistent_with_cells():
+    # The per-cell table must support the ~3x headline within tolerance.
+    speedups = [cells["um"] / cells["deepum"]
+                for cells in FIG9B_ELAPSED.values()
+                if cells["um"] and cells["deepum"]]
+    import math
+    gmean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    assert abs(gmean - PAPER_AVG_SPEEDUP_OVER_UM) / PAPER_AVG_SPEEDUP_OVER_UM < 0.25
+    assert PAPER_AVG_SPEEDUP_OVER_LMS > 1.0
+
+
+def test_table3_deepum_strictly_larger():
+    for model, row in TABLE3_MAX_BATCH.items():
+        assert row["deepum"] > row["lms"], model
+
+
+def test_table4_positive_and_keyed_to_models():
+    for (model, _), mb in TABLE4_TABLE_MB.items():
+        assert model in MODEL_BUILDERS
+        assert mb > 0
+
+
+def test_table5_deepum_under_two_percent_of_um():
+    for (model, _), cells in TABLE5_FAULTS.items():
+        ratio = cells["deepum"] / cells["um"]
+        assert ratio < 0.02, (model, ratio)
+
+
+def test_fig10_monotone():
+    assert (FIG10_REDUCTION["prefetch"]
+            < FIG10_REDUCTION["prefetch+preevict"]
+            < FIG10_REDUCTION["prefetch+preevict+invalidate"])
+
+
+def test_table6_contains_best_config():
+    names = [c[0] for c in TABLE6_CONFIGS]
+    assert FIG12_BEST_CONFIG in names
+    assert len(TABLE6_CONFIGS) == 13
+    name, assoc, succs, rows = TABLE6_CONFIGS[names.index(FIG12_BEST_CONFIG)]
+    assert (assoc, succs, rows) == (2, 4, 2048)
+
+
+def test_fig11_best_degree_documented():
+    assert FIG11_BEST_DEGREE == 32
+
+
+def test_table7_deepum_largest_where_defined():
+    for model, row in TABLE7_MAX_BATCH.items():
+        deepum = row["deepum"]
+        for system, value in row.items():
+            if system == "deepum" or value is None:
+                continue
+            assert deepum > value, (model, system)
+
+
+def test_table8_deepum_is_transparent_profiler():
+    row = next(r for r in TABLE8_COMPARISON if r[0] == "DeepUM")
+    name, base, fw_mod, script_mod, profiling = row
+    assert base == "PyTorch"
+    assert fw_mod is True and script_mod is False and profiling is True

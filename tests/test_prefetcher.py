@@ -1,0 +1,186 @@
+"""The chaining prefetcher: emission, chaining, windows, resync.
+
+Tests teach the correlation tables by replaying a (kernel, faults)
+schedule through the correlator, then attach a fresh prefetcher and assert
+on the commands it produces — separating learning from prediction.
+"""
+
+import pytest
+
+from repro.core.block_table import BlockTableConfig
+from repro.core.correlator import Correlator
+from repro.core.prefetcher import ChainingPrefetcher
+
+
+def teach(schedule, repeats=3):
+    """Build a correlator whose tables learned ``schedule``."""
+    cor = Correlator(BlockTableConfig(num_rows=64, assoc=2, num_succs=4))
+    for _ in range(repeats):
+        for exec_id, blocks in schedule:
+            cor.on_kernel_launch(exec_id)
+            for blk in blocks:
+                cor.on_fault(blk)
+    return cor
+
+
+def replay_launch(cor, pf, exec_id):
+    cor.on_kernel_launch(exec_id)
+    pf.on_kernel_launch(exec_id)
+
+
+def replay_fault(cor, pf, block):
+    cor.on_fault(block)
+    pf.restart_from_fault(block)
+
+
+def drain(pf, limit=100):
+    out = []
+    while len(out) < limit:
+        cmd = pf.pop_command()
+        if cmd is None:
+            break
+        out.append(cmd)
+    return out
+
+
+SCHEDULE = [(1, [10, 11]), (2, [20, 21]), (3, [30]), (4, [40])]
+
+
+def test_degree_must_be_positive():
+    cor = teach(SCHEDULE)
+    with pytest.raises(ValueError):
+        ChainingPrefetcher(cor, 0)
+
+
+def test_chain_replays_learned_sequence():
+    cor = teach(SCHEDULE)
+    pf = ChainingPrefetcher(cor, degree=8)
+    replay_launch(cor, pf, 1)
+    replay_fault(cor, pf, 10)
+    cmds = drain(pf)
+    assert set(cmds) >= {10, 11, 20, 21, 30, 40}
+
+
+def test_chaining_emits_kernels_in_order():
+    cor = teach(SCHEDULE)
+    pf = ChainingPrefetcher(cor, degree=8)
+    replay_launch(cor, pf, 1)
+    replay_fault(cor, pf, 10)
+    cmds = drain(pf)
+    assert cmds.index(20) > cmds.index(11)
+    assert cmds.index(30) > cmds.index(21)
+
+
+def test_window_limits_lookahead():
+    cor = teach(SCHEDULE)
+    pf = ChainingPrefetcher(cor, degree=1)
+    replay_launch(cor, pf, 1)
+    replay_fault(cor, pf, 10)
+    cmds = drain(pf)
+    assert 20 in cmds       # one kernel ahead allowed
+    assert 30 not in cmds   # two ahead is beyond the window
+    assert 40 not in cmds
+
+
+def test_window_slides_with_kernel_progress():
+    cor = teach(SCHEDULE)
+    pf = ChainingPrefetcher(cor, degree=1)
+    replay_launch(cor, pf, 1)
+    replay_fault(cor, pf, 10)
+    drain(pf)
+    pf.on_kernel_end()
+    replay_launch(cor, pf, 2)
+    assert 30 in drain(pf)
+
+
+def test_launch_alone_revives_dead_chain():
+    """Steady state: zero faults, launches keep the chain running."""
+    cor = teach(SCHEDULE)
+    pf = ChainingPrefetcher(cor, degree=8)
+    replay_launch(cor, pf, 1)
+    cmds = drain(pf)
+    assert 10 in cmds and 11 in cmds
+
+
+def test_on_chain_fault_does_not_reset():
+    cor = teach([(1, [10, 11, 12])])
+    pf = ChainingPrefetcher(cor, degree=4)
+    replay_launch(cor, pf, 1)
+    replay_fault(cor, pf, 10)
+    emitted = pf.commands_emitted
+    replay_fault(cor, pf, 11)  # predicted block: chain must stay put
+    assert pf.commands_emitted == emitted
+
+
+def test_off_chain_fault_restarts_from_fault():
+    cor = teach(SCHEDULE)
+    pf = ChainingPrefetcher(cor, degree=4)
+    replay_launch(cor, pf, 1)
+    replay_fault(cor, pf, 99)  # unknown block: chain diverged
+    assert 99 in pf.protected_blocks()
+    assert 99 in drain(pf)
+
+
+def test_protected_blocks_cover_window():
+    cor = teach(SCHEDULE)
+    pf = ChainingPrefetcher(cor, degree=2)
+    replay_launch(cor, pf, 1)
+    replay_fault(cor, pf, 10)
+    drain(pf)
+    assert {10, 11, 20, 21, 30} <= pf.protected_blocks()
+
+
+def test_protection_retires_as_kernels_end():
+    # A long loop so the chain cannot wrap around to kernel 1 within the
+    # look-ahead window (cyclic workloads legitimately re-predict early
+    # blocks near the iteration boundary).
+    schedule = [(k, [k * 10]) for k in range(1, 7)]
+    cor = teach(schedule)
+    pf = ChainingPrefetcher(cor, degree=2)
+    replay_launch(cor, pf, 1)
+    replay_fault(cor, pf, 10)
+    drain(pf)
+    pf.on_kernel_end()
+    replay_launch(cor, pf, 2)
+    pf.on_kernel_end()
+    replay_launch(cor, pf, 3)
+    assert 10 not in pf.protected_blocks()
+
+
+def test_shared_block_stays_protected_until_last_use():
+    """A block used by two nearby kernels keeps protection through both."""
+    cor = teach([(1, [10]), (2, [10, 20])])
+    pf = ChainingPrefetcher(cor, degree=4)
+    replay_launch(cor, pf, 1)
+    replay_fault(cor, pf, 10)
+    drain(pf)
+    pf.on_kernel_end()  # kernel 1 done; kernel 2 still expects block 10
+    assert 10 in pf.protected_blocks()
+
+
+def test_push_back_requeues_at_front():
+    cor = teach(SCHEDULE)
+    pf = ChainingPrefetcher(cor, degree=4)
+    replay_launch(cor, pf, 1)
+    replay_fault(cor, pf, 10)
+    first = pf.pop_command()
+    pf.push_back(first)
+    assert pf.pop_command() == first
+
+
+def test_chain_breaks_counted_on_prediction_failure():
+    cor = teach([(1, [10])], repeats=1)  # no next-kernel record exists
+    pf = ChainingPrefetcher(cor, degree=4)
+    replay_launch(cor, pf, 1)
+    replay_fault(cor, pf, 10)
+    drain(pf)
+    assert pf.chain_breaks >= 1
+
+
+def test_commands_not_duplicated_within_window():
+    cor = teach(SCHEDULE)
+    pf = ChainingPrefetcher(cor, degree=8)
+    replay_launch(cor, pf, 1)
+    replay_fault(cor, pf, 10)
+    cmds = drain(pf)
+    assert len(cmds) == len(set(cmds))

@@ -1,0 +1,121 @@
+"""Property-based tests on the engine and the full DeepUM stack."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DeepUMConfig, GPUSpec, HostSpec, SystemConfig
+from repro.constants import GiB, UM_BLOCK_SIZE
+from repro.core.deepum import DeepUM
+from repro.sim.engine import BlockAccess, KernelExecution, UMSimulator
+from repro.sim.um_space import BlockLocation
+
+
+def small_system(capacity_blocks: int) -> SystemConfig:
+    return SystemConfig(
+        gpu=GPUSpec(memory_bytes=capacity_blocks * UM_BLOCK_SIZE),
+        host=HostSpec(memory_bytes=1 * GiB),
+    )
+
+
+# One kernel = (exec id, [block indices touched], compute microseconds).
+kernel_streams = st.lists(
+    st.tuples(
+        st.integers(0, 5),
+        st.lists(st.integers(0, 20), min_size=0, max_size=6),
+        st.integers(0, 2000),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def run_stream(engine: UMSimulator, stream) -> None:
+    for exec_id, blocks, compute_us in stream:
+        accesses = []
+        for idx in blocks:
+            blk = engine.um.block(idx)
+            if blk.populated_pages == 0:
+                blk.populate(512)
+                blk.location = BlockLocation.CPU
+            accesses.append(BlockAccess(block=blk, pages=blk.populated_pages))
+        engine.execute_kernel(KernelExecution(
+            payload=("k", exec_id), accesses=accesses,
+            compute_time=compute_us * 1e-6,
+        ))
+
+
+@settings(max_examples=40, deadline=None)
+@given(kernel_streams, st.integers(2, 8))
+def test_engine_invariants_under_random_streams(stream, capacity_blocks):
+    engine = UMSimulator(small_system(capacity_blocks))
+    run_stream(engine, stream)
+    engine.finish()
+    # Residency accounting is exact and never exceeds capacity.
+    assert engine.gpu.used_bytes == sum(
+        b.populated_bytes for b in engine.gpu.resident.values())
+    assert engine.gpu.used_bytes <= engine.gpu.capacity_bytes
+    # Every touched block ends up resident or on the CPU, never lost.
+    for blk in engine.um.iter_blocks():
+        if blk.populated_pages:
+            assert blk.location in (BlockLocation.GPU, BlockLocation.CPU,
+                                    BlockLocation.UNPOPULATED)
+            assert engine.gpu.is_resident(blk) == \
+                (blk.location is BlockLocation.GPU)
+    # Time only moves forward and the link is never busier than elapsed.
+    assert engine.now >= 0.0
+    assert engine.link.busy_time <= engine.now + 1e-9
+    # Conservation: what moved in either stayed or moved out.
+    s = engine.stats
+    assert s.migrated_in_bytes >= 0
+    assert s.evicted_bytes + engine.gpu.used_bytes \
+        >= s.migrated_in_bytes - s.invalidated_bytes - engine.gpu.capacity_bytes
+
+
+@settings(max_examples=25, deadline=None)
+@given(kernel_streams, st.integers(2, 8), st.integers(1, 16))
+def test_deepum_stack_never_crashes_and_accounts(stream, capacity_blocks,
+                                                 degree):
+    deepum = DeepUM(small_system(capacity_blocks),
+                    DeepUMConfig(prefetch_degree=degree))
+    engine = deepum.engine
+    for exec_id, blocks, compute_us in stream:
+        accesses = []
+        for idx in blocks:
+            blk = engine.um.block(idx)
+            if blk.populated_pages == 0:
+                blk.populate(512)
+                blk.location = BlockLocation.CPU
+            accesses.append(BlockAccess(block=blk, pages=blk.populated_pages))
+        deepum.driver.notify_execution_id(exec_id, engine.now)
+        engine.execute_kernel(KernelExecution(
+            payload=("k", exec_id), accesses=accesses,
+            compute_time=compute_us * 1e-6,
+        ))
+    engine.finish()
+    assert engine.gpu.used_bytes <= engine.gpu.capacity_bytes
+    assert engine.gpu.used_bytes == sum(
+        b.populated_bytes for b in engine.gpu.resident.values())
+    # Protected window only references known blocks.
+    for idx in deepum.driver.prefetcher.protected_blocks():
+        assert idx >= 0
+    # Replaying the identical stream is deterministic.
+    deepum2 = DeepUM(small_system(capacity_blocks),
+                     DeepUMConfig(prefetch_degree=degree))
+    for exec_id, blocks, compute_us in stream:
+        accesses = []
+        for idx in blocks:
+            blk = deepum2.engine.um.block(idx)
+            if blk.populated_pages == 0:
+                blk.populate(512)
+                blk.location = BlockLocation.CPU
+            accesses.append(BlockAccess(block=blk, pages=blk.populated_pages))
+        deepum2.driver.notify_execution_id(exec_id, deepum2.engine.now)
+        deepum2.engine.execute_kernel(KernelExecution(
+            payload=("k", exec_id), accesses=accesses,
+            compute_time=compute_us * 1e-6,
+        ))
+    deepum2.engine.finish()
+    assert deepum2.engine.now == engine.now
+    assert deepum2.engine.stats.page_faults == engine.stats.page_faults

@@ -1,0 +1,46 @@
+"""Report formatting helpers."""
+
+import math
+
+from repro.harness.report import format_table, geomean, speedup_table
+
+
+def test_format_table_basic():
+    out = format_table(["a", "bb"], [[1, 2.5], [30, None]])
+    lines = out.splitlines()
+    assert "a" in lines[0] and "bb" in lines[0]
+    assert "2.50" in out
+    assert "-" in lines[-1]  # None rendered as dash
+
+
+def test_format_table_title():
+    out = format_table(["x"], [[1]], title="Table 1")
+    assert out.splitlines()[0] == "Table 1"
+
+
+def test_format_table_large_numbers_grouped():
+    out = format_table(["n"], [[123456.0]])
+    assert "123,456" in out
+
+
+def test_geomean_exact():
+    assert geomean([1.0, 4.0]) == 2.0
+    assert geomean([2.0, 2.0, 2.0]) == 2.0
+
+
+def test_geomean_skips_invalid():
+    assert geomean([2.0, None, 0.0, 8.0]) == 4.0
+
+
+def test_geomean_empty_is_nan():
+    assert math.isnan(geomean([]))
+
+
+def test_speedup_table_computes_ratios():
+    base = {("m", 1): 10.0, ("m", 2): 20.0}
+    systems = {"fast": {("m", 1): 5.0, ("m", 2): 10.0},
+               "slow": {("m", 1): 20.0, ("m", 2): None}}
+    out = speedup_table(base, systems)
+    assert "2.00" in out    # fast speedup
+    assert "0.50" in out    # slow speedup
+    assert "GMEAN" in out

@@ -1,0 +1,80 @@
+"""Tensors, storages, refcounting, views."""
+
+import pytest
+
+from repro.torchsim.dtypes import float16, float32, int64
+from repro.torchsim.tensor import required_bytes
+
+
+def test_empty_allocates_through_allocator(sim_device):
+    t = sim_device.empty((4, 8))
+    assert t.nbytes == 4 * 8 * 4
+    assert t.alive
+    assert sim_device.allocator.stats.allocated_bytes >= t.nbytes
+
+
+def test_numel_and_nbytes(sim_device):
+    t = sim_device.empty((3, 5), float16)
+    assert t.numel == 15
+    assert t.nbytes == 30
+
+
+def test_scalar_shape(sim_device):
+    t = sim_device.empty((), float32)
+    assert t.numel == 1
+
+
+def test_required_bytes():
+    assert required_bytes((2, 2), float32) == 16
+    assert required_bytes((0,), float32) == 1  # degenerate floor
+
+
+def test_release_frees_block(sim_device):
+    t = sim_device.empty((1024,))
+    before = sim_device.allocator.stats.allocated_bytes
+    t.release()
+    assert not t.alive
+    assert sim_device.allocator.stats.allocated_bytes < before
+
+
+def test_double_release_raises(sim_device):
+    t = sim_device.empty((16,))
+    t.release()
+    with pytest.raises(RuntimeError):
+        t.release()
+
+
+def test_view_shares_storage(sim_device):
+    t = sim_device.empty((4, 8))
+    v = t.view(32)
+    assert v.storage is t.storage
+    assert v.addr == t.addr
+    t.release()
+    assert v.alive  # view's reference keeps the storage alive
+    v.release()
+    assert not v.alive
+
+
+def test_view_shape_mismatch_raises(sim_device):
+    t = sim_device.empty((4, 8))
+    with pytest.raises(ValueError):
+        t.view(33)
+
+
+def test_uids_are_unique_and_stable(sim_device):
+    a = sim_device.empty((4,))
+    b = sim_device.empty((4,))
+    assert a.uid != b.uid
+    uid = a.uid
+    assert a.uid == uid
+
+
+def test_persistent_flag(sim_device):
+    p = sim_device.empty((4,), persistent=True, name="w")
+    assert p.persistent
+    assert "w" in repr(p)
+
+
+def test_int64_itemsize(sim_device):
+    t = sim_device.empty((10,), int64)
+    assert t.nbytes == 80

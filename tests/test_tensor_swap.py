@@ -1,0 +1,163 @@
+"""TensorSwapManager internals: residency, planning, host staging."""
+
+import pytest
+
+from repro.baselines.tensor_swap import (
+    SwapPlanner,
+    TensorSwapManager,
+    TensorSwapOOM,
+)
+from repro.config import GPUSpec, HostSpec, SystemConfig
+from repro.constants import GiB, MiB
+from repro.torchsim.backend import RawGPUBackend
+from repro.torchsim.context import Device
+from repro.torchsim.kernels import KernelLaunch
+
+
+def make(gpu_mb=32, host_mb=512, planner=None, **kw):
+    system = SystemConfig(gpu=GPUSpec(memory_bytes=gpu_mb * MiB),
+                          host=HostSpec(memory_bytes=host_mb * MiB))
+    manager = TensorSwapManager(system, planner or SwapPlanner(), **kw)
+    device = Device.with_backend(RawGPUBackend(capacity=gpu_mb * MiB), manager)
+    return manager, device
+
+
+def launch(device, tensors, name="k", flops=1e6, writes=None):
+    return KernelLaunch(name=name, arg_signature=(name,), reads=list(tensors),
+                        writes=list(writes or tensors[-1:]), flops=flops)
+
+
+def test_kernel_advances_clock(capsys=None):
+    manager, device = make()
+    t = device.empty((1024,))
+    device.submit(launch(device, [t]))
+    assert manager.elapsed() > 0
+    assert manager.compute_time > 0
+
+
+def test_oversubscription_forces_swaps():
+    manager, device = make(gpu_mb=8)
+    tensors = [device.empty((1 * MiB // 4,), persistent=True) for _ in range(12)]
+    for t in tensors:
+        device.submit(launch(device, [t]))
+    for t in tensors:  # second pass: swapped-out tensors come back
+        device.submit(launch(device, [t]))
+    assert manager.stats.swap_outs > 0
+    assert manager.stats.swap_ins > 0
+    assert manager.stats.bytes_in > 0
+
+
+def test_alloc_time_eviction_registers_fresh_tensors():
+    """Model build larger than the device must succeed by eviction."""
+    manager, device = make(gpu_mb=8)
+    tensors = [device.empty((1 * MiB,), persistent=True) for _ in range(20)]
+    assert len(tensors) == 20
+    assert manager.stats.oom_evictions > 0
+
+
+def test_working_set_beyond_capacity_raises():
+    manager, device = make(gpu_mb=8)
+    big = [device.empty((1 * MiB,), persistent=True) for _ in range(6)]
+    with pytest.raises(TensorSwapOOM):
+        device.submit(launch(device, big))
+
+
+def test_pinned_host_staging_is_capped():
+    manager, device = make(gpu_mb=8, host_mb=16)
+    assert manager.host_capacity == int(16 * MiB * manager.PINNED_HOST_FRACTION)
+    with pytest.raises(TensorSwapOOM):
+        tensors = [device.empty((1 * MiB,), persistent=True) for _ in range(40)]
+        for _ in range(3):
+            for t in tensors:
+                device.submit(launch(device, [t]))
+
+
+def test_freed_tensors_release_staging():
+    manager, device = make(gpu_mb=8)
+    for _ in range(3):
+        batch = [device.empty((1 * MiB,)) for _ in range(10)]
+        for t in batch:
+            device.submit(launch(device, [t]))
+        for t in batch:
+            t.release()
+    manager._reclaim_freed_staging()
+    assert manager.host_bytes <= 10 * MiB
+
+
+def test_lookahead_prefetch_hides_transfers():
+    """With room on the device, look-ahead converts synchronous swap-in
+    stalls into transfers hidden under the previous kernels' compute."""
+
+    class Eager(SwapPlanner):
+        lookahead = 2
+
+    class NoPrefetch(SwapPlanner):
+        lookahead = 0
+
+    def run(planner):
+        manager, device = make(gpu_mb=64, planner=planner)
+        tensors = [device.empty((1 * MiB,), persistent=True) for _ in range(12)]
+        # Teach the sequence, then push everything out to host.
+        for _ in range(2):
+            for t in tensors:
+                device.submit(launch(device, [t], name=f"k{t.uid}", flops=3e9))
+        for t in tensors:
+            manager._swap_out(manager._managed(t.storage), device)
+        start_wait = manager.stats.sync_wait_time
+        for t in tensors:
+            device.submit(launch(device, [t], name=f"k{t.uid}", flops=3e9))
+        return manager.stats.sync_wait_time - start_wait
+
+    assert run(Eager()) < run(NoPrefetch())
+
+
+def test_belady_victims_beat_lru_on_loops():
+    class Belady(SwapPlanner):
+        belady_victims = True
+        lookahead = 0
+
+    class LRU(SwapPlanner):
+        belady_victims = False
+        lookahead = 0
+
+    def run(planner):
+        manager, device = make(gpu_mb=8, planner=planner)
+        tensors = [device.empty((1 * MiB,), persistent=True) for _ in range(10)]
+        for _ in range(6):  # cyclic sweep: LRU's worst case
+            for t in tensors:
+                device.submit(launch(device, [t], name=f"k{t.uid}"))
+        return manager.stats.swap_ins
+
+    assert run(Belady()) <= run(LRU())
+
+
+def test_transfer_fraction_scales_bytes():
+    class Half(SwapPlanner):
+        transfer_fraction = 0.5
+
+    manager, device = make(gpu_mb=8, planner=Half())
+    tensors = [device.empty((1 * MiB,), persistent=True) for _ in range(12)]
+    for _ in range(2):
+        for t in tensors:
+            device.submit(launch(device, [t]))
+    per_swap = manager.stats.bytes_out / manager.stats.swap_outs
+    assert per_swap == tensors[0].nbytes * 0.5
+
+
+def test_segment_growth_charges_cuda_malloc():
+    manager, device = make(gpu_mb=64)
+    before = manager.now
+    device.empty((4 * MiB,))
+    device.submit(launch(device, [device.empty((1024,))]))
+    assert manager.now - before >= manager.cuda_malloc_cost
+
+
+def test_sequence_memory_learns_next_operands():
+    manager, device = make(gpu_mb=64)
+    a = device.empty((1024,), persistent=True)
+    b = device.empty((1024,), persistent=True)
+    for _ in range(3):
+        device.submit(launch(device, [a], name="first"))
+        device.submit(launch(device, [b], name="second"))
+    plan = manager._next_operands.get(("first", ("first",)))
+    assert plan and b.storage.uid in plan[0]

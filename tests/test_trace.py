@@ -1,0 +1,124 @@
+"""Trace capture and analysis."""
+
+import io
+
+from repro.config import DeepUMConfig
+from repro.core.deepum import DeepUM
+from repro.trace import Tracer, TraceEvent, iteration_fault_counts
+
+from workloads import make_mlp_workload
+
+
+def traced_run(tiny_system, iterations=3):
+    deepum = DeepUM(tiny_system, DeepUMConfig(prefetch_degree=8))
+    tracer = Tracer.attach(deepum)
+    step, _, _ = make_mlp_workload(deepum.device, layers_n=6, dim=512, batch=128)
+    for _ in range(iterations):
+        step()
+    return deepum, tracer
+
+
+def test_tracer_records_launches_and_faults(tiny_system):
+    deepum, tracer = traced_run(tiny_system)
+    kinds = {e.kind for e in tracer.events}
+    assert "launch" in kinds
+    assert "fault" in kinds
+    launches = tracer.launches()
+    assert len(launches) == deepum.engine.metrics.kernels
+    assert all(e.exec_id >= 0 for e in launches)
+
+
+def test_tracer_does_not_change_results(tiny_system):
+    plain = DeepUM(tiny_system, DeepUMConfig(prefetch_degree=8))
+    step, _, _ = make_mlp_workload(plain.device, layers_n=6, dim=512, batch=128)
+    for _ in range(3):
+        step()
+    deepum, _ = traced_run(tiny_system)
+    assert deepum.elapsed() == plain.elapsed()
+    assert deepum.page_faults == plain.page_faults
+
+
+def test_detach_restores_hooks(tiny_system):
+    deepum, tracer = traced_run(tiny_system, iterations=1)
+    before = len(tracer.events)
+    tracer.detach()
+    step, _, _ = make_mlp_workload(deepum.device, layers_n=2, dim=64, batch=8)
+    step()
+    assert len(tracer.events) == before
+
+
+def test_summary_shape(tiny_system):
+    deepum, tracer = traced_run(tiny_system, iterations=4)
+    summary = tracer.summary()
+    assert summary.kernels > 100
+    assert 0 < summary.distinct_exec_ids < summary.kernels
+    assert summary.faults > 0
+    assert summary.faults_per_kernel > 0
+    assert summary.hottest_kernels
+
+
+def test_stream_periodicity_detects_training_loop(tiny_system):
+    _, tracer = traced_run(tiny_system, iterations=4)
+    assert tracer.summary().stream_periodicity is not None
+    assert tracer.summary().stream_periodicity > 0.95
+
+
+def test_median_refault_gap_synthetic():
+    tracer = Tracer()
+    events = [
+        TraceEvent(0, "launch", 0.0, exec_id=1),
+        TraceEvent(1, "fault", 0.0, block=5),
+        TraceEvent(2, "launch", 0.1, exec_id=2),
+        TraceEvent(3, "launch", 0.2, exec_id=3),
+        TraceEvent(4, "fault", 0.2, block=5),   # refault of 5, gap 2 kernels
+        TraceEvent(5, "fault", 0.2, block=9),   # first fault: no gap
+    ]
+    tracer.events = events
+    assert tracer.summary().median_refault_gap == 2.0
+
+
+def test_median_refault_gap_none_without_repeats():
+    tracer = Tracer()
+    tracer.events = [
+        TraceEvent(0, "launch", 0.0, exec_id=1),
+        TraceEvent(1, "fault", 0.0, block=5),
+    ]
+    assert tracer.summary().median_refault_gap is None
+
+
+def test_roundtrip_serialization(tiny_system, tmp_path):
+    _, tracer = traced_run(tiny_system, iterations=2)
+    path = tmp_path / "trace.jsonl"
+    tracer.save(str(path))
+    loaded = Tracer.load(str(path))
+    assert loaded.events == tracer.events
+    assert loaded.summary() == tracer.summary()
+
+
+def test_write_to_stream(tiny_system):
+    _, tracer = traced_run(tiny_system, iterations=1)
+    buf = io.StringIO()
+    tracer.write(buf)
+    lines = buf.getvalue().splitlines()
+    assert len(lines) == len(tracer.events)
+    assert TraceEvent.from_json(lines[0]) == tracer.events[0]
+
+
+def test_iteration_fault_counts():
+    events = [
+        TraceEvent(0, "launch", 0.0, exec_id=1),
+        TraceEvent(1, "fault", 0.0, block=5),
+        TraceEvent(2, "launch", 0.1, exec_id=2),
+        TraceEvent(3, "launch", 0.2, exec_id=1),
+        TraceEvent(4, "fault", 0.2, block=6),
+        TraceEvent(5, "fault", 0.2, block=7),
+        TraceEvent(6, "launch", 0.3, exec_id=2),
+    ]
+    assert iteration_fault_counts(events, kernels_per_iteration=2) == [1, 2]
+
+
+def test_iteration_fault_counts_validation():
+    import pytest
+    with pytest.raises(ValueError):
+        iteration_fault_counts([], 0)
+    assert iteration_fault_counts([], 2) == []

@@ -1,0 +1,96 @@
+"""Unified memory space: allocation, population, block materialization."""
+
+import pytest
+
+from repro.constants import PAGE_SIZE, UM_BLOCK_SIZE
+from repro.sim.um_space import BlockLocation, UnifiedMemorySpace
+
+
+@pytest.fixture
+def um():
+    return UnifiedMemorySpace()
+
+
+def test_allocate_rounds_to_page(um):
+    alloc = um.allocate(1)
+    assert alloc.nbytes == PAGE_SIZE
+
+
+def test_allocate_respects_alignment(um):
+    alloc = um.allocate(100, alignment=UM_BLOCK_SIZE)
+    assert alloc.addr % UM_BLOCK_SIZE == 0
+
+
+def test_allocate_rejects_nonpositive(um):
+    with pytest.raises(ValueError):
+        um.allocate(0)
+
+
+def test_allocations_do_not_overlap(um):
+    allocs = [um.allocate(3 * PAGE_SIZE) for _ in range(10)]
+    ranges = sorted((a.addr, a.end) for a in allocs)
+    for (_, end1), (start2, _) in zip(ranges, ranges[1:]):
+        assert end1 <= start2
+
+
+def test_free_and_reuse_same_size(um):
+    a = um.allocate(4 * PAGE_SIZE)
+    addr = a.addr
+    um.free(addr)
+    b = um.allocate(4 * PAGE_SIZE)
+    assert b.addr == addr  # freed range reused: stable addresses across iters
+
+
+def test_free_unknown_address_raises(um):
+    with pytest.raises(KeyError):
+        um.free(0xdead0000)
+
+
+def test_blocks_materialize_lazily(um):
+    assert um.num_blocks == 0
+    blk = um.block(7)
+    assert blk.index == 7
+    assert um.num_blocks == 1
+    assert um.block(7) is blk
+
+
+def test_new_block_is_unpopulated(um):
+    blk = um.block(0)
+    assert blk.location is BlockLocation.UNPOPULATED
+    assert blk.populated_pages == 0
+
+
+def test_populate_clamps_at_512(um):
+    blk = um.block(0)
+    blk.populate(400)
+    blk.populate(400)
+    assert blk.populated_pages == 512
+    assert blk.populated_bytes == UM_BLOCK_SIZE
+
+
+def test_populate_keeps_location_unpopulated(um):
+    """First touch decides placement; populate only reserves backing."""
+    blk = um.block(0)
+    blk.populate(10)
+    assert blk.location is BlockLocation.UNPOPULATED
+
+
+def test_touch_populates_partial_edge_blocks(um):
+    alloc = um.allocate(UM_BLOCK_SIZE + 4 * PAGE_SIZE, alignment=UM_BLOCK_SIZE)
+    blocks = um.touch(alloc.addr, alloc.nbytes)
+    assert len(blocks) == 2
+    assert blocks[0].populated_pages == 512
+    assert blocks[1].populated_pages == 4
+
+
+def test_blocks_of_spans_range(um):
+    alloc = um.allocate(3 * UM_BLOCK_SIZE, alignment=UM_BLOCK_SIZE)
+    blocks = um.blocks_of(alloc.addr, alloc.nbytes)
+    assert len(blocks) == 3
+    assert [b.index for b in blocks] == sorted(b.index for b in blocks)
+
+
+def test_total_populated_bytes_accumulates(um):
+    um.touch(um.allocate(2 * UM_BLOCK_SIZE, alignment=UM_BLOCK_SIZE).addr,
+             2 * UM_BLOCK_SIZE)
+    assert um.total_populated_bytes == 2 * UM_BLOCK_SIZE

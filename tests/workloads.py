@@ -1,0 +1,33 @@
+"""Toy trainable workloads shared across tests."""
+
+from __future__ import annotations
+
+from repro.torchsim import functional as F
+from repro.torchsim import layers
+from repro.torchsim.autograd import Tape
+from repro.torchsim.context import Device
+from repro.torchsim.dtypes import int64
+from repro.torchsim.optim import SGD
+
+
+def make_mlp_workload(device: Device, *, layers_n: int = 4, dim: int = 256,
+                      batch: int = 32):
+    """A small trainable MLP; returns (step_fn, modules, optimizer)."""
+    lins = [layers.Linear(device, dim, dim, name=f"l{i}") for i in range(layers_n)]
+    opt = SGD(device, [p for lin in lins for p in lin.parameters()])
+    targets = device.empty((batch,), int64, persistent=True, name="t")
+
+    def step() -> None:
+        tape = Tape(device=device)
+        x = device.empty((batch, dim), name="x")
+        h = x
+        for lin in lins:
+            h = lin(tape, h)
+            h = F.relu(tape, h)
+        loss = F.cross_entropy(tape, h, targets)
+        tape.backward(loss)
+        opt.step()
+        opt.zero_grad()
+        x.release()
+
+    return step, lins, opt
