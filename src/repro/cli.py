@@ -4,13 +4,17 @@ Examples::
 
     python -m repro list
     python -m repro run bert-large --batch 16 --policies um,lms,deepum
+    python -m repro run bert-large --obs timeline.json
     python -m repro max-batch gpt2-l --policies lms,deepum
     python -m repro sweep-degree bert-large --degrees 1,8,32,128
+    python -m repro trace timeline bert-large --out timeline.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Sequence
 
@@ -18,7 +22,7 @@ from .config import DeepUMConfig
 from .constants import MiB
 from .harness import calibrate_system, max_batch_search, run_experiment
 from .harness.experiment import POLICIES
-from .harness.report import format_table
+from .harness.report import format_table, phase_breakdown_table
 from .models.registry import get_model_config, list_models
 
 
@@ -46,6 +50,21 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_path(base: str, policy: str, multi: bool) -> str:
+    """Per-policy trace filename when several policies share one --obs."""
+    if not multi:
+        return base
+    stem, ext = os.path.splitext(base)
+    return f"{stem}-{policy}{ext or '.json'}"
+
+
+def _require_writable_dir(path: str, flag: str) -> None:
+    """Fail before the (long) run, not after it, on an unwritable output."""
+    parent = os.path.dirname(path) or "."
+    if not os.path.isdir(parent):
+        raise SystemExit(f"{flag}: directory {parent!r} does not exist")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     cfg = get_model_config(args.model)
     batch = args.batch if args.batch is not None else \
@@ -55,14 +74,44 @@ def cmd_run(args: argparse.Namespace) -> int:
           f"(simulated GPU {system.gpu.memory_bytes // MiB} MB, "
           f"host {system.host.memory_bytes // MiB} MB)")
     deepum_cfg = DeepUMConfig(prefetch_degree=args.degree)
+    policies = _parse_policies(args.policies)
+    if args.obs:
+        _require_writable_dir(args.obs, "--obs")
     rows = []
     um_sec = None
-    for policy in _parse_policies(args.policies):
-        result = run_experiment(
-            args.model, batch, policy, system=system,
-            warmup_iterations=args.warmup, measure_iterations=args.measure,
-            deepum_config=deepum_cfg,
-        )
+    breakdowns = []
+    for policy in policies:
+        recorder = None
+        note = ""
+        if args.obs:
+            from .obs import SpanRecorder
+
+            recorder = SpanRecorder()
+        try:
+            result = run_experiment(
+                args.model, batch, policy, system=system,
+                warmup_iterations=args.warmup,
+                measure_iterations=args.measure,
+                deepum_config=deepum_cfg, recorder=recorder,
+            )
+        except TypeError:
+            # Tensor-swap facades have no UM engine to instrument; run
+            # the policy without a timeline rather than failing.
+            recorder = None
+            note = "no obs (tensor-swap)"
+            result = run_experiment(
+                args.model, batch, policy, system=system,
+                warmup_iterations=args.warmup,
+                measure_iterations=args.measure,
+                deepum_config=deepum_cfg,
+            )
+        if recorder is not None:
+            from .obs import write_chrome_trace
+
+            path = _obs_path(args.obs, policy, len(policies) > 1)
+            write_chrome_trace(recorder, path)
+            note = f"trace: {path}"
+            breakdowns.append((policy, recorder))
         if result.oom:
             rows.append([policy, None, None, None, result.oom_reason[:40]])
             continue
@@ -70,10 +119,57 @@ def cmd_run(args: argparse.Namespace) -> int:
         if policy == "um":
             um_sec = sec
         rows.append([policy, sec, (um_sec / sec) if um_sec else None,
-                     result.window.faults_per_iteration, ""])
+                     result.window.faults_per_iteration, note])
     print(format_table(
         ["policy", "s/100 iters", "speedup vs UM", "faults/iter", "note"],
         rows))
+    for policy, recorder in breakdowns:
+        print()
+        print(phase_breakdown_table(
+            recorder, args.top,
+            title=f"{policy}: per-kernel phase breakdown (worst stalls first)"))
+    return 0
+
+
+def cmd_trace_timeline(args: argparse.Namespace) -> int:
+    """Produce a Perfetto-loadable timeline (live run or saved .jsonl)."""
+    if args.from_jsonl:
+        from .trace import Tracer
+
+        tracer = Tracer.load(args.from_jsonl)
+        tracer.save_chrome(args.out)
+        print(f"converted {len(tracer.events)} trace events -> {args.out}")
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+        return 0
+    if not args.model:
+        raise SystemExit("trace timeline: give a model name or --from-jsonl")
+    _require_writable_dir(args.out, "--out")
+    from .obs import SpanRecorder, chrome_trace_dict, validate_chrome_trace
+
+    cfg = get_model_config(args.model)
+    batch = args.batch if args.batch is not None else \
+        cfg.fig9_batches[len(cfg.fig9_batches) // 2]
+    system = calibrate_system(args.model)
+    recorder = SpanRecorder()
+    result = run_experiment(
+        args.model, batch, args.policy, system=system,
+        warmup_iterations=args.warmup, measure_iterations=args.measure,
+        deepum_config=DeepUMConfig(prefetch_degree=args.degree),
+        recorder=recorder,
+    )
+    if result.oom:
+        print(f"{args.policy} OOMed: {result.oom_reason}")
+        return 1
+    doc = chrome_trace_dict(recorder)
+    validate_chrome_trace(doc)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh)
+    print(f"{args.model} @ paper batch {batch} under {args.policy}: "
+          f"{len(recorder.kernels)} kernels, {len(recorder.spans)} spans, "
+          f"{len(recorder.instants)} instants -> {args.out}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    print()
+    print(phase_breakdown_table(recorder, args.top))
     return 0
 
 
@@ -129,6 +225,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="DeepUM prefetch degree N")
     run.add_argument("--warmup", type=int, default=4)
     run.add_argument("--measure", type=int, default=3)
+    run.add_argument("--obs", default=None, metavar="PATH",
+                     help="record a timeline and write Perfetto JSON here "
+                          "(per-policy suffix when several policies run)")
+    run.add_argument("--top", type=int, default=10,
+                     help="kernels shown in the --obs phase breakdown")
     run.set_defaults(fn=cmd_run)
 
     mb = sub.add_parser("max-batch", help="find the largest trainable batch")
@@ -141,6 +242,29 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--degrees", default="1,8,32,128,512")
     sweep.add_argument("--warmup", type=int, default=4)
     sweep.set_defaults(fn=cmd_sweep_degree)
+
+    trace = sub.add_parser("trace", help="timeline capture and conversion")
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+    tl = tsub.add_parser(
+        "timeline",
+        help="run a workload and emit a Perfetto/chrome://tracing timeline")
+    tl.add_argument("model", nargs="?", default=None,
+                    help="workload to run live (omit with --from-jsonl)")
+    tl.add_argument("--batch", type=int, default=None,
+                    help="paper-scale batch size (default: grid midpoint)")
+    tl.add_argument("--policy", default="deepum",
+                    help="UM-family policy to instrument (default: deepum)")
+    tl.add_argument("--degree", type=int, default=32,
+                    help="DeepUM prefetch degree N")
+    tl.add_argument("--warmup", type=int, default=2)
+    tl.add_argument("--measure", type=int, default=2)
+    tl.add_argument("--out", default="timeline.json",
+                    help="output JSON path (default: timeline.json)")
+    tl.add_argument("--top", type=int, default=10,
+                    help="kernels shown in the phase breakdown")
+    tl.add_argument("--from-jsonl", default=None, metavar="FILE",
+                    help="convert a saved Tracer .jsonl instead of running")
+    tl.set_defaults(fn=cmd_trace_timeline)
     return parser
 
 

@@ -30,10 +30,12 @@ class DeepUM:
         *,
         seed: int = 0,
         block_size: int | None = None,
+        recorder=None,
     ):
         self.system = system
         self.config = config if config is not None else DeepUMConfig()
-        self.engine = UMSimulator(system, block_size=block_size)
+        self.engine = UMSimulator(system, block_size=block_size,
+                                  recorder=recorder)
         self.driver = DeepUMDriver(self.engine, self.config)
         self.engine.hooks = self.driver
         self.runtime = DeepUMRuntime(self.driver)

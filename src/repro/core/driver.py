@@ -100,6 +100,19 @@ class DeepUMDriver:
             prefer_invalidated=config.enable_invalidation,
             protect_predicted=config.enable_preeviction or config.enable_prefetch,
         )
+        if engine.recorder.enabled:
+            self.attach_recorder(engine.recorder)
+
+    def attach_recorder(self, recorder) -> None:
+        """Thread an observability recorder through the driver threads.
+
+        The prefetcher gets the engine clock so its chain-break instants
+        land at the simulated time they happen; the pre-evictor stamps its
+        own ticks (it is handed ``now`` by the engine).
+        """
+        self.prefetcher.recorder = recorder
+        self.prefetcher.clock = lambda: self.engine.now
+        self.preevictor.recorder = recorder
 
     # ------------------------------------------------------------------ #
     # ioctl from the runtime
@@ -107,6 +120,7 @@ class DeepUMDriver:
 
     def notify_execution_id(self, exec_id: int, now: float) -> None:
         """The runtime's pre-launch callback delivering the execution ID."""
+        self.engine.recorder.set_exec_id(exec_id)
         self.correlator.on_kernel_launch(exec_id)
         if self.config.enable_prefetch:
             self.prefetcher.on_kernel_launch(exec_id)

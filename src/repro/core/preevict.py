@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.recorder import NULL_RECORDER, TRACK_PREEVICT
 from ..sim.fault_handler import DriverFaultHandler
 from ..sim.gpu import GPUMemory
 from ..sim.um_space import UMBlock
@@ -46,6 +47,7 @@ class PreEvictor:
         self.low_watermark = low_watermark
         self.batch_blocks = batch_blocks
         self.stats = PreEvictorStats()
+        self.recorder = NULL_RECORDER
 
     def needs_room(self) -> bool:
         return self.gpu.free_bytes < self.low_watermark * self.gpu.capacity_bytes
@@ -82,7 +84,12 @@ class PreEvictor:
         if not victims:
             return False
         self.stats.ticks += 1
-        self.handler.evict(victims, now)
+        end = self.handler.evict(victims, now)
         self.stats.evicted_blocks += len(victims)
-        self.stats.evicted_bytes += sum(v.populated_bytes for v in victims)
+        evicted_bytes = sum(v.populated_bytes for v in victims)
+        self.stats.evicted_bytes += evicted_bytes
+        if self.recorder.enabled:
+            self.recorder.span(TRACK_PREEVICT, "preevict.tick", now, end,
+                               args={"blocks": len(victims),
+                                     "bytes": evicted_bytes})
         return True

@@ -21,20 +21,31 @@ completes, so chain restarts never drop near-term protection.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import Callable, Optional
 
+from ..obs.recorder import NULL_RECORDER, TRACK_MIGRATION
 from .correlator import Correlator
 from .exec_table import NO_KERNEL
 
 
 class ChainingPrefetcher:
-    """Chain walker producing prefetch commands (UM block indices)."""
+    """Chain walker producing prefetch commands (UM block indices).
 
-    def __init__(self, correlator: Correlator, degree: int):
+    ``recorder``/``clock`` are observability plumbing: chain breaks are
+    worth seeing on the timeline (each one is a prediction failure that
+    stalls prefetching until the next launch or fault), and the prefetcher
+    itself has no notion of time, so the driver lends it the engine clock.
+    """
+
+    def __init__(self, correlator: Correlator, degree: int, *,
+                 recorder=NULL_RECORDER,
+                 clock: Callable[[], float] = lambda: 0.0):
         if degree < 1:
             raise ValueError(f"prefetch degree must be >= 1, got {degree}")
         self.correlator = correlator
         self.degree = degree
+        self.recorder = recorder
+        self.clock = clock
         self._gpu_pos = 0        # kernel the GPU is executing
         self._chain_pos = 0      # kernel the chain is predicting for
         self._chain_exec: int = NO_KERNEL
@@ -86,6 +97,12 @@ class ChainingPrefetcher:
         fault interrupt arrives. Already-enqueued commands survive — the
         prefetch queue is a separate SPSC queue that the migration thread
         keeps draining.
+
+        The faulted block itself seeds the new walk but is *not* emitted as
+        a prefetch command: the demand fault has already migrated it, so a
+        command would only be popped and dropped by the migration thread
+        (inflating ``commands_emitted`` and the accuracy stats) — or worse,
+        wastefully re-migrate it after an eviction in between.
         """
         exec_id = self.correlator.current_exec
         if exec_id == NO_KERNEL:
@@ -95,8 +112,6 @@ class ChainingPrefetcher:
         self._position_chain(exec_id)
         self._frontier.append(block)
         self._note_emitted(block)
-        self._queue.append(block)
-        self.commands_emitted += 1
         self._expand()
 
     # ------------------------------------------------------------------ #
@@ -221,6 +236,12 @@ class ChainingPrefetcher:
             )
             if nxt is None:
                 self.chain_breaks += 1
+                if self.recorder.enabled:
+                    self.recorder.instant(
+                        TRACK_MIGRATION, "chain_break", self.clock(),
+                        args={"exec_id": self._chain_exec,
+                              "chain_pos": self._chain_pos},
+                    )
                 return False
             self._chain_history = (
                 self._chain_history[1], self._chain_history[2], self._chain_exec,

@@ -7,8 +7,9 @@ from .experiment import (
     make_policy,
     run_experiment,
 )
-from .metrics import WindowMetrics
-from .report import format_table, geomean, speedup_table
+from .metrics import WindowMetrics, phase_breakdown_rows
+from .report import (format_table, geomean, phase_breakdown_table,
+                     speedup_table)
 from .sweep import max_batch_search
 
 __all__ = [
@@ -19,6 +20,8 @@ __all__ = [
     "run_experiment",
     "WindowMetrics",
     "format_table",
+    "phase_breakdown_rows",
+    "phase_breakdown_table",
     "geomean",
     "speedup_table",
     "max_batch_search",

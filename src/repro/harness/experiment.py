@@ -192,14 +192,26 @@ def run_experiment(
     measure_iterations: int = 3,
     deepum_config: Optional[DeepUMConfig] = None,
     seed: int = 0,
+    recorder=None,
 ) -> ExperimentResult:
-    """Train ``model`` under ``policy`` and measure the steady-state window."""
+    """Train ``model`` under ``policy`` and measure the steady-state window.
+
+    Pass a :class:`~repro.obs.recorder.SpanRecorder` as ``recorder`` to
+    capture the run's timeline (UM-family policies only; tensor-swap
+    facades raise ``TypeError``). The recorder sees the whole run including
+    warm-up — filter by kernel record timestamps if only the measurement
+    window matters.
+    """
     cfg = get_model_config(model)
     if scale is None:
         scale = cfg.sim_scale
     if system is None:
         system = calibrate_system(model, scale=scale)
     facade = make_policy(policy, system, deepum_config=deepum_config, seed=seed)
+    if recorder is not None:
+        from ..obs import attach
+
+        attach(facade, recorder)
     sim_batch = cfg.sim_batch(paper_batch)
     result = ExperimentResult(
         model=model, policy=policy, paper_batch=paper_batch,

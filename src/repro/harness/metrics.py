@@ -2,12 +2,16 @@
 
 The paper reports per-iteration numbers after the correlation tables have
 learned; the harness therefore snapshots counters after a warm-up phase
-and reports deltas over the measured iterations only.
+and reports deltas over the measured iterations only. When a run carries a
+:class:`~repro.obs.recorder.SpanRecorder`, :func:`phase_breakdown_rows`
+turns its per-kernel records into the stall-attribution table the report
+prints.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 
 @dataclass(frozen=True)
@@ -72,3 +76,36 @@ class WindowMetrics:
 
     def seconds_per_100_iterations(self) -> float:
         return 100.0 * self.seconds_per_iteration
+
+
+#: Column headers matching :func:`phase_breakdown_rows`, in order.
+PHASE_BREAKDOWN_HEADERS: Sequence[str] = (
+    "kernel", "launches", "compute ms", "fault ms", "inflight ms",
+    "faults", "coverage", "accuracy",
+)
+
+
+def phase_breakdown_rows(recorder, top_k: int = 10) -> list[list[object]]:
+    """Top-``top_k`` kernels by stall time, one row per kernel name.
+
+    Each row carries the kernel's summed compute / demand-fault / in-flight
+    stall milliseconds, its fault count, prefetch coverage (fraction of its
+    demand accesses a prefetch absorbed) and prefetch accuracy (fraction of
+    prefetches completed under it that were ever used). ``recorder`` is a
+    :class:`~repro.obs.recorder.SpanRecorder` from an instrumented run.
+    """
+    from ..obs.phases import aggregate_by_kernel
+
+    rows: list[list[object]] = []
+    for agg in aggregate_by_kernel(recorder)[:top_k]:
+        rows.append([
+            agg.name,
+            agg.launches,
+            agg.compute_time * 1e3,
+            agg.fault_wait * 1e3,
+            agg.inflight_wait * 1e3,
+            agg.faults,
+            agg.prefetch_coverage,
+            agg.prefetch_accuracy,
+        ])
+    return rows

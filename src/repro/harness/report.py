@@ -45,6 +45,20 @@ def geomean(values: Sequence[float]) -> float:
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
+def phase_breakdown_table(recorder, top_k: int = 10, *,
+                          title: str = "Per-kernel phase breakdown") -> str:
+    """Stall-attribution table for an instrumented run (worst kernels first).
+
+    ``recorder`` is the :class:`~repro.obs.recorder.SpanRecorder` a run was
+    instrumented with (see ``repro.obs.attach`` or the harness's
+    ``recorder=`` argument).
+    """
+    from .metrics import PHASE_BREAKDOWN_HEADERS, phase_breakdown_rows
+
+    return format_table(PHASE_BREAKDOWN_HEADERS,
+                        phase_breakdown_rows(recorder, top_k), title=title)
+
+
 def speedup_table(
     baseline_seconds: dict[tuple, Optional[float]],
     system_seconds: dict[str, dict[tuple, Optional[float]]],

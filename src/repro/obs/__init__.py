@@ -1,0 +1,108 @@
+"""``repro.obs``: the time-attributed observability layer.
+
+Records where simulated time goes — kernel compute, demand-fault stalls
+(split into pipeline phases), in-flight prefetch waits, prefetch transfers,
+pre-eviction work — as spans/instants on per-resource tracks, and renders
+them as a per-kernel phase-breakdown table or a Chrome-trace (Perfetto)
+timeline. Recording is off by default (:data:`NULL_RECORDER`) and costs one
+boolean check per instrumentation site when disabled.
+
+Typical use::
+
+    from repro import DeepUM, SystemConfig
+    from repro.obs import SpanRecorder, attach, write_chrome_trace
+
+    deepum = DeepUM(SystemConfig.v100_32gb())
+    rec = attach(deepum)            # or DeepUM(system, recorder=SpanRecorder())
+    ... run the workload ...
+    write_chrome_trace(rec, "timeline.json")   # open in ui.perfetto.dev
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .chrome_trace import (
+    chrome_trace_dict,
+    chrome_trace_events,
+    tracer_chrome_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_tracer_chrome_trace,
+)
+from .phases import (
+    FAULT_PHASES,
+    KernelAggregate,
+    KernelPhases,
+    aggregate_by_kernel,
+    kernel_phases,
+)
+from .recorder import (
+    ALL_TRACKS,
+    NULL_RECORDER,
+    TRACK_FAULT,
+    TRACK_GPU,
+    TRACK_LABELS,
+    TRACK_LINK,
+    TRACK_MIGRATION,
+    TRACK_PREEVICT,
+    Instant,
+    KernelRecord,
+    NullRecorder,
+    Span,
+    SpanRecorder,
+)
+
+
+def attach(target, recorder: Optional[SpanRecorder] = None) -> SpanRecorder:
+    """Wire a recorder through a UM facade (DeepUM, NaiveUM) or bare engine.
+
+    Accepts anything exposing an ``engine`` attribute (or a
+    :class:`~repro.sim.engine.UMSimulator` itself) and threads the recorder
+    into the engine, fault handler and PCIe link; if the target also has a
+    DeepUM ``driver``, the prefetcher and pre-evictor are instrumented too.
+    Returns the (possibly freshly created) recorder.
+    """
+    rec = recorder if recorder is not None else SpanRecorder()
+    engine = getattr(target, "engine", target)
+    if not hasattr(engine, "handler"):
+        raise TypeError(
+            f"cannot attach a recorder to {type(target).__name__}: "
+            "no UM engine found (tensor-swap facades are not instrumented)"
+        )
+    engine.recorder = rec
+    engine.handler.recorder = rec
+    engine.link.recorder = rec
+    driver = getattr(target, "driver", None)
+    if driver is not None and hasattr(driver, "attach_recorder"):
+        driver.attach_recorder(rec)
+    return rec
+
+
+__all__ = [
+    "ALL_TRACKS",
+    "FAULT_PHASES",
+    "Instant",
+    "KernelAggregate",
+    "KernelPhases",
+    "KernelRecord",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Span",
+    "SpanRecorder",
+    "TRACK_FAULT",
+    "TRACK_GPU",
+    "TRACK_LABELS",
+    "TRACK_LINK",
+    "TRACK_MIGRATION",
+    "TRACK_PREEVICT",
+    "aggregate_by_kernel",
+    "attach",
+    "chrome_trace_dict",
+    "chrome_trace_events",
+    "kernel_phases",
+    "tracer_chrome_events",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_tracer_chrome_trace",
+]

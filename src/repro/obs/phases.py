@@ -1,0 +1,142 @@
+"""Per-kernel phase breakdown computed from a :class:`SpanRecorder`.
+
+Turns the raw span stream into the attribution the paper's evaluation
+reasons about: for every kernel execution (and aggregated per kernel name),
+where did its wall time go — compute, demand-fault stall (split into
+handling / eviction / link wait / transfer / replay), or in-flight prefetch
+wait — and how well did prefetching cover its working set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .recorder import SpanRecorder, TRACK_FAULT
+
+#: Fault sub-phase span names emitted by the fault handler, in pipeline order.
+FAULT_PHASES = ("handling", "evict", "link_wait", "transfer", "replay")
+
+
+@dataclass
+class KernelPhases:
+    """One kernel execution with its stall time fully attributed."""
+
+    seq: int
+    name: str
+    exec_id: int
+    start: float
+    end: float
+    compute_time: float
+    fault_wait: float
+    inflight_wait: float
+    accesses: int
+    faults: int
+    prefetch_hits: int
+    prefetch_done: int
+    prefetch_useful: int
+    #: fault sub-phase name -> summed simulated seconds
+    fault_phases: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def stall_time(self) -> float:
+        return self.fault_wait + self.inflight_wait
+
+    @property
+    def prefetch_coverage(self) -> Optional[float]:
+        demand = self.prefetch_hits + self.faults
+        if demand == 0:
+            return None
+        return self.prefetch_hits / demand
+
+    @property
+    def prefetch_accuracy(self) -> Optional[float]:
+        """Of the prefetches completed during this kernel, fraction used."""
+        if self.prefetch_done == 0:
+            return None
+        return self.prefetch_useful / self.prefetch_done
+
+
+def kernel_phases(recorder: SpanRecorder) -> list[KernelPhases]:
+    """Per-execution phase records, in launch order."""
+    by_seq: dict[int, dict[str, float]] = {}
+    for span in recorder.spans:
+        if span.track != TRACK_FAULT or not span.name.startswith("fault."):
+            continue
+        phase = span.name[len("fault."):]
+        if phase not in FAULT_PHASES:
+            continue
+        acc = by_seq.setdefault(span.kernel_seq, {})
+        acc[phase] = acc.get(phase, 0.0) + span.duration
+    out: list[KernelPhases] = []
+    for rec in recorder.kernels:
+        out.append(KernelPhases(
+            seq=rec.seq, name=rec.name, exec_id=rec.exec_id,
+            start=rec.start, end=rec.end, compute_time=rec.compute_time,
+            fault_wait=rec.fault_wait, inflight_wait=rec.inflight_wait,
+            accesses=rec.accesses, faults=rec.faults,
+            prefetch_hits=rec.prefetch_hits,
+            prefetch_done=recorder.kernel_prefetch_done.get(rec.seq, 0),
+            prefetch_useful=recorder.kernel_prefetch_useful.get(rec.seq, 0),
+            fault_phases=by_seq.get(rec.seq, {}),
+        ))
+    return out
+
+
+@dataclass
+class KernelAggregate:
+    """All executions of one kernel name, summed."""
+
+    name: str
+    launches: int = 0
+    compute_time: float = 0.0
+    fault_wait: float = 0.0
+    inflight_wait: float = 0.0
+    accesses: int = 0
+    faults: int = 0
+    prefetch_hits: int = 0
+    prefetch_done: int = 0
+    prefetch_useful: int = 0
+    fault_phases: dict = field(default_factory=dict)
+
+    @property
+    def stall_time(self) -> float:
+        return self.fault_wait + self.inflight_wait
+
+    @property
+    def prefetch_coverage(self) -> Optional[float]:
+        demand = self.prefetch_hits + self.faults
+        if demand == 0:
+            return None
+        return self.prefetch_hits / demand
+
+    @property
+    def prefetch_accuracy(self) -> Optional[float]:
+        if self.prefetch_done == 0:
+            return None
+        return self.prefetch_useful / self.prefetch_done
+
+
+def aggregate_by_kernel(recorder: SpanRecorder) -> list[KernelAggregate]:
+    """Phase totals per kernel name, sorted by stall time (worst first)."""
+    by_name: dict[str, KernelAggregate] = {}
+    for kp in kernel_phases(recorder):
+        agg = by_name.get(kp.name)
+        if agg is None:
+            agg = by_name[kp.name] = KernelAggregate(name=kp.name)
+        agg.launches += 1
+        agg.compute_time += kp.compute_time
+        agg.fault_wait += kp.fault_wait
+        agg.inflight_wait += kp.inflight_wait
+        agg.accesses += kp.accesses
+        agg.faults += kp.faults
+        agg.prefetch_hits += kp.prefetch_hits
+        agg.prefetch_done += kp.prefetch_done
+        agg.prefetch_useful += kp.prefetch_useful
+        for phase, dur in kp.fault_phases.items():
+            agg.fault_phases[phase] = agg.fault_phases.get(phase, 0.0) + dur
+    return sorted(by_name.values(), key=lambda a: a.stall_time, reverse=True)

@@ -1,0 +1,270 @@
+"""Time-attributed event recording for the simulation (the observability core).
+
+The simulator's aggregate counters (``EngineMetrics``, ``FaultHandlerStats``)
+say *how much* time went where over a whole run; this module records *when*
+and *under which kernel*, in simulated time, so that stalls can be attributed
+and laid out on a timeline. Two recorder implementations share one interface:
+
+* :class:`NullRecorder` — the default. Every method is a no-op and
+  ``enabled`` is False; instrumented hot paths guard their bookkeeping with
+  ``if recorder.enabled:`` so a disabled run costs one attribute check per
+  instrumentation site and allocates nothing.
+* :class:`SpanRecorder` — appends :class:`Span` / :class:`Instant` events and
+  one :class:`KernelRecord` per executed kernel, all stamped in simulated
+  seconds.
+
+Tracks name the resource an event occupies, mirroring the paper's four
+driver threads plus the two hardware resources the engine simulates:
+
+========================  ====================================================
+track                     meaning
+========================  ====================================================
+``TRACK_GPU``             the GPU compute stream (kernels, stall waits)
+``TRACK_LINK``            the PCIe link (every transfer, whatever its cause)
+``TRACK_MIGRATION``       the migration thread (prefetch-queue processing)
+``TRACK_PREEVICT``        the pre-evictor (watermark-triggered idle work)
+``TRACK_FAULT``           the fault-handling pipeline (per-fault phases)
+========================  ====================================================
+
+Events never reference wall-clock time; everything is simulated seconds from
+the engine's t=0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+TRACK_GPU = "gpu"
+TRACK_LINK = "pcie"
+TRACK_MIGRATION = "migration"
+TRACK_PREEVICT = "preevict"
+TRACK_FAULT = "fault"
+
+ALL_TRACKS = (TRACK_GPU, TRACK_FAULT, TRACK_LINK, TRACK_MIGRATION,
+              TRACK_PREEVICT)
+
+#: Human-readable track names (used as thread names in the Chrome trace).
+TRACK_LABELS = {
+    TRACK_GPU: "GPU stream",
+    TRACK_FAULT: "Fault handler",
+    TRACK_LINK: "PCIe link",
+    TRACK_MIGRATION: "Migration thread",
+    TRACK_PREEVICT: "Pre-evictor",
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """A duration event on one track, optionally owned by a kernel."""
+
+    track: str
+    name: str
+    start: float
+    end: float
+    kernel_seq: int = -1
+    args: Optional[dict] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A point event (a fault arriving, a chain break, a declined prefetch)."""
+
+    track: str
+    name: str
+    t: float
+    kernel_seq: int = -1
+    args: Optional[dict] = None
+
+
+@dataclass
+class KernelRecord:
+    """Per-kernel-execution accounting filled in by the engine.
+
+    ``fault_wait`` and ``inflight_wait`` are the kernel's critical-path
+    stall components; summed over all records they equal the engine's
+    aggregate ``fault_wait_time`` / ``inflight_wait_time`` exactly (both are
+    incremented in the same branch). ``prefetch_hits`` counts accesses served
+    by a completed or in-flight prefetch instead of a demand fault.
+    """
+
+    seq: int
+    name: str
+    exec_id: int
+    start: float
+    end: float = 0.0
+    compute_time: float = 0.0
+    fault_wait: float = 0.0
+    inflight_wait: float = 0.0
+    accesses: int = 0
+    faults: int = 0
+    prefetch_hits: int = 0
+
+    @property
+    def stall_time(self) -> float:
+        return self.fault_wait + self.inflight_wait
+
+    @property
+    def prefetch_coverage(self) -> Optional[float]:
+        """Fraction of would-be faults that prefetch absorbed."""
+        demand = self.prefetch_hits + self.faults
+        if demand == 0:
+            return None
+        return self.prefetch_hits / demand
+
+
+class NullRecorder:
+    """Recording disabled: every call is a no-op.
+
+    Hot paths must guard non-trivial work (argument dict construction,
+    counter updates) behind ``recorder.enabled`` so this recorder costs
+    nothing measurable.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def set_exec_id(self, exec_id: int) -> None:
+        return None
+
+    def begin_kernel(self, name: str, t: float) -> None:
+        return None
+
+    def end_kernel(self, t: float, compute_time: float = 0.0) -> None:
+        return None
+
+    def span(self, track: str, name: str, start: float, end: float,
+             args: Optional[dict] = None) -> None:
+        return None
+
+    def instant(self, track: str, name: str, t: float,
+                args: Optional[dict] = None) -> None:
+        return None
+
+    def note_prefetch_done(self, block: int) -> None:
+        return None
+
+    def note_access(self, block: int) -> bool:
+        return False
+
+    def note_evict(self, block: int) -> None:
+        return None
+
+
+#: Shared default instance (stateless, safe to share everywhere).
+NULL_RECORDER = NullRecorder()
+
+
+class SpanRecorder:
+    """Collects spans, instants and per-kernel records in simulated time.
+
+    The engine owns the kernel lifecycle: :meth:`begin_kernel` /
+    :meth:`end_kernel` bracket each execution and every event recorded in
+    between is stamped with that kernel's sequence number, which is how the
+    phase-breakdown report attributes fault-handling work to kernels.
+
+    Prefetch usefulness is tracked with a small owner map: when the
+    migration thread completes a prefetch the block is charged to the
+    current kernel (:meth:`note_prefetch_done`); the first access that finds
+    it (:meth:`note_access`) marks it useful, an eviction before any access
+    (:meth:`note_evict`) marks it wasted.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self.kernels: list[KernelRecord] = []
+        self.cur: Optional[KernelRecord] = None
+        self._pending_exec_id = -1
+        # block index -> seq of the kernel under which its prefetch completed
+        self._prefetch_owner: dict[int, int] = {}
+        #: per kernel seq: prefetches completed during it / later found useful
+        self.kernel_prefetch_done: dict[int, int] = {}
+        self.kernel_prefetch_useful: dict[int, int] = {}
+        self.prefetch_used = 0
+        self.prefetch_wasted = 0
+
+    # ------------------------------------------------------------------ #
+    # kernel lifecycle (driven by the engine)
+    # ------------------------------------------------------------------ #
+
+    def set_exec_id(self, exec_id: int) -> None:
+        """Stash the runtime-assigned execution ID for the next kernel."""
+        self._pending_exec_id = exec_id
+
+    def begin_kernel(self, name: str, t: float) -> None:
+        self.cur = KernelRecord(
+            seq=len(self.kernels), name=name,
+            exec_id=self._pending_exec_id, start=t,
+        )
+        self._pending_exec_id = -1
+        self.kernels.append(self.cur)
+
+    def end_kernel(self, t: float, compute_time: float = 0.0) -> None:
+        if self.cur is None:
+            return
+        self.cur.end = t
+        self.cur.compute_time = compute_time
+        self.cur = None
+
+    # ------------------------------------------------------------------ #
+    # events
+    # ------------------------------------------------------------------ #
+
+    def _seq(self) -> int:
+        return self.cur.seq if self.cur is not None else -1
+
+    def span(self, track: str, name: str, start: float, end: float,
+             args: Optional[dict] = None) -> None:
+        self.spans.append(Span(track, name, start, end, self._seq(), args))
+
+    def instant(self, track: str, name: str, t: float,
+                args: Optional[dict] = None) -> None:
+        self.instants.append(Instant(track, name, t, self._seq(), args))
+
+    # ------------------------------------------------------------------ #
+    # prefetch usefulness bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def note_prefetch_done(self, block: int) -> None:
+        seq = self._seq()
+        self._prefetch_owner[block] = seq
+        self.kernel_prefetch_done[seq] = self.kernel_prefetch_done.get(seq, 0) + 1
+
+    def note_access(self, block: int) -> bool:
+        """Record a GPU access; True if it was served by a prefetch."""
+        owner = self._prefetch_owner.pop(block, None)
+        if owner is None:
+            return False
+        self.prefetch_used += 1
+        self.kernel_prefetch_useful[owner] = \
+            self.kernel_prefetch_useful.get(owner, 0) + 1
+        return True
+
+    def note_evict(self, block: int) -> None:
+        if self._prefetch_owner.pop(block, None) is not None:
+            self.prefetch_wasted += 1
+
+    # ------------------------------------------------------------------ #
+    # convenience aggregates
+    # ------------------------------------------------------------------ #
+
+    def total_fault_wait(self) -> float:
+        return sum(k.fault_wait for k in self.kernels)
+
+    def total_inflight_wait(self) -> float:
+        return sum(k.inflight_wait for k in self.kernels)
+
+    def prefetch_accuracy(self) -> Optional[float]:
+        """Used / (used + wasted) over completed prefetches with a verdict."""
+        settled = self.prefetch_used + self.prefetch_wasted
+        if settled == 0:
+            return None
+        return self.prefetch_used / settled

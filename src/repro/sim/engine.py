@@ -24,6 +24,12 @@ from dataclasses import dataclass, field
 from typing import Optional, Protocol, Sequence
 
 from ..config import SystemConfig
+from ..obs.recorder import (
+    NULL_RECORDER,
+    TRACK_FAULT,
+    TRACK_GPU,
+    TRACK_MIGRATION,
+)
 from .energy import EnergyMeter
 from .fault_handler import DriverFaultHandler, FaultHandlerStats
 from .gpu import GPUMemory
@@ -121,10 +127,11 @@ class UMSimulator:
     """
 
     def __init__(self, system: SystemConfig, hooks: DriverHooks | None = None,
-                 *, block_size: int | None = None):
+                 *, block_size: int | None = None, recorder=None):
         self.system = system
         from ..constants import UM_BLOCK_SIZE
 
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.um = UnifiedMemorySpace(
             block_size=block_size if block_size else UM_BLOCK_SIZE
         )
@@ -133,9 +140,11 @@ class UMSimulator:
             bandwidth=system.link.bandwidth,
             latency=system.link.latency,
             page_overhead=system.link.page_overhead,
+            recorder=self.recorder,
         )
         self.handler = DriverFaultHandler(
-            um=self.um, gpu=self.gpu, link=self.link, costs=system.fault
+            um=self.um, gpu=self.gpu, link=self.link, costs=system.fault,
+            recorder=self.recorder,
         )
         self.energy = EnergyMeter(power=system.power)
         self.hooks: DriverHooks = hooks if hooks is not None else NullHooks()
@@ -143,6 +152,21 @@ class UMSimulator:
         self.metrics = EngineMetrics()
         # Completion instant of in-flight (prefetch) migrations per block.
         self._available_at: dict[int, float] = {}
+        # Earliest instant background work may be scheduled: commands and
+        # watermark state only exist once the event that produced them has
+        # happened, so the migration thread must never book the link (or
+        # admit blocks) at instants before that event. Advanced at kernel
+        # launch, fault delivery and kernel completion.
+        self._bg_earliest = 0.0
+        self.gpu.evict_listeners.append(self._on_block_evicted)
+
+    def _on_block_evicted(self, block: UMBlock) -> None:
+        """A block left the device: any in-flight completion time recorded
+        for it is now meaningless — drop it so a later residency path can't
+        inherit a bogus wait."""
+        self._available_at.pop(block.index, None)
+        if self.recorder.enabled:
+            self.recorder.note_evict(block.index)
 
     # ------------------------------------------------------------------ #
     # kernel execution
@@ -150,7 +174,15 @@ class UMSimulator:
 
     def execute_kernel(self, kernel: KernelExecution) -> float:
         """Run one kernel; returns its completion time."""
+        rec = self.recorder
+        # Commands enqueued for this kernel (runtime pre-launch callback,
+        # launch hook) exist from "now" on — never earlier.
+        if self.now > self._bg_earliest:
+            self._bg_earliest = self.now
         t = self.now + self.system.gpu.kernel_launch_overhead
+        if rec.enabled:
+            rec.begin_kernel(getattr(kernel.payload, "name",
+                                     str(kernel.payload)), t)
         self.hooks.on_kernel_launch(kernel.payload, t)
         accesses = kernel.accesses
         n = len(accesses)
@@ -166,26 +198,57 @@ class UMSimulator:
         self.metrics.compute_time += kernel.compute_time
         self.energy.add_gpu_busy(kernel.compute_time)
         self.now = t
+        if t > self._bg_earliest:
+            self._bg_earliest = t
         self.hooks.on_kernel_end(t)
+        if rec.enabled:
+            rec.end_kernel(t, compute_time=kernel.compute_time)
         return t
 
     def _perform_access(self, acc: BlockAccess, t: float) -> float:
         """Resolve residency for one block access; returns the new GPU time."""
         blk = acc.block
+        rec = self.recorder
         if self.gpu.is_resident(blk):
             ready = self._available_at.get(blk.index, 0.0)
             if ready > t:
                 # Prefetch still in flight: the access faults but the driver
                 # finds the migration already running and only waits.
                 self.metrics.inflight_wait_time += ready - t
+                if rec.enabled:
+                    cur = rec.cur
+                    cur.accesses += 1
+                    cur.inflight_wait += ready - t
+                    if rec.note_access(blk.index):
+                        cur.prefetch_hits += 1
+                    rec.span(TRACK_GPU, "wait.inflight", t, ready,
+                             args={"block": blk.index})
                 return ready
             self.metrics.resident_hits += 1
+            if rec.enabled:
+                cur = rec.cur
+                cur.accesses += 1
+                if rec.note_access(blk.index):
+                    cur.prefetch_hits += 1
             return t
         start = t
+        # One engine-level demand fault = one fault-buffer interrupt (the
+        # buffer holds a single block's pages here); multi-block batches are
+        # counted by DriverFaultHandler.handle_batch instead.
+        self.handler.stats.fault_batches += 1
         t = self.handler.resolve_block_fault(blk, t, page_faults=acc.pages)
         self.metrics.fault_wait_time += t - start
         self._available_at[blk.index] = t
+        if rec.enabled:
+            cur = rec.cur
+            cur.accesses += 1
+            cur.faults += 1
+            cur.fault_wait += t - start
+            rec.instant(TRACK_FAULT, "fault", start,
+                        args={"block": blk.index, "pages": acc.pages})
         self.hooks.on_fault(blk, t)
+        if t > self._bg_earliest:
+            self._bg_earliest = t
         return t
 
     # ------------------------------------------------------------------ #
@@ -201,7 +264,14 @@ class UMSimulator:
         regardless of link state — the migration thread maps them without
         touching PCIe. When the queue is empty, the pre-evictor gets idle
         ticks.
+
+        Nothing is scheduled before ``self._bg_earliest``: a command
+        enqueued at kernel-launch time must not occupy an idle link *in the
+        past* (it would complete before it was issued), and free admits of
+        unpopulated blocks happen at the migration thread's clock, not at
+        whatever instant the link last went quiet.
         """
+        rec = self.recorder
         while True:
             link_idle = self.link.free_at < until
             idx = self.hooks.pop_prefetch()
@@ -215,13 +285,17 @@ class UMSimulator:
                     # horizon: put the command back and stop for now.
                     self.hooks.push_back_prefetch(idx)
                     break
-                earliest = max(self.link.free_at, 0.0)
+                earliest = max(self.link.free_at, self._bg_earliest) \
+                    if needs_link else self._bg_earliest
                 end = self.handler.prefetch_block(blk, earliest)
                 if end is None:
                     # Device full: prefer the pre-evictor's headroom-making
                     # tick; without one, evict on the migration path (as the
                     # UVM prefetch path does) — off the fault critical path
-                    # either way.
+                    # either way. Eviction may use past idle link time (the
+                    # pre-evictor runs continuously and memory pressure
+                    # existed throughout the idle window); only the prefetch
+                    # *command* is pinned to its issue instant.
                     if not self.hooks.background_tick(self.link.free_at):
                         self.handler.make_room(
                             blk.populated_bytes, self.link.free_at
@@ -231,9 +305,19 @@ class UMSimulator:
                     )
                     if end is None:
                         self.metrics.prefetch_declined += 1
+                        if rec.enabled:
+                            rec.instant(TRACK_MIGRATION, "prefetch.declined",
+                                        max(self.link.free_at, earliest),
+                                        args={"block": blk.index})
                         continue
                 self._available_at[blk.index] = end
                 self.metrics.prefetched_blocks += 1
+                if rec.enabled:
+                    rec.note_prefetch_done(blk.index)
+                    rec.span(TRACK_MIGRATION, "prefetch.block",
+                             min(earliest, end), end,
+                             args={"block": blk.index,
+                                   "free_admit": not needs_link})
                 continue
             if not link_idle:
                 break

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Protocol
 
 from ..config import FaultCosts
+from ..obs.recorder import NULL_RECORDER, TRACK_FAULT
 from .gpu import GPUMemory
 from .interconnect import PCIeLink
 from .um_space import BlockLocation, UMBlock, UnifiedMemorySpace
@@ -45,7 +46,13 @@ class LRUMigratedPolicy:
 
 @dataclass
 class FaultHandlerStats:
-    """Counters the evaluation section reports (Table 5 and Fig. 10)."""
+    """Counters the evaluation section reports (Table 5 and Fig. 10).
+
+    ``fault_batches`` counts fault-buffer *interrupts* (one per
+    :meth:`DriverFaultHandler.handle_batch` drain, or one per engine-level
+    demand fault, which models a buffer holding a single block's pages);
+    ``faulted_blocks`` counts the UM blocks resolved inside those batches.
+    """
 
     fault_batches: int = 0
     faulted_blocks: int = 0
@@ -75,32 +82,54 @@ class DriverFaultHandler:
     eviction_policy: EvictionPolicy = field(default_factory=LRUMigratedPolicy)
     is_invalidated: Callable[[UMBlock], bool] = staticmethod(lambda blk: blk.invalidated)
     stats: FaultHandlerStats = field(default_factory=FaultHandlerStats)
+    recorder: object = field(default=NULL_RECORDER, repr=False)
 
     def resolve_block_fault(self, block: UMBlock, now: float, page_faults: int) -> float:
         """Handle a demand fault on ``block``; returns the completion time.
 
         The whole sequence — handling overhead, any eviction transfers, the
         inbound migration, and the replay signal — is on the faulting SM's
-        critical path (the paper's motivation for pre-eviction).
+        critical path (the paper's motivation for pre-eviction). Batch
+        counting is the *caller's* job (one batch may resolve many blocks);
+        this method counts blocks and pages only.
         """
-        self.stats.fault_batches += 1
+        rec = self.recorder
         self.stats.faulted_blocks += 1
         self.stats.page_faults += page_faults
         t = now + self.costs.handling_overhead
+        if rec.enabled:
+            rec.span(TRACK_FAULT, "fault.handling", now, t,
+                     args={"block": block.index, "pages": page_faults})
+        evict_start = t
         t = self.make_room(block.populated_bytes, t)
+        if rec.enabled and t > evict_start:
+            rec.span(TRACK_FAULT, "fault.evict", evict_start, t,
+                     args={"block": block.index})
         if block.location is BlockLocation.CPU:
             # Valid data on the host: migrate it over the link. Demand
             # migration pays the per-page fault tax (fragmented copies).
-            _, t = self.link.occupy(
+            start, end = self.link.occupy(
                 t, block.populated_bytes, to_gpu=True,
-                faulted_pages=block.populated_pages,
+                faulted_pages=block.populated_pages, label="fault.migrate",
             )
+            if rec.enabled:
+                if start > t:
+                    rec.span(TRACK_FAULT, "fault.link_wait", t, start,
+                             args={"block": block.index})
+                rec.span(TRACK_FAULT, "fault.transfer", start, end,
+                         args={"block": block.index,
+                               "bytes": block.populated_bytes})
+            t = end
             self.stats.migrated_in_blocks += 1
             self.stats.migrated_in_bytes += block.populated_bytes
         else:
             # UNPOPULATED: pages materialize on the device, transfer-free.
             self.stats.first_touch_faults += 1
         self.gpu.admit(block, t)
+        if rec.enabled:
+            rec.span(TRACK_FAULT, "fault.replay", t,
+                     t + self.costs.replay_overhead,
+                     args={"block": block.index})
         t += self.costs.replay_overhead
         self.stats.fault_stall_time += t - now
         return t
@@ -130,8 +159,12 @@ class DriverFaultHandler:
                 self.gpu.remove(blk, to_cpu=False)
                 self.stats.invalidated_evictions += 1
                 self.stats.invalidated_bytes += blk.populated_bytes
+                if self.recorder.enabled:
+                    self.recorder.instant(TRACK_FAULT, "evict.invalidated", t,
+                                          args={"block": blk.index})
                 continue
-            _, t = self.link.occupy(t, blk.populated_bytes, to_gpu=False)
+            _, t = self.link.occupy(t, blk.populated_bytes, to_gpu=False,
+                                    label="evict.writeback")
             self.gpu.remove(blk, to_cpu=True)
             self.stats.evictions += 1
             self.stats.evicted_bytes += blk.populated_bytes
@@ -151,11 +184,16 @@ class DriverFaultHandler:
 
         grouped = group_faults(buffer.drain())
         t = now
+        resolved = 0
         for block_index, entries in grouped.items():
             block = self.um.block(block_index)
             if self.gpu.is_resident(block):
                 continue
             t = self.resolve_block_fault(block, t, page_faults=len(entries))
+            resolved += 1
+        if resolved:
+            # One buffer drain = one batch, however many blocks it held.
+            self.stats.fault_batches += 1
         return t
 
     def prefetch_block(self, block: UMBlock, earliest: float) -> float | None:
@@ -170,7 +208,8 @@ class DriverFaultHandler:
         if not self.gpu.has_room_for(block):
             return None
         if block.location is BlockLocation.CPU:
-            _, end = self.link.occupy(earliest, block.populated_bytes, to_gpu=True)
+            _, end = self.link.occupy(earliest, block.populated_bytes,
+                                      to_gpu=True, label="prefetch.migrate")
             self.stats.migrated_in_blocks += 1
             self.stats.migrated_in_bytes += block.populated_bytes
         else:

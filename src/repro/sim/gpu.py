@@ -28,6 +28,9 @@ class GPUMemory:
     capacity_bytes: int
     used_bytes: int = 0
     resident: "OrderedDict[int, UMBlock]" = field(default_factory=OrderedDict)
+    #: Called with each block that actually leaves the device; the engine
+    #: uses this to drop stale in-flight bookkeeping for evicted blocks.
+    evict_listeners: list = field(default_factory=list, repr=False)
 
     @property
     def free_bytes(self) -> int:
@@ -66,6 +69,8 @@ class GPUMemory:
         block.location = BlockLocation.CPU if to_cpu else BlockLocation.UNPOPULATED
         if not to_cpu:
             block.dirty = False
+        for listener in self.evict_listeners:
+            listener(block)
 
     def migration_order(self):
         """Blocks in least-recently-migrated-first order."""

@@ -7,7 +7,9 @@ evictions all serialize on it. The engine decides scheduling priority
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from ..obs.recorder import NULL_RECORDER, TRACK_LINK
 
 
 @dataclass
@@ -29,6 +31,9 @@ class PCIeLink:
     bytes_to_gpu: int = 0
     bytes_to_cpu: int = 0
     faulted_pages: int = 0
+    #: Observability sink; every occupancy is recorded as a span on the
+    #: PCIe track when a live recorder is attached (see ``repro.obs``).
+    recorder: object = field(default=NULL_RECORDER, repr=False, compare=False)
 
     def transfer_time(self, nbytes: int, *, faulted_pages: int = 0) -> float:
         """Wire time for ``nbytes`` (latency + serialization + fault tax)."""
@@ -41,11 +46,14 @@ class PCIeLink:
         )
 
     def occupy(
-        self, earliest: float, nbytes: int, *, to_gpu: bool, faulted_pages: int = 0
+        self, earliest: float, nbytes: int, *, to_gpu: bool,
+        faulted_pages: int = 0, label: str = "xfer",
     ) -> tuple[float, float]:
         """Schedule a transfer at the earliest feasible instant.
 
         Returns ``(start, end)`` and advances the link's busy horizon.
+        ``label`` names the transfer's cause on the observability timeline
+        (``fault.migrate`` | ``prefetch.migrate`` | ``evict.writeback``).
         """
         start = max(earliest, self.free_at)
         duration = self.transfer_time(nbytes, faulted_pages=faulted_pages)
@@ -57,6 +65,11 @@ class PCIeLink:
             self.bytes_to_gpu += nbytes
         else:
             self.bytes_to_cpu += nbytes
+        if self.recorder.enabled:
+            self.recorder.span(TRACK_LINK, label, start, end, args={
+                "bytes": nbytes, "to_gpu": to_gpu,
+                "faulted_pages": faulted_pages,
+            })
         return start, end
 
     def idle_until(self, t: float) -> bool:

@@ -164,6 +164,18 @@ class Tracer:
         tracer._seq = len(tracer.events)
         return tracer
 
+    def to_chrome_events(self) -> list[dict]:
+        """This event stream as Chrome-trace instants (see ``repro.obs``)."""
+        from .obs.chrome_trace import tracer_chrome_events
+
+        return tracer_chrome_events(self.events)
+
+    def save_chrome(self, path_or_file) -> None:
+        """Write a Perfetto-loadable JSON timeline of this trace."""
+        from .obs.chrome_trace import write_tracer_chrome_trace
+
+        write_tracer_chrome_trace(self.events, path_or_file)
+
     # ------------------------------------------------------------------ #
     # analysis
     # ------------------------------------------------------------------ #

@@ -72,7 +72,11 @@ def test_optimizations_stack(tiny_system):
     }.items():
         times[name] = run_training(DeepUM(tiny_system, cfg)).elapsed()
     assert times["prefetch"] < times["none"]
-    assert times["all"] <= times["prefetch"] * 1.05
+    # 10% slack: on this tiny 64 MiB GPU, pre-eviction + invalidation churn
+    # can slightly hurt. The margin widened when restart_from_fault stopped
+    # double-migrating the faulted block as a phantom "prefetch" (which had
+    # flattered the "all" config); the paper's ordering only holds at scale.
+    assert times["all"] <= times["prefetch"] * 1.10
 
 
 def test_correlation_tables_grow_with_model(tiny_system):

@@ -118,7 +118,25 @@ def test_off_chain_fault_restarts_from_fault():
     replay_launch(cor, pf, 1)
     replay_fault(cor, pf, 99)  # unknown block: chain diverged
     assert 99 in pf.protected_blocks()
-    assert 99 in drain(pf)
+    # The faulted block seeds the new chain but is NOT emitted as a
+    # prefetch command — the demand fault is already migrating it.
+    assert 99 not in drain(pf)
+
+
+def test_fault_restart_emits_successors_not_faulted_block():
+    """Chain restart prefetches what comes *after* the fault, not the fault.
+
+    The prefetcher's launch hook is deliberately skipped here so the only
+    emission source is ``restart_from_fault`` itself — the launch path
+    legitimately emits the kernel's own working set (block 10 included).
+    """
+    cor = teach(SCHEDULE)
+    pf = ChainingPrefetcher(cor, degree=4)
+    cor.on_kernel_launch(1)
+    replay_fault(cor, pf, 10)
+    cmds = drain(pf)
+    assert 10 not in cmds       # already migrating via the fault path
+    assert {11, 20, 21} <= set(cmds)
 
 
 def test_protected_blocks_cover_window():

@@ -1,0 +1,115 @@
+"""Whole-run accounting invariants over the simulated timelines.
+
+These are property-style checks on a real training run: the engine's
+aggregate counters, the per-kernel records and the span stream must all
+describe the same timeline — time is neither invented nor lost, resources
+are never double-booked, and no event precedes its cause.
+"""
+
+import pytest
+
+from repro.config import DeepUMConfig, GPUSpec, HostSpec, SystemConfig
+from repro.constants import GiB, MiB
+from repro.core.deepum import DeepUM
+from repro.baselines import NaiveUM
+from repro.obs import TRACK_FAULT, TRACK_LINK, SpanRecorder, attach
+from workloads import make_mlp_workload
+
+EPS = 1e-9
+
+
+def small_system():
+    return SystemConfig(gpu=GPUSpec(memory_bytes=64 * MiB),
+                        host=HostSpec(memory_bytes=4 * GiB))
+
+
+@pytest.fixture(scope="module", params=["deepum", "um"])
+def trained(request):
+    """An instrumented run of each UM-family policy, shared per module."""
+    system = small_system()
+    if request.param == "deepum":
+        facade = DeepUM(system, DeepUMConfig(prefetch_degree=8))
+    else:
+        facade = NaiveUM(system)
+    rec = attach(facade, SpanRecorder())
+    step, _, _ = make_mlp_workload(facade.device, layers_n=6, dim=512,
+                                   batch=128)
+    for _ in range(3):
+        step()
+    return facade, rec
+
+
+def test_gpu_time_decomposes_exactly(trained):
+    """now = launches + compute + fault stall + in-flight stall, exactly.
+
+    (Checked before ``finish()``, which fast-forwards past trailing
+    background transfers.)
+    """
+    facade, _ = trained
+    eng = facade.engine
+    m = eng.metrics
+    expected = (m.kernels * eng.system.gpu.kernel_launch_overhead
+                + m.compute_time + m.fault_wait_time + m.inflight_wait_time)
+    assert eng.now == pytest.approx(expected, rel=1e-12)
+
+
+def test_link_cannot_be_busy_longer_than_elapsed(trained):
+    facade, _ = trained
+    eng = facade.engine
+    eng.finish()
+    assert eng.link.busy_time <= eng.now + EPS
+
+
+def test_recorder_and_engine_agree_on_stalls(trained):
+    facade, rec = trained
+    eng = facade.engine
+    assert rec.total_fault_wait() == pytest.approx(eng.metrics.fault_wait_time)
+    assert rec.total_inflight_wait() == \
+        pytest.approx(eng.metrics.inflight_wait_time)
+
+
+def test_no_span_has_negative_duration(trained):
+    _, rec = trained
+    for span in rec.spans:
+        assert span.end >= span.start - EPS, span
+    for k in rec.kernels:
+        assert k.end >= k.start, k
+
+
+def test_pcie_spans_never_overlap(trained):
+    """The link is a single-owner resource: transfers serialize."""
+    _, rec = trained
+    xfers = sorted((s for s in rec.spans if s.track == TRACK_LINK),
+                   key=lambda s: (s.start, s.end))
+    for prev, nxt in zip(xfers, xfers[1:]):
+        assert nxt.start >= prev.end - EPS, (prev, nxt)
+
+
+def test_no_event_starts_before_its_cause(trained):
+    """Kernel-owned events happen within (or right at) their kernel.
+
+    A fault phase cannot begin before the kernel that faulted was running,
+    and background work attributed to a kernel cannot start before that
+    kernel was even launched (launch overhead marks the earliest cause).
+    """
+    _, rec = trained
+    overhead = trained[0].engine.system.gpu.kernel_launch_overhead
+    for span in rec.spans:
+        if span.kernel_seq < 0:
+            continue
+        k = rec.kernels[span.kernel_seq]
+        assert span.start >= k.start - overhead - EPS, (span, k)
+        if span.track == TRACK_FAULT:
+            assert span.start >= k.start - EPS, (span, k)
+            assert span.end <= k.end + EPS, (span, k)
+    for inst in rec.instants:
+        if inst.kernel_seq < 0 or inst.track != TRACK_FAULT:
+            continue
+        k = rec.kernels[inst.kernel_seq]
+        assert k.start - EPS <= inst.t <= k.end + EPS, (inst, k)
+
+
+def test_every_kernel_record_is_closed(trained):
+    _, rec = trained
+    assert rec.cur is None
+    assert all(k.end > 0.0 for k in rec.kernels)
