@@ -21,8 +21,9 @@ import functools
 import os
 from typing import Iterable, Optional
 
+from repro.bench.manifest import DEFAULT_MEASURE, DEFAULT_WARMUP
+from repro.bench.runner import run_cell as _bench_run_cell
 from repro.config import DeepUMConfig
-from repro.harness import calibrate_system, run_experiment
 from repro.harness.experiment import ExperimentResult
 from repro.models.registry import get_model_config
 
@@ -36,8 +37,10 @@ FIG13_MODELS = ("resnet200-cifar", "bert-large-cola", "dcgan", "mobilenet")
 #: subset keeps sweep cost manageable.
 SWEEP_MODELS = ("gpt2-l", "bert-large", "resnet152")
 
-WARMUP = 4  # tables need ~3 iterations to converge before measuring
-MEASURE = 2 if FAST else 3
+# Shared with the ``repro bench`` scenario manifests, so a pinned bench
+# scenario times exactly what the figure grids run.
+WARMUP = DEFAULT_WARMUP
+MEASURE = 2 if FAST else DEFAULT_MEASURE
 
 
 def selected_models(default: Iterable[str]) -> tuple[str, ...]:
@@ -58,11 +61,9 @@ def fig9_batches(model: str) -> tuple[int, ...]:
 def run_cell(model: str, batch: int, policy: str,
              deepum_config: Optional[DeepUMConfig] = None,
              seed: int = 0) -> ExperimentResult:
-    system = calibrate_system(model)
-    return run_experiment(
-        model, batch, policy, system=system,
-        warmup_iterations=WARMUP, measure_iterations=MEASURE,
-        deepum_config=deepum_config, seed=seed,
+    return _bench_run_cell(
+        model, batch, policy, deepum_config=deepum_config,
+        warmup_iterations=WARMUP, measure_iterations=MEASURE, seed=seed,
     )
 
 

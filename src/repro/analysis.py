@@ -15,7 +15,6 @@ workload, or derive one from a saved :class:`repro.trace.Tracer` stream.
 from __future__ import annotations
 
 import bisect
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 

@@ -14,6 +14,7 @@ from ..config import SystemConfig
 from ..sim.engine import UMSimulator
 from ..torchsim.backend import UMBackend
 from ..torchsim.context import Device
+from ..core.replay import IterationReplayer
 from ..core.um_manager import UMMemoryManager
 
 
@@ -34,6 +35,7 @@ class IdealNoOversubscription:
             self.manager,
             seed=seed,
         )
+        self.device.replayer = IterationReplayer(self.device, self.manager)
 
     def elapsed(self) -> float:
         return self.manager.elapsed()

@@ -11,6 +11,7 @@ from ..config import SystemConfig
 from ..sim.engine import UMSimulator
 from ..torchsim.backend import UMBackend
 from ..torchsim.context import Device
+from ..core.replay import IterationReplayer
 from ..core.um_manager import UMMemoryManager
 
 
@@ -30,6 +31,7 @@ class NaiveUM:
             self.manager,
             seed=seed,
         )
+        self.device.replayer = IterationReplayer(self.device, self.manager)
 
     def elapsed(self) -> float:
         return self.manager.elapsed()

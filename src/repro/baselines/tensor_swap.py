@@ -16,7 +16,7 @@ genuine allocator mechanics rather than a tuned constant.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from ..config import SystemConfig

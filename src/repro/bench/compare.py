@@ -1,0 +1,99 @@
+"""Regression comparison between two bench result files.
+
+Two different rules, because the two kinds of numbers fail differently:
+
+* **Simulated metrics are compared exactly.** The simulator is
+  deterministic; if a cell's simulated elapsed time, fault count or
+  prefetch coverage moved at all, behaviour changed and the comparison
+  fails regardless of threshold.  (Refreshing the committed baseline is
+  the explicit way to accept an intentional change — see
+  docs/internals.md.)
+* **Wall-clock times regress only past a threshold.** Machines differ and
+  schedulers add noise, so the current wall time may exceed the baseline
+  by up to ``threshold``x before the cell counts as a regression.
+  Improvements never fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .schema import SIM_METRIC_KEYS, validate_result
+
+DEFAULT_THRESHOLD = 1.5
+
+
+@dataclass
+class CompareResult:
+    """Outcome of one baseline-vs-current comparison."""
+
+    threshold: float
+    regressions: list[str] = field(default_factory=list)
+    sim_mismatches: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.sim_mismatches
+
+    def report(self) -> str:
+        lines = list(self.notes)
+        for line in self.sim_mismatches:
+            lines.append(f"SIM MISMATCH  {line}")
+        for line in self.regressions:
+            lines.append(f"REGRESSION    {line}")
+        lines.append("compare: OK" if self.ok else "compare: FAILED")
+        return "\n".join(lines)
+
+
+def compare_results(
+    baseline: dict,
+    current: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> CompareResult:
+    """Compare ``current`` against ``baseline``; both are schema-v1 dicts."""
+    if threshold < 1.0:
+        raise ValueError(f"threshold must be >= 1.0, got {threshold}")
+    validate_result(baseline)
+    validate_result(current)
+    out = CompareResult(threshold=threshold)
+    if baseline["scenario"] != current["scenario"]:
+        out.sim_mismatches.append(
+            f"scenario {baseline['scenario']!r} vs {current['scenario']!r}: "
+            f"results are from different scenarios"
+        )
+        return out
+    if baseline["config"] != current["config"]:
+        out.sim_mismatches.append(
+            "scenario config changed (model/batch/iterations/seed pin): "
+            f"{baseline['config']} vs {current['config']}"
+        )
+        return out
+    base_cells = baseline["cells"]
+    cur_cells = current["cells"]
+    for name in base_cells:
+        if name not in cur_cells:
+            out.sim_mismatches.append(f"{name}: missing from current result")
+    for name, cur in cur_cells.items():
+        base = base_cells.get(name)
+        if base is None:
+            out.notes.append(f"{name}: new cell (no baseline)")
+            continue
+        for key in SIM_METRIC_KEYS:
+            if base["sim"][key] != cur["sim"][key]:
+                out.sim_mismatches.append(
+                    f"{name}: sim.{key} {base['sim'][key]} -> {cur['sim'][key]}"
+                )
+        base_wall = base["wall_seconds"]
+        cur_wall = cur["wall_seconds"]
+        ratio = cur_wall / base_wall if base_wall > 0 else float("inf")
+        line = (
+            f"{name}: wall {base_wall:.3f}s -> {cur_wall:.3f}s "
+            f"({ratio:.2f}x, threshold {threshold:.2f}x)"
+        )
+        if cur_wall > base_wall * threshold:
+            out.regressions.append(line)
+        else:
+            out.notes.append(line)
+    return out

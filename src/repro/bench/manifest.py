@@ -1,0 +1,102 @@
+"""Pinned benchmark scenarios: the what, never the how.
+
+A :class:`Scenario` fixes everything that determines a run's simulated
+output — model, paper batch, policy list, iteration counts, seed and
+prefetch degree — so two runs of the same scenario on any machine produce
+identical simulated metrics and comparable wall-clock times.  The figure
+and table benchmarks under ``benchmarks/`` share these warm-up/measure
+constants so a scenario times exactly what the paper grids run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Iterations before the measurement window: correlation tables need ~3
+#: iterations to converge (same constant the figure benchmarks use).
+DEFAULT_WARMUP = 4
+#: Iterations inside the measurement window.
+DEFAULT_MEASURE = 3
+#: Seed for the device RNG (only irregular workloads draw from it).
+DEFAULT_SEED = 0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One pinned benchmark: a model under a set of policies."""
+
+    name: str
+    model: str
+    paper_batch: int
+    policies: tuple[str, ...]
+    warmup_iterations: int = DEFAULT_WARMUP
+    measure_iterations: int = DEFAULT_MEASURE
+    seed: int = DEFAULT_SEED
+    prefetch_degree: int = 32
+    description: str = ""
+    # Derived, for display only.
+    cells: tuple[str, ...] = field(init=False, default=())
+
+    def __post_init__(self) -> None:
+        cells = tuple(
+            f"{self.model}@{self.paper_batch}/{p}" for p in self.policies
+        )
+        object.__setattr__(self, "cells", cells)
+
+    def config_dict(self) -> dict:
+        """The scenario pin, embedded verbatim in every result file."""
+        return {
+            "model": self.model,
+            "paper_batch": self.paper_batch,
+            "policies": list(self.policies),
+            "warmup_iterations": self.warmup_iterations,
+            "measure_iterations": self.measure_iterations,
+            "seed": self.seed,
+            "prefetch_degree": self.prefetch_degree,
+        }
+
+
+def _registry(*scenarios: Scenario) -> dict[str, Scenario]:
+    return {s.name: s for s in scenarios}
+
+
+#: All named scenarios. ``smoke`` is what CI gates on: small enough to run
+#: in seconds, but it exercises both the naive-UM and the full DeepUM
+#: paths. The ``fig09-*`` scenarios are the speedup-measurement workloads.
+SCENARIOS: dict[str, Scenario] = _registry(
+    Scenario(
+        name="smoke",
+        model="mobilenet",
+        paper_batch=3072,
+        policies=("um", "deepum"),
+        description="CI gate: one small model through naive UM and DeepUM",
+    ),
+    Scenario(
+        name="fig09-bert-large",
+        model="bert-large",
+        paper_batch=16,
+        policies=("um", "deepum", "lms"),
+        description="Fig. 9 cell: BERT-large at the paper's mid batch",
+    ),
+    Scenario(
+        name="fig09-gpt2-l",
+        model="gpt2-l",
+        paper_batch=5,
+        policies=("um", "deepum"),
+        description="Fig. 9 cell: GPT-2 Large",
+    ),
+    Scenario(
+        name="fig09-resnet152",
+        model="resnet152",
+        paper_batch=1536,
+        policies=("um", "deepum"),
+        description="Fig. 9 cell: ResNet-152 at an oversubscribed batch",
+    ),
+    Scenario(
+        name="fig09-dlrm",
+        model="dlrm",
+        paper_batch=160000,
+        policies=("um", "deepum"),
+        description="Fig. 9 cell: DLRM (irregular embedding access)",
+    ),
+)

@@ -1,0 +1,143 @@
+"""Scenario execution: warm-up runs, repeats, min-of-N wall timing.
+
+Wall-clock numbers answer "did the simulator get slower?", so each cell
+runs ``warmup_runs`` untimed passes (heating code caches and the branch
+predictor) followed by ``repeats`` timed passes, keeping the minimum — the
+standard estimator for the noise-free cost of deterministic code.  The
+simulated metrics of every timed pass are compared on the spot: a
+deterministic simulator must reproduce them exactly, so any drift between
+repeats aborts the bench rather than silently reporting an unstable cell.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import time
+from typing import Optional
+
+from ..config import DeepUMConfig
+from ..harness import calibrate_system, run_experiment
+from ..harness.experiment import ExperimentResult
+from .manifest import DEFAULT_MEASURE, DEFAULT_WARMUP, Scenario
+from .schema import make_result
+
+
+class BenchRunError(RuntimeError):
+    """A scenario cell failed (OOM) or was non-deterministic."""
+
+
+def run_cell(
+    model: str,
+    batch: int,
+    policy: str,
+    *,
+    deepum_config: Optional[DeepUMConfig] = None,
+    warmup_iterations: int = DEFAULT_WARMUP,
+    measure_iterations: int = DEFAULT_MEASURE,
+    seed: int = 0,
+) -> ExperimentResult:
+    """One experiment cell under the bench's pinned iteration counts.
+
+    This is the primitive the figure/table benchmarks share (see
+    ``benchmarks/common.py``): model calibration plus ``run_experiment``
+    with the manifest's warm-up and measurement windows.
+    """
+    system = calibrate_system(model)
+    return run_experiment(
+        model,
+        batch,
+        policy,
+        system=system,
+        warmup_iterations=warmup_iterations,
+        measure_iterations=measure_iterations,
+        deepum_config=deepum_config,
+        seed=seed,
+    )
+
+
+def _sim_metrics(result: ExperimentResult) -> dict:
+    if result.oom or result.window is None:
+        raise BenchRunError(
+            f"{result.model}@{result.paper_batch}/{result.policy} OOMed: "
+            f"{result.oom_reason}"
+        )
+    window = result.window
+    return {
+        "elapsed": window.elapsed,
+        "page_faults": window.page_faults,
+        "prefetch_coverage": window.prefetch_coverage,
+        "bytes_in": window.bytes_in,
+        "bytes_out": window.bytes_out,
+        "peak_populated_bytes": result.peak_populated_bytes,
+    }
+
+
+def _peak_rss_bytes() -> int:
+    ru = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return ru if sys.platform == "darwin" else ru * 1024
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    repeats: int = 3,
+    warmup_runs: int = 1,
+    progress=None,
+) -> dict:
+    """Run every cell of ``scenario``; returns a schema-v1 result dict."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    deepum_config = DeepUMConfig(prefetch_degree=scenario.prefetch_degree)
+    cells: dict[str, dict] = {}
+    for policy in scenario.policies:
+        cell_name = f"{scenario.model}@{scenario.paper_batch}/{policy}"
+
+        def one() -> ExperimentResult:
+            return run_cell(
+                scenario.model,
+                scenario.paper_batch,
+                policy,
+                deepum_config=deepum_config,
+                warmup_iterations=scenario.warmup_iterations,
+                measure_iterations=scenario.measure_iterations,
+                seed=scenario.seed,
+            )
+
+        for _ in range(warmup_runs):
+            _sim_metrics(one())
+        walls: list[float] = []
+        sim: Optional[dict] = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = one()
+            walls.append(time.perf_counter() - t0)
+            metrics = _sim_metrics(result)
+            if sim is None:
+                sim = metrics
+            elif sim != metrics:
+                raise BenchRunError(
+                    f"{cell_name}: simulated metrics differed between "
+                    f"repeats ({sim} vs {metrics}); the simulator must be "
+                    f"deterministic"
+                )
+        assert sim is not None
+        cells[cell_name] = {
+            "wall_seconds": min(walls),
+            "wall_seconds_all": walls,
+            "sim": sim,
+        }
+        if progress is not None:
+            progress(
+                f"{cell_name}: {min(walls):.3f}s wall "
+                f"({repeats} repeats), sim {sim['elapsed']:.4f}s"
+            )
+    return make_result(
+        scenario.name,
+        scenario.config_dict(),
+        repeats=repeats,
+        warmup_runs=warmup_runs,
+        cells=cells,
+        peak_rss_bytes=_peak_rss_bytes(),
+    )

@@ -1,0 +1,144 @@
+"""The versioned ``BENCH_<scenario>.json`` result format.
+
+Schema v1::
+
+    {
+      "schema_version": 1,
+      "scenario": "smoke",
+      "config": { ... Scenario.config_dict() ... },
+      "timing": {"repeats": 3, "warmup_runs": 1},
+      "cells": {
+        "mobilenet@3072/um": {
+          "wall_seconds": 0.123,          # min over repeats
+          "wall_seconds_all": [...],      # every repeat, for dispersion
+          "sim": {                        # deterministic; compared exactly
+            "elapsed": 1.5, "page_faults": 42, "prefetch_coverage": 0.9,
+            "bytes_in": 1048576, "bytes_out": 0,
+            "peak_populated_bytes": 123456
+          }
+        }, ...
+      },
+      "peak_rss_bytes": 104857600,
+      "provenance": {"python": "3.11.8", "platform": "..."}
+    }
+
+``validate_result`` is deliberately strict about structure (missing or
+mistyped fields raise) and silent about extra keys, so future minor
+additions stay forward-compatible while version bumps mark breaks.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from typing import Any
+
+SCHEMA_VERSION = 1
+
+#: The deterministic per-cell metrics; every one must be present.
+SIM_METRIC_KEYS = (
+    "elapsed",
+    "page_faults",
+    "prefetch_coverage",
+    "bytes_in",
+    "bytes_out",
+    "peak_populated_bytes",
+)
+
+
+class BenchSchemaError(ValueError):
+    """A result document does not conform to the bench schema."""
+
+
+def _expect(cond: bool, msg: str) -> None:
+    if not cond:
+        raise BenchSchemaError(msg)
+
+
+def validate_result(doc: Any) -> dict:
+    """Validate ``doc`` against schema v1; returns it for chaining."""
+    _expect(isinstance(doc, dict), "result must be a JSON object")
+    version = doc.get("schema_version")
+    _expect(
+        version == SCHEMA_VERSION,
+        f"schema_version must be {SCHEMA_VERSION}, got {version!r}",
+    )
+    _expect(
+        isinstance(doc.get("scenario"), str) and bool(doc["scenario"]),
+        "scenario must be a non-empty string",
+    )
+    _expect(isinstance(doc.get("config"), dict), "config must be an object")
+    timing = doc.get("timing")
+    _expect(isinstance(timing, dict), "timing must be an object")
+    _expect(
+        isinstance(timing.get("repeats"), int) and timing["repeats"] >= 1,
+        "timing.repeats must be a positive integer",
+    )
+    cells = doc.get("cells")
+    _expect(
+        isinstance(cells, dict) and bool(cells),
+        "cells must be a non-empty object",
+    )
+    for name, cell in cells.items():
+        _expect(isinstance(cell, dict), f"cell {name!r} must be an object")
+        wall = cell.get("wall_seconds")
+        _expect(
+            isinstance(wall, (int, float)) and wall >= 0,
+            f"cell {name!r}: wall_seconds must be a non-negative number",
+        )
+        walls = cell.get("wall_seconds_all")
+        _expect(
+            isinstance(walls, list)
+            and bool(walls)
+            and all(isinstance(w, (int, float)) for w in walls),
+            f"cell {name!r}: wall_seconds_all must be a non-empty number list",
+        )
+        sim = cell.get("sim")
+        _expect(isinstance(sim, dict), f"cell {name!r}: sim must be an object")
+        for key in SIM_METRIC_KEYS:
+            _expect(
+                isinstance(sim.get(key), (int, float)),
+                f"cell {name!r}: sim.{key} must be a number",
+            )
+    rss = doc.get("peak_rss_bytes")
+    _expect(
+        isinstance(rss, int) and rss >= 0,
+        "peak_rss_bytes must be a non-negative integer",
+    )
+    return doc
+
+
+def make_result(
+    scenario_name: str,
+    config: dict,
+    *,
+    repeats: int,
+    warmup_runs: int,
+    cells: dict,
+    peak_rss_bytes: int,
+) -> dict:
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": scenario_name,
+        "config": config,
+        "timing": {"repeats": repeats, "warmup_runs": warmup_runs},
+        "cells": cells,
+        "peak_rss_bytes": peak_rss_bytes,
+        "provenance": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    }
+    return validate_result(doc)
+
+
+def write_result(doc: dict, path: str) -> None:
+    validate_result(doc)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_result(path: str) -> dict:
+    with open(path) as fh:
+        return validate_result(json.load(fh))

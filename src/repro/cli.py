@@ -206,6 +206,51 @@ def cmd_sweep_degree(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_list(args: argparse.Namespace) -> int:
+    from .bench import SCENARIOS
+
+    rows = []
+    for scenario in SCENARIOS.values():
+        rows.append([scenario.name, scenario.model, scenario.paper_batch,
+                     ",".join(scenario.policies),
+                     f"{scenario.warmup_iterations}+{scenario.measure_iterations}",
+                     scenario.description])
+    print(format_table(
+        ["scenario", "model", "batch", "policies", "iters", "description"],
+        rows, title="Bench scenarios"))
+    return 0
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    from .bench import SCENARIOS, run_scenario, write_result
+
+    scenario = SCENARIOS.get(args.scenario)
+    if scenario is None:
+        known = ", ".join(sorted(SCENARIOS))
+        raise SystemExit(f"unknown scenario {args.scenario!r}; known: {known}")
+    out = args.out or f"BENCH_{scenario.name}.json"
+    _require_writable_dir(out, "--out")
+    doc = run_scenario(scenario, repeats=args.repeats,
+                       warmup_runs=args.warmup_runs, progress=print)
+    write_result(doc, out)
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    from .bench import compare_results, load_result
+    from .bench.schema import BenchSchemaError
+
+    try:
+        baseline = load_result(args.baseline)
+        current = load_result(args.current)
+    except (OSError, ValueError, BenchSchemaError) as exc:
+        raise SystemExit(f"bench compare: {exc}")
+    outcome = compare_results(baseline, current, threshold=args.threshold)
+    print(outcome.report())
+    return 0 if outcome.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -242,6 +287,31 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--degrees", default="1,8,32,128,512")
     sweep.add_argument("--warmup", type=int, default=4)
     sweep.set_defaults(fn=cmd_sweep_degree)
+
+    bench = sub.add_parser(
+        "bench", help="pinned benchmark scenarios and regression compare")
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+    bsub.add_parser("list", help="list pinned scenarios") \
+        .set_defaults(fn=cmd_bench_list)
+    brun = bsub.add_parser("run", help="run a scenario, write BENCH_<name>.json")
+    brun.add_argument("--scenario", required=True)
+    brun.add_argument("--repeats", type=int, default=3,
+                      help="timed passes per cell; the minimum is kept")
+    brun.add_argument("--warmup-runs", type=int, default=1,
+                      help="untimed passes per cell before timing")
+    brun.add_argument("--out", default=None, metavar="PATH",
+                      help="output path (default: BENCH_<scenario>.json)")
+    brun.set_defaults(fn=cmd_bench_run)
+    bcmp = bsub.add_parser(
+        "compare",
+        help="diff a result against a baseline; exit 1 on regression")
+    bcmp.add_argument("current", help="BENCH_*.json to check")
+    bcmp.add_argument("--baseline", required=True,
+                      help="BENCH_*.json to compare against")
+    bcmp.add_argument("--threshold", type=float, default=1.5,
+                      help="allowed wall-clock regression factor "
+                           "(simulated metrics must match exactly)")
+    bcmp.set_defaults(fn=cmd_bench_compare)
 
     trace = sub.add_parser("trace", help="timeline capture and conversion")
     tsub = trace.add_subparsers(dest="trace_command", required=True)

@@ -13,7 +13,7 @@ the chaining hand-off between consecutive kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,7 @@ class BlockCorrelationTable:
     def __init__(self, config: BlockTableConfig):
         self.config = config
         self._rows: dict[int, _Row] = {}
+        self._num_rows = config.num_rows
         self.start_block: Optional[int] = None
         self.end_block: Optional[int] = None
         self.updates = 0
@@ -67,7 +68,7 @@ class BlockCorrelationTable:
     # ------------------------------------------------------------------ #
 
     def _row_for(self, block: int) -> _Row:
-        idx = block % self.config.num_rows
+        idx = block % self._num_rows
         row = self._rows.get(idx)
         if row is None:
             row = _Row()
@@ -98,13 +99,29 @@ class BlockCorrelationTable:
 
     def successors(self, block: int) -> list[int]:
         """MRU-ordered successors of ``block`` (empty if not present)."""
-        row = self._rows.get(block % self.config.num_rows)
+        row = self._rows.get(block % self._num_rows)
         if row is None:
             return []
         return list(row.entries.get(block, ()))
 
+    _EMPTY: tuple[int, ...] = ()
+
+    def successors_view(self, block: int) -> "Sequence[int]":
+        """Like :meth:`successors` but without the defensive copy.
+
+        The returned sequence aliases table internals and is invalidated by
+        the next :meth:`record_successor` call — callers must only iterate
+        it immediately and must never mutate it. The chain-following hot
+        path uses this to avoid one list allocation per expanded block.
+        """
+        row = self._rows.get(block % self._num_rows)
+        if row is None:
+            return self._EMPTY
+        succs = row.entries.get(block)
+        return succs if succs is not None else self._EMPTY
+
     def __contains__(self, block: int) -> bool:
-        row = self._rows.get(block % self.config.num_rows)
+        row = self._rows.get(block % self._num_rows)
         return row is not None and block in row.entries
 
     def iter_blocks(self) -> Iterable[int]:

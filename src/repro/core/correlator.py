@@ -33,6 +33,11 @@ class Correlator:
         self.current_exec: int = NO_KERNEL
         self._last_fault_block: Optional[int] = None
         self._faulted_in_current: bool = False
+        #: Bumped whenever some kernel's start block transitions from unset
+        #: to set — the only block-table change that can turn a previously
+        #: "nothing to prefetch" kernel into a chain stop. Monotonic and
+        #: quickly stable: each table's start block is set at most once.
+        self.starts_version = 0
 
     # ------------------------------------------------------------------ #
 
@@ -64,6 +69,8 @@ class Correlator:
             return
         table = self.block_table(self.current_exec)
         if not self._faulted_in_current:
+            if table.start_block is None:
+                self.starts_version += 1
             table.start_block = block
             self._faulted_in_current = True
             # Chain the previous kernel's last fault to nothing: the cross-

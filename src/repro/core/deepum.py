@@ -16,6 +16,7 @@ from ..sim.engine import UMSimulator
 from ..torchsim.backend import UMBackend
 from ..torchsim.context import Device
 from .driver import DeepUMDriver
+from .replay import IterationReplayer
 from .runtime import DeepUMRuntime
 from .um_manager import UMMemoryManager
 
@@ -48,6 +49,7 @@ class DeepUM:
             seed=seed,
         )
         self.runtime.attach_allocator(self.device.allocator)
+        self.device.replayer = IterationReplayer(self.device, self.manager)
 
     # ------------------------------------------------------------------ #
 

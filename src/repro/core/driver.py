@@ -100,6 +100,14 @@ class DeepUMDriver:
             prefer_invalidated=config.enable_invalidation,
             protect_predicted=config.enable_preeviction or config.enable_prefetch,
         )
+        # The engine consults these hooks before every block access; when a
+        # feature is enabled, bind its implementation directly so the
+        # per-access dispatch skips the config re-check (the class methods
+        # below remain the disabled-feature fallback).
+        if config.enable_prefetch:
+            self.pop_prefetch = self.prefetcher.pop_command
+        if config.enable_preeviction:
+            self.background_tick = self.preevictor.tick
         if engine.recorder.enabled:
             self.attach_recorder(engine.recorder)
 

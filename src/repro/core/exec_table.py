@@ -59,12 +59,28 @@ class ExecutionCorrelationTable:
         self.updates = 0
         self.hits = 0
         self.misses = 0
+        #: Monotonic write counter. A failed prediction can only start
+        #: succeeding after the table gained a record, so readers (the
+        #: chaining prefetcher) use this to memoize negative lookups
+        #: without risking staleness.
+        self.version = 0
+        #: Bumped only when a record actually changes what the table
+        #: predicts (new history key, or an existing key's next kernel
+        #: changes). A periodic kernel stream re-records identical
+        #: transitions every iteration, so this stabilizes where
+        #: ``version`` keeps climbing — letting readers memoize *positive*
+        #: walks across the steady state.
+        self.content_version = 0
 
     def record(self, history: History, current: int, next_id: int) -> None:
         """Record that ``next_id`` followed ``current`` (preceded by ``history``)."""
         entry = self._entries.setdefault(current, _Entry())
-        entry.records[history] = next_id
+        records = entry.records
+        if records.get(history) != next_id:
+            self.content_version += 1
+        records[history] = next_id
         self.updates += 1
+        self.version += 1
 
     def predict_next(self, history: History, current: int) -> Optional[int]:
         """Predict the kernel following ``current``; None when unseen."""

@@ -19,7 +19,7 @@ from ..sim.um_space import UMBlock
 from .prefetcher import ChainingPrefetcher
 
 
-@dataclass
+@dataclass(slots=True)
 class PreEvictorStats:
     ticks: int = 0
     evicted_blocks: int = 0
@@ -61,19 +61,23 @@ class PreEvictor:
         current or next N kernels (the prefetcher's protected set).
         """
         protected = self.prefetcher.protected_blocks()
+        batch = self.batch_blocks
         victims: list[UMBlock] = []
         live: list[UMBlock] = []
+        skips = 0
         for blk in self.gpu.migration_order():
             if blk.index in protected:
-                self.stats.protected_skips += 1
+                skips += 1
                 continue
             if blk.invalidated:
                 victims.append(blk)
-                if len(victims) >= self.batch_blocks:
-                    return victims
-            elif len(live) < self.batch_blocks:
+                if len(victims) >= batch:
+                    break
+            elif len(live) < batch:
                 live.append(blk)
-        victims.extend(live[: self.batch_blocks - len(victims)])
+        self.stats.protected_skips += skips
+        if len(victims) < batch:
+            victims.extend(live[: batch - len(victims)])
         return victims
 
     def tick(self, now: float) -> bool:

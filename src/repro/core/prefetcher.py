@@ -54,9 +54,39 @@ class ChainingPrefetcher:
         self._queue: deque[int] = deque()
         # Predicted blocks per absolute kernel position (the window).
         self._window_sets: dict[int, set[int]] = {}
+        # The union of the window sets, maintained incrementally: the
+        # count is how many live window sets contain each block, so
+        # retiring a position is O(|its set|) instead of re-unioning the
+        # whole window on every kernel completion.
         self._protected: set[int] = set()
+        self._protect_count: dict[int, int] = {}
+        # True while the chain is paused at the window edge with nothing
+        # buffered: in that state a step provably returns False with no
+        # side effects (the window-full check precedes every counter), so
+        # the per-access queue polls skip the walk machinery entirely.
+        # Cleared whenever the window can move: a launch advances
+        # ``gpu_pos``; repositioning moves ``chain_pos``.
+        self._paused = False
         self.commands_emitted = 0
         self.chain_breaks = 0
+        # Negative-prediction memo: the (exec, history, table-version)
+        # state whose next-kernel prediction last failed. The migration
+        # thread retries the dead chain on every queue pop; until the
+        # execution table gains a record the retry is guaranteed to fail
+        # again, so it is short-circuited here (with the same counter
+        # effects as the full lookup: a chain break and a table miss).
+        self._stuck_state: tuple | None = None
+        # Positive-walk memo: (exec, history) -> (hops, exec', history')
+        # for walks that ended at a kernel with something to prefetch.
+        # Every fault restart re-hops the same fault-free kernel runs the
+        # previous chain already walked; within one prediction topology
+        # (execution-table content + the set of kernels with a recorded
+        # start block) the hop sequence is a pure function of the start
+        # state, so the replay advances the chain in one jump with the
+        # identical counter effects (one table hit per hop). The memo is
+        # dropped whenever either topology version moves.
+        self._hop_memo: dict[tuple, tuple] = {}
+        self._hop_memo_topo: tuple[int, int] = (-1, -1)
 
     # ------------------------------------------------------------------ #
     # triggers (driven by the driver)
@@ -66,6 +96,7 @@ class ChainingPrefetcher:
         """A kernel launches: advance the GPU position; revive the chain
         from this kernel's table if it has died."""
         self._gpu_pos += 1
+        self._paused = False
         if self._chain_pos < self._gpu_pos:
             self._chain_pos = self._gpu_pos
         if self._alive():
@@ -79,11 +110,20 @@ class ChainingPrefetcher:
 
     def on_kernel_end(self) -> None:
         """The executing kernel finished: retire its predicted set."""
-        stale = [pos for pos in self._window_sets if pos <= self._gpu_pos]
+        window_sets = self._window_sets
+        gpu_pos = self._gpu_pos
+        stale = [pos for pos in window_sets if pos <= gpu_pos]
         if stale:
+            counts = self._protect_count
+            protected = self._protected
             for pos in stale:
-                del self._window_sets[pos]
-            self._rebuild_protected()
+                for block in window_sets.pop(pos):
+                    left = counts[block] - 1
+                    if left:
+                        counts[block] = left
+                    else:
+                        del counts[block]
+                        protected.discard(block)
         self._expand()
 
     def restart_from_fault(self, block: int) -> None:
@@ -120,10 +160,19 @@ class ChainingPrefetcher:
 
     def pop_command(self) -> Optional[int]:
         """Next UM block index to prefetch."""
-        while not self._queue:
+        queue = self._queue
+        if queue:
+            return queue.popleft()
+        if self._paused and not self._frontier:
+            # Paused at the window edge with nothing buffered: stepping
+            # would hit the window-full check (which precedes every
+            # counter and every prediction) and return False. The engine
+            # polls this queue before every block access, so short-circuit.
+            return None
+        while not queue:
             if not self._step_chain():
                 return None
-        return self._queue.popleft()
+        return queue.popleft()
 
     def push_back(self, block: int) -> None:
         """Return an unprocessed command to the front of the queue."""
@@ -151,6 +200,7 @@ class ChainingPrefetcher:
         self._chain_exec = exec_id
         self._chain_history = self.correlator.recent_history()
         self._chain_pos = self._gpu_pos
+        self._paused = False
 
     def _expand(self) -> None:
         """Eagerly walk the chain up to the look-ahead window.
@@ -159,6 +209,8 @@ class ChainingPrefetcher:
         emission must not be gated on the migration thread popping commands,
         or the chain falls behind during fault storms.
         """
+        if self._paused and not self._frontier:
+            return  # window edge, nothing buffered: a step cannot progress
         while self._step_chain():
             pass
 
@@ -179,14 +231,16 @@ class ChainingPrefetcher:
         self.commands_emitted += 1
 
     def _note_emitted(self, block: int) -> None:
-        self._window_sets.setdefault(self._chain_pos, set()).add(block)
-        self._protected.add(block)
-
-    def _rebuild_protected(self) -> None:
-        if self._window_sets:
-            self._protected = set().union(*self._window_sets.values())
-        else:
-            self._protected = set()
+        ws = self._window_sets.get(self._chain_pos)
+        if ws is None:
+            ws = self._window_sets[self._chain_pos] = set()
+        if block not in ws:
+            ws.add(block)
+            counts = self._protect_count
+            prev = counts.get(block, 0)
+            counts[block] = prev + 1
+            if not prev:
+                self._protected.add(block)
 
     def _step_chain(self) -> bool:
         """Expand one frontier block; returns False when the chain pauses.
@@ -197,28 +251,46 @@ class ChainingPrefetcher:
         """
         if self._chain_exec == NO_KERNEL:
             return False
+        frontier = self._frontier
+        if not frontier:
+            # Nothing left to expand under this kernel (or the kernel has
+            # no table at all — same outcome): chain onward.
+            return self._hop_to_next_kernel()
         table = self.correlator.block_tables.get(self._chain_exec)
         if table is None:
             return self._hop_to_next_kernel()
-        while self._frontier:
-            block = self._frontier.popleft()
+        queue = self._queue
+        protected = self._protected
+        note_emitted = self._note_emitted
+        end_block = table.end_block
+        while frontier:
+            block = frontier.popleft()
             emitted_any = False
-            for succ in table.successors(block):
-                if succ in self._protected:
-                    self._note_emitted(succ)  # refresh window membership
+            for succ in table.successors_view(block):
+                if succ in protected:
+                    note_emitted(succ)  # refresh window membership
                     continue
-                self._frontier.append(succ)
-                self._queue.append(succ)
-                self._note_emitted(succ)
+                frontier.append(succ)
+                queue.append(succ)
+                note_emitted(succ)
                 self.commands_emitted += 1
                 emitted_any = True
-            if block == table.end_block:
+            if block == end_block:
                 return self._hop_to_next_kernel()
             if emitted_any:
                 return True
         # Frontier exhausted without meeting the end block: treat as end of
         # this kernel's recorded pattern and hop onward.
         return self._hop_to_next_kernel()
+
+    def _record_chain_break(self) -> None:
+        self.chain_breaks += 1
+        if self.recorder.enabled:
+            self.recorder.instant(
+                TRACK_MIGRATION, "chain_break", self.clock(),
+                args={"exec_id": self._chain_exec,
+                      "chain_pos": self._chain_pos},
+            )
 
     def _hop_to_next_kernel(self) -> bool:
         """Advance the chain across kernel boundaries until it finds work.
@@ -228,29 +300,69 @@ class ChainingPrefetcher:
         window. The loop stops when the window is full (pause: resumes as
         kernels complete) or a prediction fails (chain break).
         """
+        if self._chain_pos - self._gpu_pos >= self.degree:
+            self._paused = True
+            return False  # window full: pause
+        correlator = self.correlator
+        exec_table = correlator.exec_table
+        topo = (exec_table.content_version, correlator.starts_version)
+        if topo != self._hop_memo_topo:
+            self._hop_memo.clear()
+            self._hop_memo_topo = topo
+        memo = self._hop_memo
+        start_key = (self._chain_exec, self._chain_history)
+        cached = memo.get(start_key)
+        if cached is not None:
+            hops, final_exec, final_history = cached
+            # The replayed walk makes one prediction per hop, the last one
+            # landing on the stop kernel; each passes the window check iff
+            # the whole walk fits in the remaining look-ahead room. (A
+            # memoized success can never collide with the stuck memo: both
+            # are dropped when predictions change, and one state cannot
+            # both succeed and fail under the same table content.)
+            if hops <= self.degree - (self._chain_pos - self._gpu_pos):
+                exec_table.hits += hops
+                self._chain_pos += hops
+                self._chain_exec = final_exec
+                self._chain_history = final_history
+                start = correlator.block_tables[final_exec].start_block
+                if start in self._protected:
+                    self._note_emitted(start)
+                    self._frontier.append(start)
+                    return True
+                self._seed(start)
+                return True
+        hops = 0
         while True:
             if self._chain_pos - self._gpu_pos >= self.degree:
+                self._paused = True
                 return False  # window full: pause
-            nxt = self.correlator.exec_table.predict_next(
+            state = (self._chain_exec, self._chain_history, exec_table.version)
+            if state == self._stuck_state:
+                # Memoized dead end: the prediction failed for this exact
+                # state and the table has not changed since, so it would
+                # fail again. Book the same miss and chain break the full
+                # lookup would have produced, without doing it.
+                exec_table.misses += 1
+                self._record_chain_break()
+                return False
+            nxt = exec_table.predict_next(
                 self._chain_history, self._chain_exec
             )
             if nxt is None:
-                self.chain_breaks += 1
-                if self.recorder.enabled:
-                    self.recorder.instant(
-                        TRACK_MIGRATION, "chain_break", self.clock(),
-                        args={"exec_id": self._chain_exec,
-                              "chain_pos": self._chain_pos},
-                    )
+                self._stuck_state = state
+                self._record_chain_break()
                 return False
             self._chain_history = (
                 self._chain_history[1], self._chain_history[2], self._chain_exec,
             )
             self._chain_exec = nxt
             self._chain_pos += 1
-            nxt_table = self.correlator.block_tables.get(nxt)
+            hops += 1
+            nxt_table = correlator.block_tables.get(nxt)
             if nxt_table is None or nxt_table.start_block is None:
                 continue  # fault-free kernel: nothing to prefetch, chain on
+            memo[start_key] = (hops, self._chain_exec, self._chain_history)
             start = nxt_table.start_block
             if start in self._protected:
                 # Already predicted within the window (shared working set);

@@ -42,6 +42,15 @@ class UMMemoryManager:
         self.peak_populated_bytes = 0
         # (addr, nbytes) -> per-block [(block index, overlap pages)].
         self._decomp_cache: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        # Operand-range signature -> finished BlockAccess plan. Dense
+        # kernels on pooled (reused) addresses produce the same ordered,
+        # deduplicated access list every launch; rebuilding it dominated
+        # launch overhead. Sparse launches are never cached (their subset
+        # is drawn from the device RNG each launch).
+        self._access_plan_cache: dict[tuple, list[BlockAccess]] = {}
+        #: Set by :class:`~repro.core.replay.IterationReplayer` when one is
+        #: installed; receives every live launch's resolved plan.
+        self.replay_recorder = None
 
     # ------------------------------------------------------------------ #
 
@@ -51,8 +60,28 @@ class UMMemoryManager:
             self.runtime.before_launch(launch, now)
         accesses = self._build_accesses(launch, device)
         compute = self.cost_model.compute_time(launch)
+        rec = self.replay_recorder
+        if rec is not None:
+            rec.on_launch(launch, accesses, compute)
         self.engine.execute_kernel(
             KernelExecution(payload=launch, accesses=accesses, compute_time=compute)
+        )
+
+    def replay_kernel(self, payload, accesses: list[BlockAccess],
+                      compute: float) -> None:
+        """Re-issue a recorded launch: the tail of :meth:`run_kernel`.
+
+        ``payload`` is a shim carrying the signature fields; ``accesses``
+        is the cached plan captured at record time (steady-state blocks are
+        fully populated, so skipping ``_build_accesses`` has no side
+        effects a live cache hit would not also skip).
+        """
+        now = self.engine.now
+        if self.runtime is not None:
+            self.runtime.before_launch(payload, now)
+        self.engine.execute_kernel(
+            KernelExecution(payload=payload, accesses=accesses,
+                            compute_time=compute)
         )
 
     def elapsed(self) -> float:
@@ -110,19 +139,40 @@ class UMMemoryManager:
     def _build_accesses(
         self, launch: KernelLaunch, device: "Device"
     ) -> list[BlockAccess]:
-        """Ordered, deduplicated UM block accesses for one kernel."""
+        """Ordered, deduplicated UM block accesses for one kernel.
+
+        Dense launches are served from a plan cache keyed by the operands'
+        (addr, nbytes) ranges: the decomposition, dedup order and page
+        counts are all functions of that signature alone (populated page
+        counts never shrink), so the cached list is bit-identical to a
+        rebuild. The engine only reads the list, never mutates it.
+        """
+        operands = launch.operands
+        sparse = launch.sparse
+        if sparse is None:
+            # Key on the raw PT-block address: UM-managed tensors are never
+            # swapped out, so ``storage.block`` is always attached here and
+            # the property indirection of ``Tensor.addr`` is dead weight on
+            # the per-launch path.
+            key = tuple([(t.storage.block.addr, t.nbytes)
+                         for t in operands])
+            cached = self._access_plan_cache.get(key)
+            if cached is not None:
+                return cached
         um = self.engine.um
         seen: set[int] = set()
         accesses: list[BlockAccess] = []
-        for pos, tensor in enumerate(launch.operands):
+        for pos, tensor in enumerate(operands):
             parts = self._decompose(tensor.addr, tensor.nbytes)
-            if launch.sparse is not None and pos == launch.sparse.tensor_index:
-                parts = self._sparse_subset(parts, launch.sparse.coverage, device)
+            if sparse is not None and pos == sparse.tensor_index:
+                parts = self._sparse_subset(parts, sparse.coverage, device)
             for idx, pages in parts:
                 if idx in seen:
                     continue
                 seen.add(idx)
                 accesses.append(BlockAccess(block=um.block(idx), pages=pages))
+        if sparse is None:
+            self._access_plan_cache[key] = accesses
         return accesses
 
     def _sparse_subset(

@@ -11,7 +11,7 @@ scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..config import DeepUMConfig, GPUSpec, HostSpec, SystemConfig
@@ -169,6 +169,7 @@ def _snapshot(facade) -> Snapshot:
             link_busy=eng.link.busy_time,
             bytes_in=eng.link.bytes_to_gpu,
             bytes_out=eng.link.bytes_to_cpu,
+            prefetched=eng.metrics.prefetched_blocks,
         )
     mgr = facade.manager  # tensor-swap family
     return Snapshot(

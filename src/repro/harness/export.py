@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import csv
 import json
-from dataclasses import asdict
 from typing import IO, Iterable, Mapping
 
 from .experiment import ExperimentResult

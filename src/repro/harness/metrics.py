@@ -22,6 +22,8 @@ class Snapshot:
     link_busy: float
     bytes_in: int
     bytes_out: int
+    #: Blocks migrated ahead of demand (0 for policies with no prefetcher).
+    prefetched: int = 0
 
 
 @dataclass
@@ -38,6 +40,7 @@ class WindowMetrics:
     idle_watts: float
     gpu_watts: float
     link_watts: float
+    prefetched: int = 0
 
     @staticmethod
     def between(before: Snapshot, after: Snapshot, iterations: int,
@@ -56,6 +59,7 @@ class WindowMetrics:
             idle_watts=idle_watts,
             gpu_watts=gpu_watts,
             link_watts=link_watts,
+            prefetched=after.prefetched - before.prefetched,
         )
 
     @property
@@ -76,6 +80,14 @@ class WindowMetrics:
 
     def seconds_per_100_iterations(self) -> float:
         return 100.0 * self.seconds_per_iteration
+
+    @property
+    def prefetch_coverage(self) -> float:
+        """Fraction of the window's migrations served ahead of demand."""
+        total = self.prefetched + self.page_faults
+        if total == 0:
+            return 0.0
+        return self.prefetched / total
 
 
 #: Column headers matching :func:`phase_breakdown_rows`, in order.

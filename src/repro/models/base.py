@@ -47,6 +47,10 @@ class Workload:
         self.iterations_run += 1
 
     def run(self, iterations: int) -> None:
+        replayer = self.device.replayer
+        if replayer is not None:
+            replayer.run(self, iterations)
+            return
         for _ in range(iterations):
             self.step()
 

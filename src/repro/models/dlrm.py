@@ -13,7 +13,6 @@ training, so the dense optimizer skips the tables.
 
 from __future__ import annotations
 
-from ..constants import UM_BLOCK_SIZE
 from ..torchsim import functional as F
 from ..torchsim.autograd import Tape
 from ..torchsim.context import Device

@@ -20,7 +20,7 @@ Mapping:
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable
+from typing import Iterable
 
 from .recorder import (
     ALL_TRACKS,

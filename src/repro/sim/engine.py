@@ -20,7 +20,7 @@ This realizes the paper's central performance mechanics:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Protocol, Sequence
 
 from ..config import SystemConfig
@@ -66,7 +66,13 @@ class DriverHooks(Protocol):
 
 
 class NullHooks:
-    """No driver assistance: plain NVIDIA UM behaviour (the UM baseline)."""
+    """No driver assistance: plain NVIDIA UM behaviour (the UM baseline).
+
+    Every hook is a no-op, so the engine skips the background-drain calls
+    entirely for exactly this class — a pure fast path with identical
+    simulated output. Subclasses that override any hook take the general
+    path (the engine keys the fast path on the exact type).
+    """
 
     def on_kernel_launch(self, payload: object, now: float) -> None:
         return None
@@ -87,7 +93,7 @@ class NullHooks:
         return None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlockAccess:
     """One kernel touching ``pages`` populated pages of a UM block."""
 
@@ -95,7 +101,7 @@ class BlockAccess:
     pages: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KernelExecution:
     """Everything the engine needs to simulate one kernel."""
 
@@ -104,7 +110,7 @@ class KernelExecution:
     compute_time: float
 
 
-@dataclass
+@dataclass(slots=True)
 class EngineMetrics:
     kernels: int = 0
     compute_time: float = 0.0
@@ -175,6 +181,7 @@ class UMSimulator:
     def execute_kernel(self, kernel: KernelExecution) -> float:
         """Run one kernel; returns its completion time."""
         rec = self.recorder
+        hooks = self.hooks
         # Commands enqueued for this kernel (runtime pre-launch callback,
         # launch hook) exist from "now" on — never earlier.
         if self.now > self._bg_earliest:
@@ -183,34 +190,95 @@ class UMSimulator:
         if rec.enabled:
             rec.begin_kernel(getattr(kernel.payload, "name",
                                      str(kernel.payload)), t)
-        self.hooks.on_kernel_launch(kernel.payload, t)
+        hooks.on_kernel_launch(kernel.payload, t)
         accesses = kernel.accesses
         n = len(accesses)
         per_access = kernel.compute_time / n if n else 0.0
+        # Hooks that never produce background work (NullHooks: no prefetch
+        # queue, no pre-evictor) make _drain_background a provable no-op —
+        # skip the call per access instead of running its empty loop. The
+        # check is on the exact type: subclasses may override hooks.
+        drain = None if type(hooks) is NullHooks else self._drain_background
         if n == 0:
-            self._drain_background(t + kernel.compute_time)
+            if drain is not None:
+                drain(t + kernel.compute_time)
             t += kernel.compute_time
-        for acc in accesses:
-            self._drain_background(t)
-            t = self._perform_access(acc, t)
-            t += per_access
-        self.metrics.kernels += 1
-        self.metrics.compute_time += kernel.compute_time
+        if drain is not None:
+            perform = self._perform_access
+            for acc in accesses:
+                drain(t)
+                t = perform(acc, t)
+                t += per_access
+        else:
+            t = self._perform_accesses_unassisted(accesses, t, per_access)
+        metrics = self.metrics
+        metrics.kernels += 1
+        metrics.compute_time += kernel.compute_time
         self.energy.add_gpu_busy(kernel.compute_time)
         self.now = t
         if t > self._bg_earliest:
             self._bg_earliest = t
-        self.hooks.on_kernel_end(t)
+        hooks.on_kernel_end(t)
         if rec.enabled:
             rec.end_kernel(t, compute_time=kernel.compute_time)
+        return t
+
+    def _perform_accesses_unassisted(
+        self, accesses: Sequence[BlockAccess], t: float, per_access: float
+    ) -> float:
+        """Access loop for hooks with no background work (naive UM).
+
+        With no migration thread to drain between accesses, runs of
+        resident hits reduce to clock arithmetic: they are processed in a
+        tight loop with the hit counter batched per kernel instead of
+        bumped per access. Faults take the identical critical path as
+        :meth:`_perform_access`. Simulated output is bit-identical to the
+        general path.
+        """
+        if self.recorder.enabled:
+            # Instrumented runs take the fully-attributed path.
+            perform = self._perform_access
+            for acc in accesses:
+                t = perform(acc, t)
+                t += per_access
+            return t
+        resident = self.gpu.resident
+        avail = self._available_at
+        avail_get = avail.get
+        metrics = self.metrics
+        handler = self.handler
+        hits = 0
+        for acc in accesses:
+            blk = acc.block
+            idx = blk.index
+            if idx in resident:
+                ready = avail_get(idx)
+                if ready is not None and ready > t:
+                    metrics.inflight_wait_time += ready - t
+                    t = ready
+                else:
+                    hits += 1
+                t += per_access
+                continue
+            start = t
+            handler.stats.fault_batches += 1
+            t = handler.resolve_block_fault(blk, t, page_faults=acc.pages)
+            metrics.fault_wait_time += t - start
+            avail[idx] = t
+            self.hooks.on_fault(blk, t)
+            if t > self._bg_earliest:
+                self._bg_earliest = t
+            t += per_access
+        metrics.resident_hits += hits
         return t
 
     def _perform_access(self, acc: BlockAccess, t: float) -> float:
         """Resolve residency for one block access; returns the new GPU time."""
         blk = acc.block
+        idx = blk.index
         rec = self.recorder
-        if self.gpu.is_resident(blk):
-            ready = self._available_at.get(blk.index, 0.0)
+        if idx in self.gpu.resident:
+            ready = self._available_at.get(idx, 0.0)
             if ready > t:
                 # Prefetch still in flight: the access faults but the driver
                 # finds the migration already running and only waits.
@@ -219,16 +287,16 @@ class UMSimulator:
                     cur = rec.cur
                     cur.accesses += 1
                     cur.inflight_wait += ready - t
-                    if rec.note_access(blk.index):
+                    if rec.note_access(idx):
                         cur.prefetch_hits += 1
                     rec.span(TRACK_GPU, "wait.inflight", t, ready,
-                             args={"block": blk.index})
+                             args={"block": idx})
                 return ready
             self.metrics.resident_hits += 1
             if rec.enabled:
                 cur = rec.cur
                 cur.accesses += 1
-                if rec.note_access(blk.index):
+                if rec.note_access(idx):
                     cur.prefetch_hits += 1
             return t
         start = t
@@ -238,14 +306,14 @@ class UMSimulator:
         self.handler.stats.fault_batches += 1
         t = self.handler.resolve_block_fault(blk, t, page_faults=acc.pages)
         self.metrics.fault_wait_time += t - start
-        self._available_at[blk.index] = t
+        self._available_at[idx] = t
         if rec.enabled:
             cur = rec.cur
             cur.accesses += 1
             cur.faults += 1
             cur.fault_wait += t - start
             rec.instant(TRACK_FAULT, "fault", start,
-                        args={"block": blk.index, "pages": acc.pages})
+                        args={"block": idx, "pages": acc.pages})
         self.hooks.on_fault(blk, t)
         if t > self._bg_earliest:
             self._bg_earliest = t
@@ -271,23 +339,28 @@ class UMSimulator:
         unpopulated blocks happen at the migration thread's clock, not at
         whatever instant the link last went quiet.
         """
-        rec = self.recorder
+        hooks = self.hooks
+        link = self.link
+        pop_prefetch = hooks.pop_prefetch
+        background_tick = hooks.background_tick
         while True:
-            link_idle = self.link.free_at < until
-            idx = self.hooks.pop_prefetch()
+            link_idle = link.free_at < until
+            idx = pop_prefetch()
             if idx is not None:
+                rec = self.recorder
+                handler = self.handler
                 blk = self.um.block(idx)
-                if self.gpu.is_resident(blk):
+                if blk.index in self.gpu.resident:
                     continue
                 needs_link = blk.location is BlockLocation.CPU
                 if needs_link and not link_idle:
                     # Transfer required but the link is booked past the
                     # horizon: put the command back and stop for now.
-                    self.hooks.push_back_prefetch(idx)
+                    hooks.push_back_prefetch(idx)
                     break
-                earliest = max(self.link.free_at, self._bg_earliest) \
+                earliest = max(link.free_at, self._bg_earliest) \
                     if needs_link else self._bg_earliest
-                end = self.handler.prefetch_block(blk, earliest)
+                end = handler.prefetch_block(blk, earliest)
                 if end is None:
                     # Device full: prefer the pre-evictor's headroom-making
                     # tick; without one, evict on the migration path (as the
@@ -296,18 +369,18 @@ class UMSimulator:
                     # pre-evictor runs continuously and memory pressure
                     # existed throughout the idle window); only the prefetch
                     # *command* is pinned to its issue instant.
-                    if not self.hooks.background_tick(self.link.free_at):
-                        self.handler.make_room(
-                            blk.populated_bytes, self.link.free_at
+                    if not background_tick(link.free_at):
+                        handler.make_room(
+                            blk.populated_bytes, link.free_at
                         )
-                    end = self.handler.prefetch_block(
-                        blk, max(self.link.free_at, earliest)
+                    end = handler.prefetch_block(
+                        blk, max(link.free_at, earliest)
                     )
                     if end is None:
                         self.metrics.prefetch_declined += 1
                         if rec.enabled:
                             rec.instant(TRACK_MIGRATION, "prefetch.declined",
-                                        max(self.link.free_at, earliest),
+                                        max(link.free_at, earliest),
                                         args={"block": blk.index})
                         continue
                 self._available_at[blk.index] = end
@@ -321,7 +394,7 @@ class UMSimulator:
                 continue
             if not link_idle:
                 break
-            if not self.hooks.background_tick(self.link.free_at):
+            if not background_tick(link.free_at):
                 break
 
     # ------------------------------------------------------------------ #

@@ -44,7 +44,7 @@ class LRUMigratedPolicy:
         return victims
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultHandlerStats:
     """Counters the evaluation section reports (Table 5 and Fig. 10).
 
@@ -94,22 +94,26 @@ class DriverFaultHandler:
         this method counts blocks and pages only.
         """
         rec = self.recorder
-        self.stats.faulted_blocks += 1
-        self.stats.page_faults += page_faults
+        stats = self.stats
+        gpu = self.gpu
+        stats.faulted_blocks += 1
+        stats.page_faults += page_faults
         t = now + self.costs.handling_overhead
         if rec.enabled:
             rec.span(TRACK_FAULT, "fault.handling", now, t,
                      args={"block": block.index, "pages": page_faults})
-        evict_start = t
-        t = self.make_room(block.populated_bytes, t)
-        if rec.enabled and t > evict_start:
-            rec.span(TRACK_FAULT, "fault.evict", evict_start, t,
-                     args={"block": block.index})
+        needed = block.populated_bytes
+        if gpu.capacity_bytes - gpu.used_bytes < needed:
+            evict_start = t
+            t = self.make_room(needed, t)
+            if rec.enabled and t > evict_start:
+                rec.span(TRACK_FAULT, "fault.evict", evict_start, t,
+                         args={"block": block.index})
         if block.location is BlockLocation.CPU:
             # Valid data on the host: migrate it over the link. Demand
             # migration pays the per-page fault tax (fragmented copies).
             start, end = self.link.occupy(
-                t, block.populated_bytes, to_gpu=True,
+                t, needed, to_gpu=True,
                 faulted_pages=block.populated_pages, label="fault.migrate",
             )
             if rec.enabled:
@@ -117,21 +121,20 @@ class DriverFaultHandler:
                     rec.span(TRACK_FAULT, "fault.link_wait", t, start,
                              args={"block": block.index})
                 rec.span(TRACK_FAULT, "fault.transfer", start, end,
-                         args={"block": block.index,
-                               "bytes": block.populated_bytes})
+                         args={"block": block.index, "bytes": needed})
             t = end
-            self.stats.migrated_in_blocks += 1
-            self.stats.migrated_in_bytes += block.populated_bytes
+            stats.migrated_in_blocks += 1
+            stats.migrated_in_bytes += needed
         else:
             # UNPOPULATED: pages materialize on the device, transfer-free.
-            self.stats.first_touch_faults += 1
-        self.gpu.admit(block, t)
+            stats.first_touch_faults += 1
+        gpu.admit(block, t)
         if rec.enabled:
             rec.span(TRACK_FAULT, "fault.replay", t,
                      t + self.costs.replay_overhead,
                      args={"block": block.index})
         t += self.costs.replay_overhead
-        self.stats.fault_stall_time += t - now
+        stats.fault_stall_time += t - now
         return t
 
     def make_room(self, needed_bytes: int, now: float) -> float:
@@ -152,22 +155,27 @@ class DriverFaultHandler:
     def evict(self, victims: Iterable[UMBlock], now: float) -> float:
         """Evict ``victims``; invalidated blocks are dropped without traffic."""
         t = now
+        gpu = self.gpu
+        stats = self.stats
+        resident = gpu.resident
+        is_invalidated = self.is_invalidated
+        occupy = self.link.occupy
         for blk in victims:
-            if not self.gpu.is_resident(blk):
+            if blk.index not in resident:
                 continue
-            if self.is_invalidated(blk):
-                self.gpu.remove(blk, to_cpu=False)
-                self.stats.invalidated_evictions += 1
-                self.stats.invalidated_bytes += blk.populated_bytes
+            if is_invalidated(blk):
+                gpu.remove(blk, to_cpu=False)
+                stats.invalidated_evictions += 1
+                stats.invalidated_bytes += blk.populated_bytes
                 if self.recorder.enabled:
                     self.recorder.instant(TRACK_FAULT, "evict.invalidated", t,
                                           args={"block": blk.index})
                 continue
-            _, t = self.link.occupy(t, blk.populated_bytes, to_gpu=False,
-                                    label="evict.writeback")
-            self.gpu.remove(blk, to_cpu=True)
-            self.stats.evictions += 1
-            self.stats.evicted_bytes += blk.populated_bytes
+            _, t = occupy(t, blk.populated_bytes, to_gpu=False,
+                          label="evict.writeback")
+            gpu.remove(blk, to_cpu=True)
+            stats.evictions += 1
+            stats.evicted_bytes += blk.populated_bytes
         return t
 
     def handle_batch(self, buffer, now: float) -> float:

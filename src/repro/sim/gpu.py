@@ -17,7 +17,7 @@ class GPUOutOfMemory(RuntimeError):
     """Raised when a raw (non-UM) reservation exceeds device capacity."""
 
 
-@dataclass
+@dataclass(slots=True)
 class GPUMemory:
     """Tracks which UM blocks are resident and how many bytes they occupy.
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from ..obs.recorder import NULL_RECORDER, TRACK_LINK
 
 
-@dataclass
+@dataclass(slots=True)
 class PCIeLink:
     """Latency + bandwidth occupancy model of one PCIe 3.0 x16 link.
 
@@ -55,8 +55,14 @@ class PCIeLink:
         ``label`` names the transfer's cause on the observability timeline
         (``fault.migrate`` | ``prefetch.migrate`` | ``evict.writeback``).
         """
-        start = max(earliest, self.free_at)
-        duration = self.transfer_time(nbytes, faulted_pages=faulted_pages)
+        free_at = self.free_at
+        start = earliest if earliest >= free_at else free_at
+        # Inline transfer_time: this runs for every migration and eviction.
+        if nbytes > 0:
+            duration = (self.latency + nbytes / self.bandwidth
+                        + faulted_pages * self.page_overhead)
+        else:
+            duration = 0.0
         end = start + duration
         self.free_at = end
         self.busy_time += duration

@@ -29,7 +29,7 @@ class BlockLocation(enum.Enum):
     GPU = "gpu"
 
 
-@dataclass
+@dataclass(slots=True)
 class UMBlock:
     """One NVIDIA-driver management unit: contiguous 4 KB pages.
 
@@ -37,7 +37,9 @@ class UMBlock:
     granularity-ablation benches shrink or grow it. ``populated_pages``
     counts pages that have physical backing (first-touch populated);
     migrations move only populated pages, so a block that backs a small
-    tensor transfers only its live pages.
+    tensor transfers only its live pages. ``populated_bytes`` is the same
+    quantity in bytes, maintained by :meth:`populate` (the sole writer)
+    because every migration, eviction and residency decision reads it.
     """
 
     index: int
@@ -49,10 +51,7 @@ class UMBlock:
     invalidated: bool = False
     last_migrated_at: float = -1.0
     capacity_pages: int = 512
-
-    @property
-    def populated_bytes(self) -> int:
-        return self.populated_pages * PAGE_SIZE
+    populated_bytes: int = 0
 
     def populate(self, pages: int) -> None:
         """Reserve ``pages`` additional pages of backing (clamped).
@@ -62,9 +61,10 @@ class UMBlock:
         """
         self.populated_pages = min(self.capacity_pages,
                                    self.populated_pages + pages)
+        self.populated_bytes = self.populated_pages * PAGE_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class UMAllocation:
     """A live UM range returned by :meth:`UnifiedMemorySpace.allocate`."""
 

@@ -33,7 +33,21 @@ class TorchSimOOM(RuntimeError):
     """Allocation failed even after flushing the cache (CUDA OOM error)."""
 
 
-@dataclass
+def _index_of(blocks: list["PTBlock"], block: "PTBlock") -> int:
+    """Position of ``block`` in ``blocks`` by identity.
+
+    ``list.index`` falls back to the dataclass ``__eq__`` for every
+    preceding element, which is measurably hot on segments with many
+    blocks; identity is the intended semantics here (each PTBlock object
+    appears in exactly one segment).
+    """
+    for i, b in enumerate(blocks):
+        if b is block:
+            return i
+    raise ValueError(f"block not in segment: {block!r}")
+
+
+@dataclass(slots=True)
 class Segment:
     """One backend reservation, subdivided into PT blocks."""
 
@@ -47,7 +61,7 @@ class Segment:
         return all(not b.active for b in self.blocks)
 
 
-@dataclass
+@dataclass(slots=True)
 class PTBlock:
     """A PyTorch memory-pool block ("PT block" in the paper)."""
 
@@ -66,7 +80,7 @@ class PTBlock:
         return f"PTBlock(addr={self.addr:#x}, size={self.size}, {state})"
 
 
-@dataclass
+@dataclass(slots=True)
 class Pool:
     """A free list of inactive PT blocks, kept sorted by (size, addr)."""
 
@@ -101,7 +115,7 @@ class Pool:
         return (self._blocks[k] for k in self._keys)
 
 
-@dataclass
+@dataclass(slots=True)
 class AllocatorStats:
     allocated_bytes: int = 0
     reserved_bytes: int = 0
@@ -241,7 +255,7 @@ class CachingAllocator:
         seg = block.segment
         rest = PTBlock(addr=block.addr + size, size=remainder, segment=seg)
         block.size = size
-        idx = seg.blocks.index(block)
+        idx = _index_of(seg.blocks, block)
         seg.blocks.insert(idx + 1, rest)
         self._pool_of(rest).insert(rest)
         self.stats.splits += 1
@@ -250,7 +264,7 @@ class CachingAllocator:
     def _coalesce(self, block: PTBlock) -> PTBlock:
         """Merge ``block`` with adjacent inactive neighbours in its segment."""
         seg = block.segment
-        idx = seg.blocks.index(block)
+        idx = _index_of(seg.blocks, block)
         # Merge with the right neighbour.
         if idx + 1 < len(seg.blocks) and not seg.blocks[idx + 1].active:
             right = seg.blocks.pop(idx + 1)

@@ -73,6 +73,9 @@ class Device:
     manager: MemoryManager
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
     kernel_count: int = 0
+    #: Optional steady-state iteration replayer (see repro.core.replay);
+    #: consulted by Workload.run. None: every iteration executes live.
+    replayer: object = None
 
     @staticmethod
     def with_backend(backend: MemoryBackend, manager: MemoryManager, seed: int = 0) -> "Device":

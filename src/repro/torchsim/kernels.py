@@ -38,7 +38,7 @@ class SparseAccess:
             raise ValueError(f"coverage must be in (0, 1], got {self.coverage}")
 
 
-@dataclass
+@dataclass(slots=True)
 class KernelLaunch:
     """One kernel launch as seen by the runtime and memory system."""
 
@@ -49,6 +49,12 @@ class KernelLaunch:
     flops: float
     sparse: Optional[SparseAccess] = None
     seq: int = field(default_factory=lambda: next(_launch_counter))
+    # Lazily computed caches; reads/writes are never mutated after
+    # construction, so both derived values are stable per launch.
+    _operands: Optional[list] = field(
+        default=None, repr=False, compare=False)
+    _bytes_accessed: Optional[int] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def exec_signature(self) -> tuple:
@@ -57,23 +63,34 @@ class KernelLaunch:
 
     @property
     def operands(self) -> list["Tensor"]:
-        """Reads followed by writes, deduplicated, preserving order."""
-        seen: set[int] = set()
-        out = []
-        for t in itertools.chain(self.reads, self.writes):
-            if id(t) not in seen:
-                seen.add(id(t))
-                out.append(t)
-        return out
+        """Reads followed by writes, deduplicated, preserving order.
+
+        Computed once per launch: both the cost model and the access
+        builder walk the operand list, and the dedup scan is hot enough
+        to show up in end-to-end profiles.
+        """
+        ops = self._operands
+        if ops is None:
+            seen: set[int] = set()
+            ops = []
+            for t in itertools.chain(self.reads, self.writes):
+                if id(t) not in seen:
+                    seen.add(id(t))
+                    ops.append(t)
+            self._operands = ops
+        return ops
 
     @property
     def bytes_accessed(self) -> int:
-        total = 0
-        for i, t in enumerate(self.operands):
-            nbytes = t.nbytes
-            if self.sparse is not None and i == self.sparse.tensor_index:
-                nbytes = int(nbytes * self.sparse.coverage)
-            total += nbytes
+        total = self._bytes_accessed
+        if total is None:
+            total = 0
+            for i, t in enumerate(self.operands):
+                nbytes = t.nbytes
+                if self.sparse is not None and i == self.sparse.tensor_index:
+                    nbytes = int(nbytes * self.sparse.coverage)
+                total += nbytes
+            self._bytes_accessed = total
         return total
 
     def __repr__(self) -> str:

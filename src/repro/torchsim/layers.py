@@ -5,7 +5,6 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from . import functional as F
-from .dtypes import float32, int64
 from .module import Module, Parameter
 from .tensor import Tensor
 

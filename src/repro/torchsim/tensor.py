@@ -23,7 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover
 _storage_uid_counter = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Storage:
     """A contiguous byte range inside one PT block.
 
@@ -77,7 +77,7 @@ class Tensor:
     """
 
     __slots__ = ("shape", "dtype", "storage", "persistent", "name", "grad",
-                 "requires_grad", "uid")
+                 "requires_grad", "uid", "numel", "nbytes")
 
     def __init__(
         self,
@@ -97,16 +97,11 @@ class Tensor:
         self.name = name
         self.grad: Optional["Tensor"] = None
         self.requires_grad = requires_grad
-
-    # ------------------------------------------------------------------ #
-
-    @property
-    def numel(self) -> int:
-        return math.prod(self.shape) if self.shape else 1
-
-    @property
-    def nbytes(self) -> int:
-        return self.numel * self.dtype.itemsize
+        # Shape and dtype are fixed for a tensor's lifetime, so the derived
+        # sizes are plain attributes: they are read on every kernel launch
+        # (cost model + access building) and property calls dominated there.
+        self.numel = math.prod(self.shape) if self.shape else 1
+        self.nbytes = self.numel * dtype.itemsize
 
     @property
     def addr(self) -> int:

@@ -112,20 +112,19 @@ class Tracer:
 
         driver.pop_prefetch = pop_prefetch
 
-        orig_remove = gpu.remove
+        def on_evict(block):
+            tracer._record("evict", deepum.engine.now, block=block.index)
 
-        def remove(block, to_cpu=True):
-            if gpu.is_resident(block):
-                tracer._record("evict", deepum.engine.now, block=block.index)
-            orig_remove(block, to_cpu=to_cpu)
-
-        gpu.remove = remove
+        # The eviction listener fires exactly once per block that actually
+        # leaves the device — the same condition the old ``gpu.remove``
+        # wrapper guarded on.
+        gpu.evict_listeners.append(on_evict)
 
         tracer._detach_fns = [
             lambda: setattr(runtime, "before_launch", orig_before),
             lambda: setattr(driver, "on_fault", orig_fault),
             lambda: setattr(driver, "pop_prefetch", orig_pop),
-            lambda: setattr(gpu, "remove", orig_remove),
+            lambda: gpu.evict_listeners.remove(on_evict),
         ]
         return tracer
 

@@ -1,0 +1,254 @@
+"""The repro bench subsystem: schema, comparison, runner, CLI."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCENARIOS,
+    SCHEMA_VERSION,
+    Scenario,
+    compare_results,
+    load_result,
+    run_scenario,
+    validate_result,
+    write_result,
+)
+from repro.bench.runner import BenchRunError
+from repro.bench.schema import SIM_METRIC_KEYS, BenchSchemaError, make_result
+from repro.cli import main
+
+#: A scenario small enough that running it twice in a test is cheap.
+TINY = Scenario(
+    name="tiny",
+    model="mobilenet",
+    paper_batch=3072,
+    policies=("um",),
+    warmup_iterations=1,
+    measure_iterations=1,
+)
+
+
+def _result(wall=0.5, elapsed=1.5, faults=42):
+    sim = {
+        "elapsed": elapsed,
+        "page_faults": faults,
+        "prefetch_coverage": 0.9,
+        "bytes_in": 1048576,
+        "bytes_out": 4096,
+        "peak_populated_bytes": 123456,
+    }
+    cells = {
+        "mobilenet@3072/um": {
+            "wall_seconds": wall,
+            "wall_seconds_all": [wall, wall * 1.1],
+            "sim": sim,
+        }
+    }
+    return make_result(
+        "tiny", TINY.config_dict(), repeats=2, warmup_runs=1,
+        cells=cells, peak_rss_bytes=1024,
+    )
+
+
+# ---------------------------------------------------------------- schema
+
+def test_make_result_is_schema_valid():
+    doc = _result()
+    assert doc["schema_version"] == SCHEMA_VERSION
+    assert validate_result(doc) is doc
+
+
+def test_round_trip_through_disk(tmp_path):
+    doc = _result()
+    path = str(tmp_path / "BENCH_tiny.json")
+    write_result(doc, path)
+    assert load_result(path) == doc
+    # The file is deterministic JSON: sorted keys, trailing newline.
+    text = (tmp_path / "BENCH_tiny.json").read_text()
+    assert text.endswith("\n")
+    assert json.loads(text) == doc
+
+
+def test_wrong_schema_version_rejected():
+    doc = _result()
+    doc["schema_version"] = SCHEMA_VERSION + 1
+    with pytest.raises(BenchSchemaError, match="schema_version"):
+        validate_result(doc)
+
+
+def test_missing_sim_metric_rejected():
+    doc = _result()
+    del doc["cells"]["mobilenet@3072/um"]["sim"]["page_faults"]
+    with pytest.raises(BenchSchemaError, match="page_faults"):
+        validate_result(doc)
+
+
+def test_empty_cells_rejected():
+    doc = _result()
+    doc["cells"] = {}
+    with pytest.raises(BenchSchemaError, match="cells"):
+        validate_result(doc)
+
+
+def test_extra_keys_tolerated():
+    doc = _result()
+    doc["future_field"] = {"anything": True}
+    doc["cells"]["mobilenet@3072/um"]["sim"]["future_metric"] = 7
+    validate_result(doc)
+
+
+def test_load_rejects_invalid_file(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"schema_version": 99}\n')
+    with pytest.raises(BenchSchemaError):
+        load_result(str(path))
+
+
+# --------------------------------------------------------------- compare
+
+def test_compare_identical_is_ok():
+    cmp = compare_results(_result(), _result())
+    assert cmp.ok
+    assert "compare: OK" in cmp.report()
+
+
+def test_compare_wall_within_threshold_is_ok():
+    cmp = compare_results(_result(wall=0.5), _result(wall=0.7), threshold=1.5)
+    assert cmp.ok and not cmp.regressions
+
+
+def test_compare_wall_past_threshold_regresses():
+    cmp = compare_results(_result(wall=0.5), _result(wall=1.0), threshold=1.5)
+    assert not cmp.ok
+    assert len(cmp.regressions) == 1
+    assert "REGRESSION" in cmp.report()
+
+
+def test_compare_wall_improvement_never_fails():
+    cmp = compare_results(_result(wall=0.5), _result(wall=0.01), threshold=1.5)
+    assert cmp.ok
+
+
+def test_compare_sim_drift_fails_regardless_of_threshold():
+    cmp = compare_results(
+        _result(faults=42), _result(faults=43), threshold=1000.0
+    )
+    assert not cmp.ok
+    assert any("page_faults" in m for m in cmp.sim_mismatches)
+    assert "SIM MISMATCH" in cmp.report()
+
+
+def test_compare_config_mismatch_fails():
+    base = _result()
+    cur = _result()
+    cur["config"] = dict(cur["config"], seed=1)
+    assert not compare_results(base, cur).ok
+
+
+def test_compare_missing_cell_fails():
+    cur = _result()
+    cur["cells"]["mobilenet@3072/deepum"] = cur["cells"]["mobilenet@3072/um"]
+    # Baseline has the extra cell, current is missing it.
+    assert not compare_results(cur, _result()).ok
+    # The other direction is a note, not a failure.
+    assert compare_results(_result(), cur).ok
+
+
+def test_compare_threshold_below_one_rejected():
+    with pytest.raises(ValueError):
+        compare_results(_result(), _result(), threshold=0.9)
+
+
+# ---------------------------------------------------------------- runner
+
+def test_registry_has_smoke_and_fig09():
+    assert "smoke" in SCENARIOS
+    assert any(name.startswith("fig09-") for name in SCENARIOS)
+    smoke = SCENARIOS["smoke"]
+    assert smoke.cells == tuple(
+        f"{smoke.model}@{smoke.paper_batch}/{p}" for p in smoke.policies
+    )
+
+
+def test_run_scenario_emits_valid_result():
+    doc = run_scenario(TINY, repeats=1, warmup_runs=0)
+    validate_result(doc)
+    assert doc["scenario"] == "tiny"
+    assert set(doc["cells"]) == {"mobilenet@3072/um"}
+    sim = doc["cells"]["mobilenet@3072/um"]["sim"]
+    assert sim["elapsed"] > 0
+    assert all(key in sim for key in SIM_METRIC_KEYS)
+    assert doc["peak_rss_bytes"] > 0
+
+
+def test_run_scenario_is_deterministic():
+    a = run_scenario(TINY, repeats=1, warmup_runs=0)
+    b = run_scenario(TINY, repeats=1, warmup_runs=0)
+    for name in a["cells"]:
+        assert a["cells"][name]["sim"] == b["cells"][name]["sim"]
+    # Same thing the CI gate checks, via the real comparator.
+    assert compare_results(a, b, threshold=1000.0).ok
+
+
+def test_run_scenario_rejects_bad_repeats():
+    with pytest.raises(ValueError):
+        run_scenario(TINY, repeats=0)
+
+
+def test_oom_cell_raises_bench_error():
+    from repro.bench.runner import _sim_metrics
+    from repro.harness.experiment import ExperimentResult
+
+    oom = ExperimentResult(
+        model="mobilenet", policy="um", paper_batch=3072, sim_batch=96,
+        oom=True, window=None, oom_reason="UMCapacityError: host full",
+    )
+    with pytest.raises(BenchRunError, match="OOMed"):
+        _sim_metrics(oom)
+
+
+# ------------------------------------------------------------------- cli
+
+def test_cli_bench_list(capsys):
+    assert main(["bench", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "smoke" in out and "fig09-bert-large" in out
+
+
+def test_cli_bench_run_and_compare(tmp_path, capsys):
+    out_path = str(tmp_path / "BENCH_smoke.json")
+    assert main([
+        "bench", "run", "--scenario", "smoke",
+        "--repeats", "1", "--warmup-runs", "0", "--out", out_path,
+    ]) == 0
+    doc = load_result(out_path)
+    assert doc["scenario"] == "smoke"
+    # Self-compare passes and exits zero.
+    assert main([
+        "bench", "compare", out_path, "--baseline", out_path,
+    ]) == 0
+    assert "compare: OK" in capsys.readouterr().out
+
+
+def test_cli_bench_compare_nonzero_on_regression(tmp_path, capsys):
+    base = _result(wall=0.1)
+    cur = _result(wall=10.0)
+    base_path = str(tmp_path / "base.json")
+    cur_path = str(tmp_path / "cur.json")
+    write_result(base, base_path)
+    write_result(cur, cur_path)
+    assert main([
+        "bench", "compare", cur_path, "--baseline", base_path,
+        "--threshold", "1.5",
+    ]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_committed_ci_baseline_is_valid():
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parent.parent
+    doc = load_result(str(repo / "benchmarks" / "baselines" / "BENCH_smoke.json"))
+    assert doc["scenario"] == "smoke"
+    assert doc["config"] == SCENARIOS["smoke"].config_dict()

@@ -1,0 +1,67 @@
+"""Steady-state iteration replay must be invisible in simulated output."""
+
+import pytest
+
+from repro.core.replay import STABLE_PAIRS, IterationReplayer, ReplayDivergence
+from repro.harness import calibrate_system
+from repro.harness.experiment import make_policy
+from repro.models.registry import get_model_config
+
+MODEL = "mobilenet"
+BATCH = 3072
+ITERS = 8
+
+
+def _run(policy, *, replay):
+    facade = make_policy(policy, calibrate_system(MODEL))
+    if not replay:
+        facade.device.replayer = None
+    cfg = get_model_config(MODEL)
+    workload = cfg.build(facade.device, cfg.sim_batch(BATCH), scale=cfg.sim_scale)
+    workload.run(ITERS)
+    return facade, workload
+
+
+@pytest.mark.parametrize("policy", ["um", "deepum", "ideal"])
+def test_replay_matches_direct_execution(policy):
+    direct, wl_direct = _run(policy, replay=False)
+    replayed, wl_replay = _run(policy, replay=True)
+    assert replayed.device.replayer.iterations_replayed > 0
+    assert replayed.elapsed() == direct.elapsed()
+    assert replayed.engine.stats.page_faults == direct.engine.stats.page_faults
+    assert replayed.engine.link.bytes_to_gpu == direct.engine.link.bytes_to_gpu
+    assert replayed.engine.metrics.prefetched_blocks == \
+        direct.engine.metrics.prefetched_blocks
+    assert replayed.device.kernel_count == direct.device.kernel_count
+    assert wl_replay.iterations_run == wl_direct.iterations_run == ITERS
+
+
+def test_replay_engages_after_stable_pairs():
+    facade, _ = _run("um", replay=True)
+    replayer = facade.device.replayer
+    # Stream freezes after STABLE_PAIRS consecutive identical iterations;
+    # the first iteration (initial allocations) may differ from steady
+    # state, so recording lasts at most 2 + STABLE_PAIRS iterations.
+    assert ITERS - (2 + STABLE_PAIRS) <= replayer.iterations_replayed
+    assert replayer.iterations_replayed <= ITERS - (1 + STABLE_PAIRS)
+
+
+def test_replay_extends_across_separate_run_calls():
+    facade = make_policy("um", calibrate_system(MODEL))
+    cfg = get_model_config(MODEL)
+    workload = cfg.build(facade.device, cfg.sim_batch(BATCH), scale=cfg.sim_scale)
+    workload.run(4)
+    before = facade.device.replayer.iterations_replayed
+    workload.run(3)
+    assert facade.device.replayer.iterations_replayed == before + 3
+    assert workload.iterations_run == 7
+
+
+def test_replayer_is_wired_by_um_facades():
+    for policy in ("um", "deepum", "ideal"):
+        facade = make_policy(policy, calibrate_system(MODEL))
+        assert isinstance(facade.device.replayer, IterationReplayer)
+
+
+def test_divergence_is_a_hard_error():
+    assert issubclass(ReplayDivergence, RuntimeError)
