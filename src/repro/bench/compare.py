@@ -85,6 +85,32 @@ def compare_results(
                 out.sim_mismatches.append(
                     f"{name}: sim.{key} {base['sim'][key]} -> {cur['sim'][key]}"
                 )
+        # The optional policy_health section (schema v2) is deterministic
+        # simulated output too: compared exactly when both sides carry it,
+        # surfaced as a note — never a failure — when only one does (a v1
+        # baseline predates the section; a no-health run omits it).
+        base_health = base.get("policy_health")
+        cur_health = cur.get("policy_health")
+        if base_health is not None and cur_health is not None:
+            if base_health != cur_health:
+                diff_keys = sorted(
+                    k for k in set(base_health) | set(cur_health)
+                    if base_health.get(k) != cur_health.get(k)
+                )
+                out.sim_mismatches.append(
+                    f"{name}: policy_health changed (keys: "
+                    f"{', '.join(diff_keys)})"
+                )
+        elif base_health is None and cur_health is not None:
+            out.notes.append(
+                f"{name}: policy_health present only in current "
+                "(baseline predates schema v2 or ran without --health)"
+            )
+        elif base_health is not None:
+            out.notes.append(
+                f"{name}: policy_health present only in baseline "
+                "(current ran without --health)"
+            )
         base_wall = base["wall_seconds"]
         cur_wall = cur["wall_seconds"]
         ratio = cur_wall / base_wall if base_wall > 0 else float("inf")

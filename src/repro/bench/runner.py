@@ -36,12 +36,14 @@ def run_cell(
     warmup_iterations: int = DEFAULT_WARMUP,
     measure_iterations: int = DEFAULT_MEASURE,
     seed: int = 0,
+    recorder=None,
 ) -> ExperimentResult:
     """One experiment cell under the bench's pinned iteration counts.
 
     This is the primitive the figure/table benchmarks share (see
     ``benchmarks/common.py``): model calibration plus ``run_experiment``
-    with the manifest's warm-up and measurement windows.
+    with the manifest's warm-up and measurement windows. Pass ``recorder``
+    (a :class:`~repro.obs.recorder.SpanRecorder`) to instrument the run.
     """
     system = calibrate_system(model)
     return run_experiment(
@@ -53,6 +55,7 @@ def run_cell(
         measure_iterations=measure_iterations,
         deepum_config=deepum_config,
         seed=seed,
+        recorder=recorder,
     )
 
 
@@ -84,9 +87,17 @@ def run_scenario(
     *,
     repeats: int = 3,
     warmup_runs: int = 1,
+    collect_health: bool = False,
     progress=None,
 ) -> dict:
-    """Run every cell of ``scenario``; returns a schema-v1 result dict."""
+    """Run every cell of ``scenario``; returns a schema result dict.
+
+    With ``collect_health`` each cell gets one extra *untimed* pass with
+    decision attribution on, adding a ``policy_health`` section (schema v2).
+    The instrumented pass must reproduce the timed passes' simulated
+    metrics exactly — a recorder that perturbs simulation is a bug the
+    bench refuses to measure around.
+    """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     deepum_config = DeepUMConfig(prefetch_degree=scenario.prefetch_degree)
@@ -94,7 +105,7 @@ def run_scenario(
     for policy in scenario.policies:
         cell_name = f"{scenario.model}@{scenario.paper_batch}/{policy}"
 
-        def one() -> ExperimentResult:
+        def one(recorder=None) -> ExperimentResult:
             return run_cell(
                 scenario.model,
                 scenario.paper_batch,
@@ -103,6 +114,7 @@ def run_scenario(
                 warmup_iterations=scenario.warmup_iterations,
                 measure_iterations=scenario.measure_iterations,
                 seed=scenario.seed,
+                recorder=recorder,
             )
 
         for _ in range(warmup_runs):
@@ -128,6 +140,26 @@ def run_scenario(
             "wall_seconds_all": walls,
             "sim": sim,
         }
+        if collect_health:
+            from ..obs import SpanRecorder
+            from ..obs.health import policy_health
+
+            try:
+                recorder = SpanRecorder()
+                instrumented = one(recorder=recorder)
+            except TypeError:
+                pass  # tensor-swap facade: no UM engine, no health section
+            else:
+                inst_sim = _sim_metrics(instrumented)
+                if inst_sim != sim:
+                    raise BenchRunError(
+                        f"{cell_name}: attribution changed simulated "
+                        f"metrics ({sim} vs {inst_sim}); the recorder must "
+                        f"be observation-only"
+                    )
+                driver = getattr(instrumented.facade, "driver", None)
+                cells[cell_name]["policy_health"] = \
+                    policy_health(recorder, driver).to_dict()
         if progress is not None:
             progress(
                 f"{cell_name}: {min(walls):.3f}s wall "

@@ -1,9 +1,9 @@
 """The versioned ``BENCH_<scenario>.json`` result format.
 
-Schema v1::
+Schema v2 (v1 files remain loadable)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "scenario": "smoke",
       "config": { ... Scenario.config_dict() ... },
       "timing": {"repeats": 3, "warmup_runs": 1},
@@ -15,12 +15,18 @@ Schema v1::
             "elapsed": 1.5, "page_faults": 42, "prefetch_coverage": 0.9,
             "bytes_in": 1048576, "bytes_out": 0,
             "peak_populated_bytes": 123456
-          }
+          },
+          "policy_health": { ... }        # OPTIONAL (v2, --health runs):
+                                          # serialized PolicyHealth report
         }, ...
       },
       "peak_rss_bytes": 104857600,
       "provenance": {"python": "3.11.8", "platform": "..."}
     }
+
+v2 adds only the optional per-cell ``policy_health`` section (see
+:mod:`repro.obs.health`); everything v1 required is unchanged, so v1
+baselines stay valid and comparable against v2 results.
 
 ``validate_result`` is deliberately strict about structure (missing or
 mistyped fields raise) and silent about extra keys, so future minor
@@ -33,7 +39,10 @@ import json
 import platform
 from typing import Any
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions ``validate_result`` accepts: v1 files predate ``policy_health``.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: The deterministic per-cell metrics; every one must be present.
 SIM_METRIC_KEYS = (
@@ -56,12 +65,12 @@ def _expect(cond: bool, msg: str) -> None:
 
 
 def validate_result(doc: Any) -> dict:
-    """Validate ``doc`` against schema v1; returns it for chaining."""
+    """Validate ``doc`` against the bench schema; returns it for chaining."""
     _expect(isinstance(doc, dict), "result must be a JSON object")
     version = doc.get("schema_version")
     _expect(
-        version == SCHEMA_VERSION,
-        f"schema_version must be {SCHEMA_VERSION}, got {version!r}",
+        version in SUPPORTED_VERSIONS,
+        f"schema_version must be one of {SUPPORTED_VERSIONS}, got {version!r}",
     )
     _expect(
         isinstance(doc.get("scenario"), str) and bool(doc["scenario"]),
@@ -100,6 +109,18 @@ def validate_result(doc: Any) -> dict:
                 isinstance(sim.get(key), (int, float)),
                 f"cell {name!r}: sim.{key} must be a number",
             )
+        health = cell.get("policy_health")
+        if health is not None:
+            # Optional section, v2 --health runs only; validated whenever
+            # present so a malformed report cannot masquerade as data.
+            from ..obs.health import validate_policy_health
+
+            try:
+                validate_policy_health(health)
+            except ValueError as exc:
+                raise BenchSchemaError(
+                    f"cell {name!r}: invalid policy_health: {exc}"
+                ) from None
     rss = doc.get("peak_rss_bytes")
     _expect(
         isinstance(rss, int) and rss >= 0,

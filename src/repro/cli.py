@@ -231,9 +231,73 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
     out = args.out or f"BENCH_{scenario.name}.json"
     _require_writable_dir(out, "--out")
     doc = run_scenario(scenario, repeats=args.repeats,
-                       warmup_runs=args.warmup_runs, progress=print)
+                       warmup_runs=args.warmup_runs,
+                       collect_health=args.health, progress=print)
     write_result(doc, out)
     print(f"wrote {out}")
+    return 0
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    from .obs.doctor import format_doctor, run_doctor, validate_doctor_report
+
+    try:
+        report = run_doctor(
+            args.scenario,
+            warmup_iterations=args.warmup,
+            measure_iterations=args.measure,
+            progress=None if args.json else print,
+        )
+    except KeyError as exc:
+        raise SystemExit(f"doctor: {exc.args[0]}")
+    validate_doctor_report(report)
+    if args.out:
+        _require_writable_dir(args.out, "--out")
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_doctor(report))
+    return 0
+
+
+def cmd_trace_why(args: argparse.Namespace) -> int:
+    """Single-block drill-down: every decision that touched one UM block."""
+    from .obs import SpanRecorder
+    from .obs.decisions import describe_event
+
+    cfg = get_model_config(args.model)
+    batch = args.batch if args.batch is not None else \
+        cfg.fig9_batches[len(cfg.fig9_batches) // 2]
+    system = calibrate_system(args.model)
+    recorder = SpanRecorder()
+    result = run_experiment(
+        args.model, batch, args.policy, system=system,
+        warmup_iterations=args.warmup, measure_iterations=args.measure,
+        deepum_config=DeepUMConfig(prefetch_degree=args.degree),
+        recorder=recorder,
+    )
+    if result.oom:
+        print(f"{args.policy} OOMed: {result.oom_reason}")
+        return 1
+    events = recorder.decisions.events_for_block(args.block, args.kernel)
+    where = f"block {args.block}" + (
+        f" under kernel #{args.kernel}" if args.kernel is not None else "")
+    if not events:
+        print(f"{args.model} @ paper batch {batch} under {args.policy}: "
+              f"no recorded decisions for {where}")
+        print("(the block was never prefetched, faulted, or evicted; check "
+              "the index against the fault instants in a timeline trace)")
+        return 1
+    print(f"{args.model} @ paper batch {batch} under {args.policy}: "
+          f"{len(events)} decision(s) for {where}")
+    kernels = recorder.kernels
+    for event in events:
+        seq = event[2]
+        name = kernels[seq].name if 0 <= seq < len(kernels) else "-"
+        print(f"  kernel #{seq:<4} {name:<28} {describe_event(event)}")
     return 0
 
 
@@ -301,6 +365,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="untimed passes per cell before timing")
     brun.add_argument("--out", default=None, metavar="PATH",
                       help="output path (default: BENCH_<scenario>.json)")
+    brun.add_argument("--health", action="store_true",
+                      help="add a per-cell policy_health section (one extra "
+                           "untimed instrumented pass per cell)")
     brun.set_defaults(fn=cmd_bench_run)
     bcmp = bsub.add_parser(
         "compare",
@@ -312,6 +379,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="allowed wall-clock regression factor "
                            "(simulated metrics must match exactly)")
     bcmp.set_defaults(fn=cmd_bench_compare)
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="diagnose a scenario's prefetch behaviour (ranked findings)")
+    doctor.add_argument("scenario",
+                        help="bench scenario name (see `repro bench list`)")
+    doctor.add_argument("--warmup", type=int, default=None,
+                        help="override the scenario's warm-up iterations")
+    doctor.add_argument("--measure", type=int, default=None,
+                        help="override the scenario's measured iterations")
+    doctor.add_argument("--json", action="store_true",
+                        help="emit the schema-validated JSON report instead "
+                             "of the human summary")
+    doctor.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the JSON report here")
+    doctor.set_defaults(fn=cmd_doctor)
 
     trace = sub.add_parser("trace", help="timeline capture and conversion")
     tsub = trace.add_subparsers(dest="trace_command", required=True)
@@ -335,6 +418,23 @@ def build_parser() -> argparse.ArgumentParser:
     tl.add_argument("--from-jsonl", default=None, metavar="FILE",
                     help="convert a saved Tracer .jsonl instead of running")
     tl.set_defaults(fn=cmd_trace_timeline)
+    why = tsub.add_parser(
+        "why",
+        help="explain one UM block's demand faults (decision drill-down)")
+    why.add_argument("model", help="workload to run instrumented")
+    why.add_argument("--block", type=int, required=True,
+                     help="UM block index to explain")
+    why.add_argument("--kernel", type=int, default=None,
+                     help="restrict to one kernel sequence number")
+    why.add_argument("--batch", type=int, default=None,
+                     help="paper-scale batch size (default: grid midpoint)")
+    why.add_argument("--policy", default="deepum",
+                     help="UM-family policy to instrument (default: deepum)")
+    why.add_argument("--degree", type=int, default=32,
+                     help="DeepUM prefetch degree N")
+    why.add_argument("--warmup", type=int, default=2)
+    why.add_argument("--measure", type=int, default=2)
+    why.set_defaults(fn=cmd_trace_why)
     return parser
 
 

@@ -64,6 +64,10 @@ class BlockCorrelationTable:
         self.end_block: Optional[int] = None
         self.updates = 0
         self.conflicts = 0
+        #: Successors silently dropped off the MRU list because an entry
+        #: already held ``num_succs`` of them — the second way (besides set
+        #: conflicts) the table forgets learned pattern. Telemetry only.
+        self.succ_drops = 0
 
     # ------------------------------------------------------------------ #
 
@@ -93,7 +97,9 @@ class BlockCorrelationTable:
         if successor in succs:
             succs.remove(successor)
         succs.insert(0, successor)  # MRU first
-        del succs[self.config.num_succs:]
+        if len(succs) > self.config.num_succs:
+            self.succ_drops += len(succs) - self.config.num_succs
+            del succs[self.config.num_succs:]
         row.entries[block] = succs
         self.updates += 1
 
@@ -131,6 +137,11 @@ class BlockCorrelationTable:
     @property
     def num_entries(self) -> int:
         return sum(len(r.entries) for r in self._rows.values())
+
+    @property
+    def capacity(self) -> int:
+        """Maximum entries the geometry can hold (rows x ways)."""
+        return self.config.num_rows * self.config.assoc
 
     @property
     def size_bytes(self) -> int:

@@ -81,6 +81,17 @@ class Correlator:
 
     # ------------------------------------------------------------------ #
 
+    def kernel_known(self, exec_id: int) -> bool:
+        """Do the tables already know this kernel well enough to chain?
+
+        A kernel is *known* once its block table has a recorded start block
+        — the anchor every chain seed and hop needs. Faults under an
+        unknown kernel are cold starts by definition: no table state could
+        have predicted them.
+        """
+        table = self.block_tables.get(exec_id)
+        return table is not None and table.start_block is not None
+
     def recent_history(self) -> tuple[int, int, int]:
         """The launches before the current kernel, truncated to the
         configured depth (padded with NO_KERNEL)."""

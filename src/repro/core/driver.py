@@ -121,6 +121,7 @@ class DeepUMDriver:
         self.prefetcher.recorder = recorder
         self.prefetcher.clock = lambda: self.engine.now
         self.preevictor.recorder = recorder
+        self.invalidation.recorder = recorder
 
     # ------------------------------------------------------------------ #
     # ioctl from the runtime
@@ -128,7 +129,16 @@ class DeepUMDriver:
 
     def notify_execution_id(self, exec_id: int, now: float) -> None:
         """The runtime's pre-launch callback delivering the execution ID."""
-        self.engine.recorder.set_exec_id(exec_id)
+        recorder = self.engine.recorder
+        if recorder.enabled:
+            recorder.set_exec_id(exec_id)
+            if self.config.enable_prefetch:
+                # Attribution signal: faults under a kernel whose tables
+                # have no start block yet are cold starts, not chain
+                # failures. Only an active prefetcher sends this — its
+                # absence tells the decision log the policy cannot predict
+                # at all (naive UM).
+                recorder.note_kernel_known(self.correlator.kernel_known(exec_id))
         self.correlator.on_kernel_launch(exec_id)
         if self.config.enable_prefetch:
             self.prefetcher.on_kernel_launch(exec_id)

@@ -71,6 +71,12 @@ class ExecutionCorrelationTable:
         #: ``version`` keeps climbing — letting readers memoize *positive*
         #: walks across the steady state.
         self.content_version = 0
+        #: Why the most recent :meth:`predict_next` missed: ``"no-entry"``
+        #: (the current kernel has never been recorded at all) or
+        #: ``"history-miss"`` (the kernel is known but this exact launch
+        #: history never preceded it). Attribution-only; never read by the
+        #: prediction logic itself.
+        self.last_miss_reason = ""
 
     def record(self, history: History, current: int, next_id: int) -> None:
         """Record that ``next_id`` followed ``current`` (preceded by ``history``)."""
@@ -87,10 +93,12 @@ class ExecutionCorrelationTable:
         entry = self._entries.get(current)
         if entry is None:
             self.misses += 1
+            self.last_miss_reason = "no-entry"
             return None
         nxt = entry.records.get(history)
         if nxt is None:
             self.misses += 1
+            self.last_miss_reason = "history-miss"
             return None
         self.hits += 1
         return nxt

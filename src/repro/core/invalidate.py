@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.recorder import NULL_RECORDER
 from ..sim.um_space import UnifiedMemorySpace
 from ..torchsim.allocator import PTBlock
 
@@ -33,6 +34,7 @@ class InactiveBlockRegistry:
     def __init__(self, um: UnifiedMemorySpace):
         self.um = um
         self.stats = InvalidationStats()
+        self.recorder = NULL_RECORDER
 
     # The allocator's state listener interface.
     def __call__(self, pt_block: PTBlock, active: bool) -> None:
@@ -47,11 +49,15 @@ class InactiveBlockRegistry:
         size = self.um.block_size
         first = -(-pt_block.addr // size)  # first fully-inside block
         last = pt_block.end // size        # one past the last
+        rec = self.recorder
+        rec_on = rec.enabled
         for idx in range(first, last):
             blk = self.um.block(idx)
             if not blk.invalidated:
                 blk.invalidated = True
                 self.stats.blocks_invalidated += 1
+                if rec_on:
+                    rec.note_invalidated(idx, False)
 
     def on_active(self, pt_block: PTBlock) -> None:
         """Clear the flag on every UM block the reused range overlaps."""
@@ -59,8 +65,12 @@ class InactiveBlockRegistry:
         size = self.um.block_size
         first = pt_block.addr // size
         last = (pt_block.end - 1) // size
+        rec = self.recorder
+        rec_on = rec.enabled
         for idx in range(first, last + 1):
             blk = self.um.block(idx)
             if blk.invalidated:
                 blk.invalidated = False
                 self.stats.blocks_revalidated += 1
+                if rec_on:
+                    rec.note_invalidated(idx, True)

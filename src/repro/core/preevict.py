@@ -47,7 +47,17 @@ class PreEvictor:
         self.low_watermark = low_watermark
         self.batch_blocks = batch_blocks
         self.stats = PreEvictorStats()
-        self.recorder = NULL_RECORDER
+        self._rec_on = False
+        self.recorder = NULL_RECORDER  # property: also caches enabled flag
+
+    @property
+    def recorder(self):
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, rec) -> None:
+        self._recorder = rec
+        self._rec_on = rec.enabled
 
     def needs_room(self) -> bool:
         return self.gpu.free_bytes < self.low_watermark * self.gpu.capacity_bytes
@@ -88,11 +98,23 @@ class PreEvictor:
         if not victims:
             return False
         self.stats.ticks += 1
+        if self._rec_on:
+            # Victim rationale must be captured before evict() flips the
+            # blocks' state (eviction clears residency; a later re-fault on
+            # the same block is matched against this decision to detect
+            # mispredicted evictions).
+            rec = self._recorder
+            is_invalidated = self.handler.is_invalidated
+            for blk in victims:
+                rec.note_victim(
+                    blk.index,
+                    "invalidated" if is_invalidated(blk) else "lru-cold",
+                )
         end = self.handler.evict(victims, now)
         self.stats.evicted_blocks += len(victims)
         evicted_bytes = sum(v.populated_bytes for v in victims)
         self.stats.evicted_bytes += evicted_bytes
-        if self.recorder.enabled:
+        if self._rec_on:
             self.recorder.span(TRACK_PREEVICT, "preevict.tick", now, end,
                                args={"blocks": len(victims),
                                      "bytes": evicted_bytes})

@@ -44,7 +44,8 @@ class ChainingPrefetcher:
             raise ValueError(f"prefetch degree must be >= 1, got {degree}")
         self.correlator = correlator
         self.degree = degree
-        self.recorder = recorder
+        self._rec_on = False
+        self.recorder = recorder  # property: also caches the enabled flag
         self.clock = clock
         self._gpu_pos = 0        # kernel the GPU is executing
         self._chain_pos = 0      # kernel the chain is predicting for
@@ -69,6 +70,9 @@ class ChainingPrefetcher:
         self._paused = False
         self.commands_emitted = 0
         self.chain_breaks = 0
+        # Provenance source for successor-expansion emissions: "chain"
+        # normally, "restart" for the wave right after a fault re-sync.
+        self._walk_src = "chain"
         # Negative-prediction memo: the (exec, history, table-version)
         # state whose next-kernel prediction last failed. The migration
         # thread retries the dead chain on every queue pop; until the
@@ -76,6 +80,7 @@ class ChainingPrefetcher:
         # again, so it is short-circuited here (with the same counter
         # effects as the full lookup: a chain break and a table miss).
         self._stuck_state: tuple | None = None
+        self._stuck_reason = ""  # miss reason memoized beside _stuck_state
         # Positive-walk memo: (exec, history) -> (hops, exec', history')
         # for walks that ended at a kernel with something to prefetch.
         # Every fault restart re-hops the same fault-free kernel runs the
@@ -89,6 +94,21 @@ class ChainingPrefetcher:
         self._hop_memo_topo: tuple[int, int] = (-1, -1)
 
     # ------------------------------------------------------------------ #
+    # observability plumbing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def recorder(self):
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, rec) -> None:
+        # Cache the enabled flag once at attach time so every hot-path
+        # guard below is a single attribute test, not two.
+        self._recorder = rec
+        self._rec_on = rec.enabled
+
+    # ------------------------------------------------------------------ #
     # triggers (driven by the driver)
     # ------------------------------------------------------------------ #
 
@@ -97,6 +117,7 @@ class ChainingPrefetcher:
         from this kernel's table if it has died."""
         self._gpu_pos += 1
         self._paused = False
+        self._walk_src = "chain"
         if self._chain_pos < self._gpu_pos:
             self._chain_pos = self._gpu_pos
         if self._alive():
@@ -105,7 +126,7 @@ class ChainingPrefetcher:
         self._position_chain(exec_id)
         table = self.correlator.block_tables.get(exec_id)
         if table is not None and table.start_block is not None:
-            self._seed(table.start_block)
+            self._seed(table.start_block, "seed")
         self._expand()
 
     def on_kernel_end(self) -> None:
@@ -152,6 +173,9 @@ class ChainingPrefetcher:
         self._position_chain(exec_id)
         self._frontier.append(block)
         self._note_emitted(block)
+        self._walk_src = "restart"
+        if self._rec_on:
+            self._recorder.note_chain_restart(block, exec_id)
         self._expand()
 
     # ------------------------------------------------------------------ #
@@ -214,7 +238,7 @@ class ChainingPrefetcher:
         while self._step_chain():
             pass
 
-    def _seed(self, block: int) -> None:
+    def _seed(self, block: int, src: str = "seed") -> None:
         """Predict ``block`` for the chain's current kernel.
 
         Window membership is recorded unconditionally — a block used by
@@ -229,6 +253,11 @@ class ChainingPrefetcher:
         self._frontier.append(block)
         self._queue.append(block)
         self.commands_emitted += 1
+        if self._rec_on:
+            self._recorder.note_command(
+                block, src, self._chain_exec,
+                self._chain_pos - self._gpu_pos,
+            )
 
     def _note_emitted(self, block: int) -> None:
         ws = self._window_sets.get(self._chain_pos)
@@ -263,6 +292,7 @@ class ChainingPrefetcher:
         protected = self._protected
         note_emitted = self._note_emitted
         end_block = table.end_block
+        rec_on = self._rec_on
         while frontier:
             block = frontier.popleft()
             emitted_any = False
@@ -275,6 +305,11 @@ class ChainingPrefetcher:
                 note_emitted(succ)
                 self.commands_emitted += 1
                 emitted_any = True
+                if rec_on:
+                    self._recorder.note_command(
+                        succ, self._walk_src, self._chain_exec,
+                        self._chain_pos - self._gpu_pos,
+                    )
             if block == end_block:
                 return self._hop_to_next_kernel()
             if emitted_any:
@@ -283,13 +318,15 @@ class ChainingPrefetcher:
         # this kernel's recorded pattern and hop onward.
         return self._hop_to_next_kernel()
 
-    def _record_chain_break(self) -> None:
+    def _record_chain_break(self, reason: str) -> None:
         self.chain_breaks += 1
-        if self.recorder.enabled:
-            self.recorder.instant(
+        if self._rec_on:
+            self._recorder.note_chain_break(reason, self._chain_exec)
+            self._recorder.instant(
                 TRACK_MIGRATION, "chain_break", self.clock(),
                 args={"exec_id": self._chain_exec,
-                      "chain_pos": self._chain_pos},
+                      "chain_pos": self._chain_pos,
+                      "reason": reason},
             )
 
     def _hop_to_next_kernel(self) -> bool:
@@ -325,12 +362,13 @@ class ChainingPrefetcher:
                 self._chain_pos += hops
                 self._chain_exec = final_exec
                 self._chain_history = final_history
+                self._walk_src = "chain"
                 start = correlator.block_tables[final_exec].start_block
                 if start in self._protected:
                     self._note_emitted(start)
                     self._frontier.append(start)
                     return True
-                self._seed(start)
+                self._seed(start, "hop")
                 return True
         hops = 0
         while True:
@@ -344,14 +382,15 @@ class ChainingPrefetcher:
                 # fail again. Book the same miss and chain break the full
                 # lookup would have produced, without doing it.
                 exec_table.misses += 1
-                self._record_chain_break()
+                self._record_chain_break(self._stuck_reason)
                 return False
             nxt = exec_table.predict_next(
                 self._chain_history, self._chain_exec
             )
             if nxt is None:
                 self._stuck_state = state
-                self._record_chain_break()
+                self._stuck_reason = exec_table.last_miss_reason
+                self._record_chain_break(self._stuck_reason)
                 return False
             self._chain_history = (
                 self._chain_history[1], self._chain_history[2], self._chain_exec,
@@ -363,6 +402,7 @@ class ChainingPrefetcher:
             if nxt_table is None or nxt_table.start_block is None:
                 continue  # fault-free kernel: nothing to prefetch, chain on
             memo[start_key] = (hops, self._chain_exec, self._chain_history)
+            self._walk_src = "chain"
             start = nxt_table.start_block
             if start in self._protected:
                 # Already predicted within the window (shared working set);
@@ -371,5 +411,5 @@ class ChainingPrefetcher:
                 self._note_emitted(start)
                 self._frontier.append(start)
                 return True
-            self._seed(start)
+            self._seed(start, "hop")
             return True

@@ -11,7 +11,7 @@ scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..config import DeepUMConfig, GPUSpec, HostSpec, SystemConfig
@@ -96,6 +96,10 @@ class ExperimentResult:
     peak_populated_bytes: int = 0
     correlation_table_bytes: int = 0
     oom_reason: str = ""
+    #: The policy facade the run executed on. Kept (not snapshotted) so
+    #: post-run analysis can reach live state — e.g. the DeepUM driver's
+    #: correlation tables for the policy-health report.
+    facade: object = field(default=None, repr=False)
 
     @property
     def seconds_per_100_iterations(self) -> Optional[float]:
@@ -216,7 +220,7 @@ def run_experiment(
     sim_batch = cfg.sim_batch(paper_batch)
     result = ExperimentResult(
         model=model, policy=policy, paper_batch=paper_batch,
-        sim_batch=sim_batch, oom=False, window=None,
+        sim_batch=sim_batch, oom=False, window=None, facade=facade,
     )
     try:
         workload = cfg.build(facade.device, sim_batch, scale=scale)

@@ -97,6 +97,33 @@ PHASE_BREAKDOWN_HEADERS: Sequence[str] = (
 )
 
 
+#: Column headers matching :func:`health_summary_rows`, in order.
+HEALTH_SUMMARY_HEADERS: Sequence[str] = (
+    "cause", "faults", "stall ms", "% of stall",
+)
+
+
+def health_summary_rows(health) -> list[list[object]]:
+    """Fault-cause attribution rows from a PolicyHealth report.
+
+    One row per taxonomy cause carrying weight in this run, ranked by lost
+    simulated time; ``health`` is a
+    :class:`~repro.obs.health.PolicyHealth`. Pairs with
+    ``HEALTH_SUMMARY_HEADERS`` for the report tables.
+    """
+    total = health.fault_stall
+    rows: list[list[object]] = []
+    ranked = sorted(health.cause_stall.items(), key=lambda kv: -kv[1])
+    for cause, stall in ranked:
+        rows.append([
+            cause,
+            health.cause_counts.get(cause, 0),
+            stall * 1e3,
+            stall / total if total > 0 else None,
+        ])
+    return rows
+
+
 def phase_breakdown_rows(recorder, top_k: int = 10) -> list[list[object]]:
     """Top-``top_k`` kernels by stall time, one row per kernel name.
 

@@ -30,6 +30,29 @@ from .chrome_trace import (
     write_chrome_trace,
     write_tracer_chrome_trace,
 )
+from .decisions import (
+    ALL_CAUSES,
+    COMMAND_SOURCES,
+    DecisionLog,
+    FaultCause,
+    Provenance,
+    describe_event,
+)
+from .doctor import (
+    DOCTOR_SCHEMA_VERSION,
+    Finding,
+    diagnose,
+    format_doctor,
+    run_doctor,
+    validate_doctor_report,
+)
+from .health import (
+    PolicyHealth,
+    TableHealth,
+    policy_health,
+    table_health,
+    validate_policy_health,
+)
 from .phases import (
     FAULT_PHASES,
     KernelAggregate,
@@ -70,6 +93,16 @@ def attach(target, recorder: Optional[SpanRecorder] = None) -> SpanRecorder:
             f"cannot attach a recorder to {type(target).__name__}: "
             "no UM engine found (tensor-swap facades are not instrumented)"
         )
+    if engine.metrics.kernels or engine.now > 0.0:
+        # Attaching mid-run used to silently produce a half-empty recording
+        # (per-kernel sums no longer matching the engine aggregates, fault
+        # causes missing their history). Refuse loudly instead.
+        raise RuntimeError(
+            "cannot attach a recorder mid-run: the engine has already "
+            f"executed {engine.metrics.kernels} kernel(s) "
+            f"(now={engine.now:.6f}s). Attach before the first kernel, or "
+            "construct the facade with recorder=SpanRecorder()."
+        )
     engine.recorder = rec
     engine.handler.recorder = rec
     engine.link.recorder = rec
@@ -80,16 +113,25 @@ def attach(target, recorder: Optional[SpanRecorder] = None) -> SpanRecorder:
 
 
 __all__ = [
+    "ALL_CAUSES",
     "ALL_TRACKS",
+    "COMMAND_SOURCES",
+    "DOCTOR_SCHEMA_VERSION",
+    "DecisionLog",
     "FAULT_PHASES",
+    "FaultCause",
+    "Finding",
     "Instant",
     "KernelAggregate",
     "KernelPhases",
     "KernelRecord",
     "NULL_RECORDER",
     "NullRecorder",
+    "PolicyHealth",
+    "Provenance",
     "Span",
     "SpanRecorder",
+    "TableHealth",
     "TRACK_FAULT",
     "TRACK_GPU",
     "TRACK_LABELS",
@@ -100,9 +142,17 @@ __all__ = [
     "attach",
     "chrome_trace_dict",
     "chrome_trace_events",
+    "describe_event",
+    "diagnose",
+    "format_doctor",
     "kernel_phases",
+    "policy_health",
+    "run_doctor",
+    "table_health",
     "tracer_chrome_events",
     "validate_chrome_trace",
+    "validate_doctor_report",
+    "validate_policy_health",
     "write_chrome_trace",
     "write_tracer_chrome_trace",
 ]

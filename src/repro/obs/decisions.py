@@ -1,0 +1,314 @@
+"""Prefetch-decision provenance and the demand-fault cause taxonomy.
+
+The timeline layer (spans, instants, per-kernel records) says *where*
+simulated time went; this module says *why*.  Two ideas:
+
+* **Provenance** — every prefetch command the chaining prefetcher emits is
+  tagged with the walk phase that produced it (``seed``: chain revival at a
+  kernel launch; ``hop``: the start block of a predicted next kernel;
+  ``chain``: a successor-table expansion; ``restart``: the expansion wave
+  after a fault re-synced the chain), the execution ID the chain was
+  predicting for, and the look-ahead depth (in kernels ahead of the GPU) at
+  emission time.
+
+* **Cause taxonomy** — every demand fault is classified into exactly one of
+  :data:`ALL_CAUSES` by a per-block state machine fed by the recorder hooks
+  the driver threads already call.  The classification is total (every
+  fault gets a cause) and exclusive (a single ``if``/``elif`` chain assigns
+  exactly one), which is what makes ``repro doctor``'s "lost stall time by
+  cause" ranking trustworthy.
+
+The causes, in classification priority order:
+
+==========================  =================================================
+cause                       meaning
+==========================  =================================================
+``predicted-but-late``      a prefetch command for the block was issued (and
+                            not yet completed or invalidated by an eviction)
+                            but the migration thread did not finish in time
+``invalidated``             the block was dropped from the device as
+                            invalidated (dead PT block) and then re-touched
+``evicted-then-refetched``  the block was resident, got evicted (written
+                            back), and demand-faulted back in
+``cold-start``              the block was never predicted and the prefetcher
+                            could not have known it: either there is no
+                            prefetcher at all (naive UM) or the faulting
+                            kernel had no learned block table yet
+``chain-break``             the kernel was known but the prefetch chain was
+                            dead (a failed next-kernel prediction) when the
+                            fault arrived
+``never-predicted``         the kernel was known and the chain was alive,
+                            yet chaining never emitted this block — a
+                            block-table capacity/conflict loss
+==========================  =================================================
+
+The :class:`DecisionLog` lives inside a
+:class:`~repro.obs.recorder.SpanRecorder`; with recording disabled none of
+this code runs (the ``NULL_RECORDER`` no-ops are guarded by one cached
+``enabled`` test per instrumentation site).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+CAUSE_LATE = "predicted-but-late"
+CAUSE_INVALIDATED = "invalidated"
+CAUSE_EVICTED = "evicted-then-refetched"
+CAUSE_COLD_START = "cold-start"
+CAUSE_CHAIN_BREAK = "chain-break"
+CAUSE_NEVER_PREDICTED = "never-predicted"
+
+#: The complete demand-fault cause taxonomy, in classification priority.
+ALL_CAUSES = (
+    CAUSE_LATE,
+    CAUSE_INVALIDATED,
+    CAUSE_EVICTED,
+    CAUSE_COLD_START,
+    CAUSE_CHAIN_BREAK,
+    CAUSE_NEVER_PREDICTED,
+)
+
+#: Prefetch-command walk phases (the ``source`` of a :class:`Provenance`).
+COMMAND_SOURCES = ("seed", "hop", "chain", "restart")
+
+#: Execution-table miss reasons (see ``ExecutionCorrelationTable``).
+MISS_NO_ENTRY = "no-entry"
+MISS_HISTORY = "history-miss"
+
+#: A pre-evicted victim that demand-faults back within this many kernels
+#: counts as a mispredicted eviction (the "not expected to be accessed by
+#: the next N kernels" condition was wrong in hindsight).
+VICTIM_REFAULT_WINDOW = 4
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Why a prefetch command exists: which prediction emitted it."""
+
+    source: str  # one of COMMAND_SOURCES
+    exec_id: int  # execution ID the chain was predicting for
+    depth: int  # look-ahead depth in kernels (chain_pos - gpu_pos)
+
+
+@dataclass(frozen=True)
+class FaultCause:
+    """One classified demand fault."""
+
+    block: int
+    kernel_seq: int
+    cause: str  # one of ALL_CAUSES
+    t: float  # simulated time the fault arrived
+    stall: float  # critical-path seconds the fault cost
+    #: Kernels between a pre-eviction of this block and this re-fault, when
+    #: within :data:`VICTIM_REFAULT_WINDOW` (a mispredicted eviction); -1
+    #: otherwise.
+    refault_after: int = -1
+    #: Provenance of the outstanding command, for ``predicted-but-late``.
+    provenance: Optional[Provenance] = None
+
+
+class DecisionLog:
+    """Per-block decision state machine plus an event journal.
+
+    Fed exclusively through :class:`~repro.obs.recorder.SpanRecorder`
+    delegation; event ordering is the recorder call order, which the
+    single-threaded simulator makes deterministic (and therefore identical
+    under steady-state iteration replay).
+    """
+
+    def __init__(self) -> None:
+        #: Journal of (kind, block, kernel_seq, detail) tuples, in order.
+        #: ``block`` is -1 for events not tied to one block.  ``repro trace
+        #: why`` renders this filtered to a single block.
+        self.events: list[tuple[str, int, int, object]] = []
+        self.fault_causes: list[FaultCause] = []
+        self.cause_counts: dict[str, int] = {}
+        self.cause_stall: dict[str, float] = {}
+        self.commands_issued = 0
+        self.commands_by_source: dict[str, int] = {}
+        self.chain_breaks: dict[str, int] = {}
+        self.chain_restarts = 0
+        self.victim_evictions: dict[str, int] = {}
+        self.mispredicted_evictions = 0
+        self.blocks_invalidated = 0
+        self.blocks_revalidated = 0
+        # Monotonic event counter; per-block seq maps implement the state
+        # machine ("was the last command issued after the last eviction?")
+        # without any notion of simulated time.
+        self._n = 0
+        self._cmd_seq: dict[int, int] = {}
+        self._cmd_prov: dict[int, Provenance] = {}
+        self._done_seq: dict[int, int] = {}
+        self._evict_seq: dict[int, int] = {}
+        self._evict_inval: set[int] = set()
+        self._victim_kernel: dict[int, int] = {}
+        self._has_prefetcher = False
+        self._kernel_known = False
+        self._chain_alive = False
+
+    # ------------------------------------------------------------------ #
+    # state updates (driven through SpanRecorder)
+    # ------------------------------------------------------------------ #
+
+    def _tick(self) -> int:
+        self._n += 1
+        return self._n
+
+    def note_command(
+        self, block: int, source: str, exec_id: int, depth: int, kernel_seq: int
+    ) -> None:
+        """A prefetch command for ``block`` was emitted."""
+        seq = self._tick()
+        prov = Provenance(source, exec_id, depth)
+        self._cmd_seq[block] = seq
+        self._cmd_prov[block] = prov
+        self._chain_alive = True
+        self.commands_issued += 1
+        self.commands_by_source[source] = self.commands_by_source.get(source, 0) + 1
+        self.events.append(("command", block, kernel_seq, prov))
+
+    def note_done(self, block: int, kernel_seq: int) -> None:
+        """The migration thread completed a prefetch of ``block``."""
+        self._done_seq[block] = self._tick()
+        self.events.append(("prefetch-done", block, kernel_seq, None))
+
+    def note_evict(self, block: int, invalidated: bool, kernel_seq: int) -> None:
+        """``block`` left the device (write-back, or dropped if invalidated)."""
+        self._evict_seq[block] = self._tick()
+        if invalidated:
+            self._evict_inval.add(block)
+        else:
+            self._evict_inval.discard(block)
+        self.events.append(("evict", block, kernel_seq, "drop" if invalidated else "writeback"))
+
+    def note_victim(self, block: int, reason: str, kernel_seq: int) -> None:
+        """The pre-evictor chose ``block`` as a victim, with its rationale."""
+        self._tick()
+        self._victim_kernel[block] = kernel_seq
+        self.victim_evictions[reason] = self.victim_evictions.get(reason, 0) + 1
+        self.events.append(("victim", block, kernel_seq, reason))
+
+    def note_chain_break(self, reason: str, exec_id: int, kernel_seq: int) -> None:
+        """A next-kernel prediction failed; the chain is dead."""
+        self._tick()
+        self._chain_alive = False
+        self.chain_breaks[reason] = self.chain_breaks.get(reason, 0) + 1
+        self.events.append(("chain-break", -1, kernel_seq, (reason, exec_id)))
+
+    def note_chain_restart(self, block: int, exec_id: int, kernel_seq: int) -> None:
+        """A fault outside the window re-synced the chain from ``block``."""
+        self._tick()
+        self._chain_alive = True
+        self.chain_restarts += 1
+        self.events.append(("chain-restart", block, kernel_seq, exec_id))
+
+    def note_kernel_known(self, known: bool) -> None:
+        """Launch-time signal: did the tables know the launching kernel?
+
+        Only a driver with an active prefetcher sends this; its absence is
+        how the log recognizes prefetcher-less policies (naive UM), whose
+        faults can only be cold starts or eviction re-fetches.
+        """
+        self._has_prefetcher = True
+        self._kernel_known = known
+
+    def note_invalidated(self, block: int, active: bool, kernel_seq: int) -> None:
+        """A PT-block state change invalidated (or revalidated) ``block``."""
+        self._tick()
+        if active:
+            self.blocks_revalidated += 1
+        else:
+            self.blocks_invalidated += 1
+        self.events.append(("revalidate" if active else "invalidate", block, kernel_seq, None))
+
+    # ------------------------------------------------------------------ #
+    # classification
+    # ------------------------------------------------------------------ #
+
+    def classify(self, block: int, t: float, stall: float, kernel_seq: int) -> str:
+        """Classify one demand fault; returns the cause (always exactly one).
+
+        Priority: an outstanding command (issued after the block's last
+        eviction and completion) marks the prediction right but late;
+        otherwise a past eviction explains the fault; otherwise the fault
+        was never predicted and the cause is whichever knowledge the
+        prefetcher lacked (no prefetcher / unlearned kernel / dead chain /
+        table loss).
+        """
+        cmd = self._cmd_seq.get(block, -1)
+        done = self._done_seq.get(block, -1)
+        evicted = self._evict_seq.get(block, -1)
+        provenance: Optional[Provenance] = None
+        if cmd > done and cmd > evicted:
+            cause = CAUSE_LATE
+            provenance = self._cmd_prov.get(block)
+        elif evicted >= 0:
+            cause = CAUSE_INVALIDATED if block in self._evict_inval else CAUSE_EVICTED
+        elif not self._has_prefetcher or not self._kernel_known:
+            cause = CAUSE_COLD_START
+        elif not self._chain_alive:
+            cause = CAUSE_CHAIN_BREAK
+        else:
+            cause = CAUSE_NEVER_PREDICTED
+        refault_after = -1
+        victim_at = self._victim_kernel.pop(block, None)
+        if victim_at is not None and kernel_seq - victim_at <= VICTIM_REFAULT_WINDOW:
+            refault_after = kernel_seq - victim_at
+            self.mispredicted_evictions += 1
+        record = FaultCause(block, kernel_seq, cause, t, stall, refault_after, provenance)
+        self.fault_causes.append(record)
+        self.cause_counts[cause] = self.cause_counts.get(cause, 0) + 1
+        self.cause_stall[cause] = self.cause_stall.get(cause, 0.0) + stall
+        self.events.append(("fault", block, kernel_seq, record))
+        self._tick()
+        return cause
+
+    # ------------------------------------------------------------------ #
+    # drill-down helpers
+    # ------------------------------------------------------------------ #
+
+    def events_for_block(
+        self, block: int, kernel_seq: Optional[int] = None
+    ) -> list[tuple[str, int, int, object]]:
+        """Journal entries touching ``block`` (optionally one kernel only)."""
+        return [
+            ev
+            for ev in self.events
+            if ev[1] == block and (kernel_seq is None or ev[2] == kernel_seq)
+        ]
+
+
+def describe_event(event: tuple[str, int, int, object]) -> str:
+    """One-line human rendering of a journal entry (``repro trace why``)."""
+    kind, _block, _seq, detail = event
+    if kind == "command":
+        prov = detail
+        assert isinstance(prov, Provenance)
+        return f"prefetch command ({prov.source}, exec {prov.exec_id}, depth {prov.depth})"
+    if kind == "prefetch-done":
+        return "prefetch completed (block admitted ahead of demand)"
+    if kind == "evict":
+        return "evicted (invalidated drop)" if detail == "drop" else "evicted (write-back)"
+    if kind == "victim":
+        return f"pre-evictor victim ({detail})"
+    if kind == "fault":
+        assert isinstance(detail, FaultCause)
+        extra = (
+            f", re-faulted {detail.refault_after} kernels after pre-eviction"
+            if detail.refault_after >= 0
+            else ""
+        )
+        return f"demand fault: {detail.cause} ({detail.stall * 1e3:.3f} ms stall{extra})"
+    if kind == "chain-break":
+        assert isinstance(detail, tuple)
+        reason, exec_id = detail
+        return f"chain break ({reason}) while predicting after exec {exec_id}"
+    if kind == "chain-restart":
+        return f"chain restarted from this block (exec {detail})"
+    if kind == "invalidate":
+        return "invalidated (PT block inactive)"
+    if kind == "revalidate":
+        return "revalidated (PT block reused)"
+    return kind

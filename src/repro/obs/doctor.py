@@ -1,0 +1,285 @@
+"""``repro doctor``: ranked diagnosis of a scenario's prefetch behaviour.
+
+Runs every UM-family cell of a pinned bench scenario with decision
+attribution on, builds each cell's :class:`~repro.obs.health.PolicyHealth`,
+and turns it into findings — top fault causes by lost simulated time, worst
+kernels, table-pressure warnings — ordered most severe first. The JSON
+report (``--json``) is schema-validated in CI so the diagnosis pipeline
+can't silently rot.
+
+Thresholds are deliberately coarse: the doctor flags *where to look*, the
+timeline (``repro trace timeline``) and the per-fault drill-down
+(``repro trace why``) answer *what happened*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .decisions import ALL_CAUSES, CAUSE_CHAIN_BREAK, CAUSE_EVICTED, CAUSE_LATE
+from .health import PolicyHealth, policy_health, validate_policy_health
+from .recorder import SpanRecorder
+
+DOCTOR_SCHEMA_VERSION = 1
+
+SEVERITIES = ("error", "warning", "info")
+
+#: Finding thresholds (fractions unless noted).
+OCCUPANCY_WARN = 0.90
+CHURN_WARN = 0.05
+EXEC_HIT_RATE_WARN = 0.90
+ACCURACY_WARN = 0.50
+COVERAGE_WARN = 0.50
+CAUSE_STALL_WARN = 0.25
+ATTRIBUTION_MIN = 0.95
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosis line: a severity, a stable code, and the message."""
+
+    severity: str  # one of SEVERITIES
+    code: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"severity": self.severity, "code": self.code,
+                "message": self.message}
+
+
+def _pct(x: Optional[float]) -> str:
+    return "n/a" if x is None else f"{100.0 * x:.1f}%"
+
+
+def diagnose(health: PolicyHealth) -> list[Finding]:
+    """Rank what is wrong (or fine) with one cell's prefetch behaviour."""
+    findings: list[Finding] = []
+    out = findings.append
+
+    attributed = health.attributed_stall_fraction
+    if attributed is not None and attributed < ATTRIBUTION_MIN:
+        out(Finding(
+            "error", "attribution-gap",
+            f"only {_pct(attributed)} of demand-fault stall time carries a "
+            f"cause (expected >= {_pct(ATTRIBUTION_MIN)}): instrumentation "
+            "is missing fault sites",
+        ))
+
+    # Top fault causes by lost simulated time, most expensive first.
+    if health.fault_stall > 0.0:
+        ranked = sorted(health.cause_stall.items(), key=lambda kv: -kv[1])
+        for cause, stall in ranked:
+            frac = stall / health.fault_stall
+            if frac <= 0.0:
+                continue
+            count = health.cause_counts.get(cause, 0)
+            msg = (f"{_pct(frac)} of fault stall ({stall * 1e3:.3f} ms, "
+                   f"{count} faults) is {cause}")
+            if frac >= CAUSE_STALL_WARN and cause in (
+                    CAUSE_LATE, CAUSE_EVICTED, CAUSE_CHAIN_BREAK):
+                hint = {
+                    CAUSE_LATE: "predictions are right but the link falls "
+                                "behind: raise the prefetch degree or check "
+                                "link contention on the timeline",
+                    CAUSE_EVICTED: "the working set is thrashing: blocks "
+                                   "come back after eviction — check the "
+                                   "pre-eviction watermark and victim choice",
+                    CAUSE_CHAIN_BREAK: "next-kernel predictions fail while "
+                                       "kernels are known: execution "
+                                       "history is unstable",
+                }[cause]
+                out(Finding("warning", f"cause-{cause}", f"{msg} — {hint}"))
+            else:
+                out(Finding("info", f"cause-{cause}", msg))
+
+    acc = health.accuracy
+    if acc is not None and acc < ACCURACY_WARN:
+        out(Finding(
+            "warning", "low-accuracy",
+            f"prefetch accuracy {_pct(acc)} (useful {health.prefetch_used} / "
+            f"issued {health.commands_issued}): the chain emits blocks the "
+            "GPU never touches in time",
+        ))
+    cov = health.coverage
+    if cov is not None and cov < COVERAGE_WARN:
+        out(Finding(
+            "warning", "low-coverage",
+            f"prefetch coverage {_pct(cov)} ({health.prefetch_hits} hits vs "
+            f"{health.faults} demand faults): most of the working set is "
+            "not being predicted",
+        ))
+    if health.mispredicted_evictions:
+        out(Finding(
+            "warning", "mispredicted-evictions",
+            f"{health.mispredicted_evictions} pre-evicted victims were "
+            "re-faulted within a few kernels: the victim filter is evicting "
+            "live data",
+        ))
+
+    tables = health.tables
+    if tables is not None:
+        hit_rate = tables.exec_hit_rate
+        if hit_rate is not None and hit_rate < EXEC_HIT_RATE_WARN:
+            out(Finding(
+                "warning", "exec-table-misses",
+                f"execution-table hit rate {_pct(hit_rate)} "
+                f"({tables.exec_hits} hits, {tables.exec_misses} misses): "
+                "kernel launch order is not settling",
+            ))
+        occ = tables.occupancy
+        if occ is not None and occ > OCCUPANCY_WARN:
+            out(Finding(
+                "warning", "table-pressure",
+                f"block tables {_pct(occ)} full "
+                f"({tables.block_entries}/{tables.block_capacity} entries): "
+                "capacity conflicts are imminent — grow rows/assoc",
+            ))
+        churn = tables.churn
+        if churn is not None and churn > CHURN_WARN:
+            out(Finding(
+                "warning", "table-churn",
+                f"{_pct(churn)} of block-table updates lose learned pattern "
+                f"({tables.block_conflicts} set conflicts, "
+                f"{tables.block_succ_drops} successor drops): the geometry "
+                "is too small for this access pattern",
+            ))
+
+    if not findings:
+        out(Finding("info", "healthy",
+                    "no fault stall recorded and no table pressure"))
+    order = {sev: i for i, sev in enumerate(SEVERITIES)}
+    findings.sort(key=lambda f: order[f.severity])
+    return findings
+
+
+def run_doctor(scenario, *, warmup_iterations: Optional[int] = None,
+               measure_iterations: Optional[int] = None,
+               progress: Optional[Callable[[str], None]] = None) -> dict:
+    """Run every cell of ``scenario`` instrumented and diagnose each.
+
+    ``scenario`` is a bench :class:`~repro.bench.manifest.Scenario` or a
+    registered scenario name. Tensor-swap policies (no UM engine) are
+    skipped and listed in the report; OOM cells are reported as such.
+    """
+    # Imported lazily: repro.obs must stay importable without dragging the
+    # harness/bench layers (and their model registry) into every trace use.
+    from ..bench.manifest import SCENARIOS
+    from ..harness.experiment import calibrate_system, run_experiment
+
+    if isinstance(scenario, str):
+        resolved = SCENARIOS.get(scenario)
+        if resolved is None:
+            known = ", ".join(sorted(SCENARIOS))
+            raise KeyError(f"unknown scenario {scenario!r}; known: {known}")
+        scenario = resolved
+    warmup = (scenario.warmup_iterations if warmup_iterations is None
+              else warmup_iterations)
+    measure = (scenario.measure_iterations if measure_iterations is None
+               else measure_iterations)
+    system = calibrate_system(scenario.model)
+    report: dict = {
+        "doctor_schema_version": DOCTOR_SCHEMA_VERSION,
+        "scenario": scenario.name,
+        "model": scenario.model,
+        "paper_batch": scenario.paper_batch,
+        "cells": {},
+        "skipped": {},
+    }
+    for policy in scenario.policies:
+        cell = f"{scenario.model}@{scenario.paper_batch}/{policy}"
+        if progress:
+            progress(f"doctor: running {cell} ...")
+        recorder = SpanRecorder()
+        try:
+            result = run_experiment(
+                scenario.model, scenario.paper_batch, policy,
+                system=system, warmup_iterations=warmup,
+                measure_iterations=measure, recorder=recorder,
+                seed=scenario.seed,
+            )
+        except TypeError:
+            # No UM engine to instrument (tensor-swap facade).
+            report["skipped"][cell] = "no UM engine (tensor-swap policy)"
+            continue
+        if result.oom:
+            report["skipped"][cell] = f"OOM: {result.oom_reason}"
+            continue
+        driver = getattr(result.facade, "driver", None)
+        health = policy_health(recorder, driver)
+        report["cells"][cell] = {
+            "policy_health": health.to_dict(),
+            "findings": [f.to_dict() for f in diagnose(health)],
+        }
+    return report
+
+
+def validate_doctor_report(doc: object) -> dict:
+    """Structural validation of a doctor report; raises ValueError."""
+    if not isinstance(doc, dict):
+        raise ValueError(f"doctor report must be an object, got {type(doc).__name__}")
+    if doc.get("doctor_schema_version") != DOCTOR_SCHEMA_VERSION:
+        raise ValueError(
+            f"doctor_schema_version must be {DOCTOR_SCHEMA_VERSION}, "
+            f"got {doc.get('doctor_schema_version')!r}"
+        )
+    for key in ("scenario", "cells", "skipped"):
+        if key not in doc:
+            raise ValueError(f"doctor report missing key {key!r}")
+    if not isinstance(doc["cells"], dict):
+        raise ValueError("doctor report 'cells' must be an object")
+    if not doc["cells"] and not doc["skipped"]:
+        raise ValueError("doctor report diagnosed no cells")
+    for cell, body in doc["cells"].items():
+        if not isinstance(body, dict) or "policy_health" not in body \
+                or "findings" not in body:
+            raise ValueError(
+                f"cell {cell!r} must carry policy_health and findings")
+        validate_policy_health(body["policy_health"])
+        for finding in body["findings"]:
+            if not isinstance(finding, dict):
+                raise ValueError(f"cell {cell!r}: findings must be objects")
+            if finding.get("severity") not in SEVERITIES:
+                raise ValueError(
+                    f"cell {cell!r}: bad severity {finding.get('severity')!r}")
+            if not finding.get("code") or "message" not in finding:
+                raise ValueError(f"cell {cell!r}: finding missing code/message")
+        for cause in body["policy_health"]["cause_counts"]:
+            if cause not in ALL_CAUSES:
+                raise ValueError(
+                    f"cell {cell!r}: unknown fault cause {cause!r}")
+    return doc
+
+
+def format_doctor(report: dict) -> str:
+    """Human rendering of a doctor report."""
+    from ..harness.report import format_table
+
+    lines: list[str] = []
+    lines.append(f"doctor: {report['scenario']} "
+                 f"({report['model']} @ paper batch {report['paper_batch']})")
+    for cell, body in report["cells"].items():
+        health = body["policy_health"]
+        lines.append("")
+        lines.append(f"== {cell} ==")
+        lines.append(
+            f"  kernels {health['kernels']}, faults {health['faults']} "
+            f"({health['fault_stall'] * 1e3:.3f} ms stall), "
+            f"prefetch accuracy {_pct(health['accuracy'])}, "
+            f"coverage {_pct(health['coverage'])}"
+        )
+        for finding in body["findings"]:
+            lines.append(f"  [{finding['severity']:>7}] {finding['code']}: "
+                         f"{finding['message']}")
+        worst = health["worst_kernels"]
+        if worst:
+            rows = [[w["name"], w["launches"], f"{w['stall'] * 1e3:.3f}",
+                     w["faults"], _pct(w.get("coverage"))] for w in worst]
+            lines.append("")
+            lines.append(format_table(
+                ["kernel", "launches", "stall (ms)", "faults", "coverage"],
+                rows, title="  worst kernels by stall"))
+    for cell, why in report.get("skipped", {}).items():
+        lines.append("")
+        lines.append(f"-- {cell}: skipped ({why})")
+    return "\n".join(lines)

@@ -1,0 +1,289 @@
+"""Policy-health reports: prefetcher quality and table pressure in one place.
+
+:func:`policy_health` condenses a recorded run (a
+:class:`~repro.obs.recorder.SpanRecorder` with its
+:class:`~repro.obs.decisions.DecisionLog`, plus optionally the DeepUM
+driver whose tables served it) into a :class:`PolicyHealth` document with
+the metrics the prefetching literature evaluates on:
+
+* **accuracy** — useful prefetches / commands issued,
+* **coverage** — accesses served by prefetch / (served + demand faults),
+* **timeliness** — the in-flight lateness distribution (how long the GPU
+  waited on prefetches that were *right but late*),
+* **fault-cause attribution** — demand-fault count and stall seconds per
+  taxonomy cause (see :mod:`repro.obs.decisions`),
+* **table health** — execution-table hit rate, block-table occupancy and
+  churn (set conflicts + successor drops per update).
+
+The report is plain data: :meth:`PolicyHealth.to_dict` is deterministic and
+JSON-ready, which is what the bench schema (v2, optional ``policy_health``
+cell section) and ``repro doctor`` build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .phases import aggregate_by_kernel
+from .recorder import TRACK_GPU, SpanRecorder
+
+
+@dataclass
+class TableHealth:
+    """Pressure and quality counters for the correlation tables."""
+
+    exec_entries: int = 0
+    exec_records: int = 0
+    exec_hits: int = 0
+    exec_misses: int = 0
+    exec_updates: int = 0
+    table_bytes: int = 0
+    block_tables: int = 0
+    block_entries: int = 0
+    block_capacity: int = 0
+    block_conflicts: int = 0
+    block_updates: int = 0
+    block_succ_drops: int = 0
+
+    @property
+    def exec_hit_rate(self) -> Optional[float]:
+        """Next-kernel prediction hit rate; None before any prediction."""
+        lookups = self.exec_hits + self.exec_misses
+        if lookups == 0:
+            return None
+        return self.exec_hits / lookups
+
+    @property
+    def occupancy(self) -> Optional[float]:
+        """Fraction of aggregate block-table capacity in use."""
+        if self.block_capacity == 0:
+            return None
+        return self.block_entries / self.block_capacity
+
+    @property
+    def churn(self) -> Optional[float]:
+        """Learned pattern lost per update (conflicts + successor drops)."""
+        if self.block_updates == 0:
+            return None
+        return (self.block_conflicts + self.block_succ_drops) / self.block_updates
+
+    def to_dict(self) -> dict:
+        return {
+            "exec_entries": self.exec_entries,
+            "exec_records": self.exec_records,
+            "exec_hits": self.exec_hits,
+            "exec_misses": self.exec_misses,
+            "exec_updates": self.exec_updates,
+            "exec_hit_rate": self.exec_hit_rate,
+            "table_bytes": self.table_bytes,
+            "block_tables": self.block_tables,
+            "block_entries": self.block_entries,
+            "block_capacity": self.block_capacity,
+            "block_conflicts": self.block_conflicts,
+            "block_updates": self.block_updates,
+            "block_succ_drops": self.block_succ_drops,
+            "occupancy": self.occupancy,
+            "churn": self.churn,
+        }
+
+
+@dataclass
+class PolicyHealth:
+    """One run's prefetch-policy quality, fully attributed."""
+
+    kernels: int = 0
+    accesses: int = 0
+    faults: int = 0
+    fault_stall: float = 0.0
+    inflight_wait: float = 0.0
+    prefetch_hits: int = 0
+    commands_issued: int = 0
+    commands_by_source: dict = field(default_factory=dict)
+    prefetches_completed: int = 0
+    prefetch_used: int = 0
+    prefetch_wasted: int = 0
+    cause_counts: dict = field(default_factory=dict)
+    cause_stall: dict = field(default_factory=dict)
+    chain_breaks: dict = field(default_factory=dict)
+    chain_restarts: int = 0
+    victim_evictions: dict = field(default_factory=dict)
+    mispredicted_evictions: int = 0
+    blocks_invalidated: int = 0
+    lateness_count: int = 0
+    lateness_total: float = 0.0
+    lateness_max: float = 0.0
+    tables: Optional[TableHealth] = None
+    #: Top stall-heavy kernels: dicts of name/launches/stall/faults/coverage.
+    worst_kernels: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def accuracy(self) -> Optional[float]:
+        """Useful prefetches per command issued; None if nothing issued."""
+        if self.commands_issued == 0:
+            return None
+        return self.prefetch_used / self.commands_issued
+
+    @property
+    def coverage(self) -> Optional[float]:
+        """Fraction of would-be faults that prefetching absorbed."""
+        demand = self.prefetch_hits + self.faults
+        if demand == 0:
+            return None
+        return self.prefetch_hits / demand
+
+    @property
+    def attributed_stall_fraction(self) -> Optional[float]:
+        """Share of demand-fault stall carrying a specific cause.
+
+        By construction this is 1.0 — the taxonomy is total — so anything
+        less signals an instrumentation gap (the doctor checks it).
+        """
+        if self.fault_stall <= 0.0:
+            return None
+        return sum(self.cause_stall.values()) / self.fault_stall
+
+    @property
+    def lateness_mean(self) -> Optional[float]:
+        if self.lateness_count == 0:
+            return None
+        return self.lateness_total / self.lateness_count
+
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """Deterministic, JSON-serializable rendering (bench schema v2)."""
+        return {
+            "kernels": self.kernels,
+            "accesses": self.accesses,
+            "faults": self.faults,
+            "fault_stall": self.fault_stall,
+            "inflight_wait": self.inflight_wait,
+            "prefetch_hits": self.prefetch_hits,
+            "commands_issued": self.commands_issued,
+            "commands_by_source": dict(sorted(self.commands_by_source.items())),
+            "prefetches_completed": self.prefetches_completed,
+            "prefetch_used": self.prefetch_used,
+            "prefetch_wasted": self.prefetch_wasted,
+            "accuracy": self.accuracy,
+            "coverage": self.coverage,
+            "cause_counts": dict(sorted(self.cause_counts.items())),
+            "cause_stall": dict(sorted(self.cause_stall.items())),
+            "attributed_stall_fraction": self.attributed_stall_fraction,
+            "chain_breaks": dict(sorted(self.chain_breaks.items())),
+            "chain_restarts": self.chain_restarts,
+            "victim_evictions": dict(sorted(self.victim_evictions.items())),
+            "mispredicted_evictions": self.mispredicted_evictions,
+            "blocks_invalidated": self.blocks_invalidated,
+            "lateness": {
+                "count": self.lateness_count,
+                "total": self.lateness_total,
+                "mean": self.lateness_mean,
+                "max": self.lateness_max,
+            },
+            "tables": self.tables.to_dict() if self.tables is not None else None,
+            "worst_kernels": self.worst_kernels,
+        }
+
+
+#: Keys every serialized PolicyHealth document must carry.
+_REQUIRED_KEYS = (
+    "kernels", "accesses", "faults", "fault_stall", "inflight_wait",
+    "prefetch_hits", "commands_issued", "commands_by_source",
+    "prefetches_completed", "prefetch_used", "prefetch_wasted",
+    "accuracy", "coverage", "cause_counts", "cause_stall",
+    "attributed_stall_fraction", "chain_breaks", "chain_restarts",
+    "victim_evictions", "mispredicted_evictions", "blocks_invalidated",
+    "lateness", "tables", "worst_kernels",
+)
+
+
+def validate_policy_health(doc: object) -> dict:
+    """Structural validation of a serialized PolicyHealth; raises ValueError."""
+    if not isinstance(doc, dict):
+        raise ValueError(f"policy_health must be an object, got {type(doc).__name__}")
+    for key in _REQUIRED_KEYS:
+        if key not in doc:
+            raise ValueError(f"policy_health missing key {key!r}")
+    for key in ("cause_counts", "cause_stall", "commands_by_source",
+                "chain_breaks", "victim_evictions", "lateness"):
+        if not isinstance(doc[key], dict):
+            raise ValueError(f"policy_health[{key!r}] must be an object")
+    if not isinstance(doc["worst_kernels"], list):
+        raise ValueError("policy_health['worst_kernels'] must be a list")
+    if doc["tables"] is not None and not isinstance(doc["tables"], dict):
+        raise ValueError("policy_health['tables'] must be an object or null")
+    return doc
+
+
+def table_health(driver) -> TableHealth:
+    """Snapshot the correlation tables of a DeepUM driver."""
+    correlator = driver.correlator
+    exec_table = correlator.exec_table
+    th = TableHealth(
+        exec_entries=len(exec_table),
+        exec_records=exec_table.num_records(),
+        exec_hits=exec_table.hits,
+        exec_misses=exec_table.misses,
+        exec_updates=exec_table.updates,
+        table_bytes=correlator.table_size_bytes,
+    )
+    for table in correlator.block_tables.values():
+        th.block_tables += 1
+        th.block_entries += table.num_entries
+        th.block_capacity += table.capacity
+        th.block_conflicts += table.conflicts
+        th.block_updates += table.updates
+        th.block_succ_drops += table.succ_drops
+    return th
+
+
+def policy_health(recorder: SpanRecorder, driver=None,
+                  *, worst_kernels: int = 5) -> PolicyHealth:
+    """Build a :class:`PolicyHealth` report from a recorded run.
+
+    ``driver`` (a DeepUM driver, when the policy has one) contributes the
+    table-health section; recorder-only callers (naive UM) get
+    ``tables=None``.
+    """
+    dec = recorder.decisions
+    ph = PolicyHealth(
+        kernels=len(recorder.kernels),
+        accesses=sum(k.accesses for k in recorder.kernels),
+        faults=sum(k.faults for k in recorder.kernels),
+        fault_stall=recorder.total_fault_wait(),
+        inflight_wait=recorder.total_inflight_wait(),
+        prefetch_hits=sum(k.prefetch_hits for k in recorder.kernels),
+        commands_issued=dec.commands_issued,
+        commands_by_source=dict(dec.commands_by_source),
+        prefetches_completed=sum(recorder.kernel_prefetch_done.values()),
+        prefetch_used=recorder.prefetch_used,
+        prefetch_wasted=recorder.prefetch_wasted,
+        cause_counts=dict(dec.cause_counts),
+        cause_stall=dict(dec.cause_stall),
+        chain_breaks=dict(dec.chain_breaks),
+        chain_restarts=dec.chain_restarts,
+        victim_evictions=dict(dec.victim_evictions),
+        mispredicted_evictions=dec.mispredicted_evictions,
+        blocks_invalidated=dec.blocks_invalidated,
+    )
+    for span in recorder.spans:
+        if span.track == TRACK_GPU and span.name == "wait.inflight":
+            late = span.duration
+            ph.lateness_count += 1
+            ph.lateness_total += late
+            if late > ph.lateness_max:
+                ph.lateness_max = late
+    if driver is not None and hasattr(driver, "correlator"):
+        ph.tables = table_health(driver)
+    for agg in aggregate_by_kernel(recorder)[:worst_kernels]:
+        ph.worst_kernels.append({
+            "name": agg.name,
+            "launches": agg.launches,
+            "stall": agg.stall_time,
+            "faults": agg.faults,
+            "coverage": agg.prefetch_coverage,
+        })
+    return ph

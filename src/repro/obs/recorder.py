@@ -35,6 +35,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .decisions import DecisionLog
+
 
 TRACK_GPU = "gpu"
 TRACK_LINK = "pcie"
@@ -152,8 +154,33 @@ class NullRecorder:
     def note_access(self, block: int) -> bool:
         return False
 
-    def note_evict(self, block: int) -> None:
+    def note_evict(self, block: int, invalidated: bool = False) -> None:
         return None
+
+    # Decision-attribution hooks (see repro.obs.decisions). All no-ops;
+    # callers guard them behind a cached ``enabled`` check anyway.
+
+    def note_command(self, block: int, source: str, exec_id: int,
+                     depth: int) -> None:
+        return None
+
+    def note_chain_break(self, reason: str, exec_id: int) -> None:
+        return None
+
+    def note_chain_restart(self, block: int, exec_id: int) -> None:
+        return None
+
+    def note_kernel_known(self, known: bool) -> None:
+        return None
+
+    def note_victim(self, block: int, reason: str) -> None:
+        return None
+
+    def note_invalidated(self, block: int, active: bool) -> None:
+        return None
+
+    def classify_fault(self, block: int, t: float, stall: float) -> str:
+        return ""
 
 
 #: Shared default instance (stateless, safe to share everywhere).
@@ -190,6 +217,9 @@ class SpanRecorder:
         self.kernel_prefetch_useful: dict[int, int] = {}
         self.prefetch_used = 0
         self.prefetch_wasted = 0
+        #: Decision attribution (provenance + fault causes); see
+        #: :mod:`repro.obs.decisions`.
+        self.decisions = DecisionLog()
 
     # ------------------------------------------------------------------ #
     # kernel lifecycle (driven by the engine)
@@ -237,6 +267,7 @@ class SpanRecorder:
         seq = self._seq()
         self._prefetch_owner[block] = seq
         self.kernel_prefetch_done[seq] = self.kernel_prefetch_done.get(seq, 0) + 1
+        self.decisions.note_done(block, seq)
 
     def note_access(self, block: int) -> bool:
         """Record a GPU access; True if it was served by a prefetch."""
@@ -248,9 +279,36 @@ class SpanRecorder:
             self.kernel_prefetch_useful.get(owner, 0) + 1
         return True
 
-    def note_evict(self, block: int) -> None:
+    def note_evict(self, block: int, invalidated: bool = False) -> None:
         if self._prefetch_owner.pop(block, None) is not None:
             self.prefetch_wasted += 1
+        self.decisions.note_evict(block, invalidated, self._seq())
+
+    # ------------------------------------------------------------------ #
+    # decision attribution (delegated to the DecisionLog)
+    # ------------------------------------------------------------------ #
+
+    def note_command(self, block: int, source: str, exec_id: int,
+                     depth: int) -> None:
+        self.decisions.note_command(block, source, exec_id, depth, self._seq())
+
+    def note_chain_break(self, reason: str, exec_id: int) -> None:
+        self.decisions.note_chain_break(reason, exec_id, self._seq())
+
+    def note_chain_restart(self, block: int, exec_id: int) -> None:
+        self.decisions.note_chain_restart(block, exec_id, self._seq())
+
+    def note_kernel_known(self, known: bool) -> None:
+        self.decisions.note_kernel_known(known)
+
+    def note_victim(self, block: int, reason: str) -> None:
+        self.decisions.note_victim(block, reason, self._seq())
+
+    def note_invalidated(self, block: int, active: bool) -> None:
+        self.decisions.note_invalidated(block, active, self._seq())
+
+    def classify_fault(self, block: int, t: float, stall: float) -> str:
+        return self.decisions.classify(block, t, stall, self._seq())
 
     # ------------------------------------------------------------------ #
     # convenience aggregates

@@ -172,7 +172,12 @@ class UMSimulator:
         inherit a bogus wait."""
         self._available_at.pop(block.index, None)
         if self.recorder.enabled:
-            self.recorder.note_evict(block.index)
+            # Invalidated drops set the block UNPOPULATED before listeners
+            # fire; write-backs set CPU. The distinction feeds the fault-
+            # cause taxonomy (re-faults after a drop are 'invalidated').
+            self.recorder.note_evict(
+                block.index, block.location is not BlockLocation.CPU
+            )
 
     # ------------------------------------------------------------------ #
     # kernel execution
@@ -312,8 +317,12 @@ class UMSimulator:
             cur.accesses += 1
             cur.faults += 1
             cur.fault_wait += t - start
+            # Classified before hooks.on_fault: the restart the driver
+            # issues for this very fault must not count as its prediction.
+            cause = rec.classify_fault(idx, start, t - start)
             rec.instant(TRACK_FAULT, "fault", start,
-                        args={"block": idx, "pages": acc.pages})
+                        args={"block": idx, "pages": acc.pages,
+                              "cause": cause})
         self.hooks.on_fault(blk, t)
         if t > self._bg_earliest:
             self._bg_earliest = t

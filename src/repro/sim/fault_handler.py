@@ -84,6 +84,16 @@ class DriverFaultHandler:
     stats: FaultHandlerStats = field(default_factory=FaultHandlerStats)
     recorder: object = field(default=NULL_RECORDER, repr=False)
 
+    # Cached recorder.enabled, kept in sync by __setattr__ below so every
+    # hot-path guard is a single attribute test (not recorder + enabled).
+    # Deliberately unannotated: not a dataclass field.
+    rec_on = False
+
+    def __setattr__(self, name: str, value: object) -> None:
+        object.__setattr__(self, name, value)
+        if name == "recorder":
+            object.__setattr__(self, "rec_on", getattr(value, "enabled", False))
+
     def resolve_block_fault(self, block: UMBlock, now: float, page_faults: int) -> float:
         """Handle a demand fault on ``block``; returns the completion time.
 
@@ -93,20 +103,21 @@ class DriverFaultHandler:
         counting is the *caller's* job (one batch may resolve many blocks);
         this method counts blocks and pages only.
         """
+        rec_on = self.rec_on
         rec = self.recorder
         stats = self.stats
         gpu = self.gpu
         stats.faulted_blocks += 1
         stats.page_faults += page_faults
         t = now + self.costs.handling_overhead
-        if rec.enabled:
+        if rec_on:
             rec.span(TRACK_FAULT, "fault.handling", now, t,
                      args={"block": block.index, "pages": page_faults})
         needed = block.populated_bytes
         if gpu.capacity_bytes - gpu.used_bytes < needed:
             evict_start = t
             t = self.make_room(needed, t)
-            if rec.enabled and t > evict_start:
+            if rec_on and t > evict_start:
                 rec.span(TRACK_FAULT, "fault.evict", evict_start, t,
                          args={"block": block.index})
         if block.location is BlockLocation.CPU:
@@ -116,7 +127,7 @@ class DriverFaultHandler:
                 t, needed, to_gpu=True,
                 faulted_pages=block.populated_pages, label="fault.migrate",
             )
-            if rec.enabled:
+            if rec_on:
                 if start > t:
                     rec.span(TRACK_FAULT, "fault.link_wait", t, start,
                              args={"block": block.index})
@@ -129,7 +140,7 @@ class DriverFaultHandler:
             # UNPOPULATED: pages materialize on the device, transfer-free.
             stats.first_touch_faults += 1
         gpu.admit(block, t)
-        if rec.enabled:
+        if rec_on:
             rec.span(TRACK_FAULT, "fault.replay", t,
                      t + self.costs.replay_overhead,
                      args={"block": block.index})
@@ -167,7 +178,7 @@ class DriverFaultHandler:
                 gpu.remove(blk, to_cpu=False)
                 stats.invalidated_evictions += 1
                 stats.invalidated_bytes += blk.populated_bytes
-                if self.recorder.enabled:
+                if self.rec_on:
                     self.recorder.instant(TRACK_FAULT, "evict.invalidated", t,
                                           args={"block": blk.index})
                 continue

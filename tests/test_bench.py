@@ -160,6 +160,80 @@ def test_compare_threshold_below_one_rejected():
         compare_results(_result(), _result(), threshold=0.9)
 
 
+# ----------------------------------------------------- v1 -> v2 compat
+
+def _v1_result(**kw):
+    """A result as schema v1 wrote it: version 1, no policy_health."""
+    doc = _result(**kw)
+    doc["schema_version"] = 1
+    return doc
+
+
+def _health_section():
+    from repro.obs.health import PolicyHealth
+
+    return PolicyHealth().to_dict()
+
+
+def test_v1_results_still_validate_and_self_compare():
+    doc = _v1_result()
+    assert validate_result(doc) is doc
+    assert compare_results(_v1_result(), _v1_result()).ok
+
+
+def test_v1_baseline_vs_v2_health_result_notes_not_fails():
+    cur = _result()
+    cur["cells"]["mobilenet@3072/um"]["policy_health"] = _health_section()
+    cmp = compare_results(_v1_result(), cur)
+    assert cmp.ok
+    assert any("policy_health present only in current" in n
+               for n in cmp.notes)
+    # And the mirror image: a --health baseline against a plain run.
+    base = _result()
+    base["cells"]["mobilenet@3072/um"]["policy_health"] = _health_section()
+    cmp = compare_results(base, _result())
+    assert cmp.ok
+    assert any("policy_health present only in baseline" in n
+               for n in cmp.notes)
+
+
+def test_policy_health_drift_fails_compare_exactly():
+    base = _result()
+    cur = _result()
+    base["cells"]["mobilenet@3072/um"]["policy_health"] = _health_section()
+    drifted = _health_section()
+    drifted["faults"] = 5
+    drifted["cause_counts"] = {"cold-start": 5}
+    cur["cells"]["mobilenet@3072/um"]["policy_health"] = drifted
+    cmp = compare_results(base, cur, threshold=1000.0)
+    assert not cmp.ok
+    assert any("policy_health changed" in m and "cause_counts" in m
+               and "faults" in m for m in cmp.sim_mismatches)
+
+
+def test_malformed_policy_health_rejected():
+    doc = _result()
+    doc["cells"]["mobilenet@3072/um"]["policy_health"] = {"faults": 1}
+    with pytest.raises(BenchSchemaError, match="policy_health"):
+        validate_result(doc)
+
+
+def test_run_scenario_health_section_is_valid_and_observation_only():
+    from repro.obs.health import validate_policy_health
+
+    plain = run_scenario(TINY, repeats=1, warmup_runs=0)
+    health = run_scenario(TINY, repeats=1, warmup_runs=0,
+                          collect_health=True)
+    cell = "mobilenet@3072/um"
+    assert "policy_health" not in plain["cells"][cell]
+    section = health["cells"][cell]["policy_health"]
+    validate_policy_health(section)
+    assert section["faults"] > 0
+    # The instrumented pass must not perturb the simulation.
+    assert health["cells"][cell]["sim"] == plain["cells"][cell]["sim"]
+    validate_result(health)
+
+
 # ---------------------------------------------------------------- runner
 
 def test_registry_has_smoke_and_fig09():
