@@ -7,6 +7,12 @@ standard estimator for the noise-free cost of deterministic code.  The
 simulated metrics of every timed pass are compared on the spot: a
 deterministic simulator must reproduce them exactly, so any drift between
 repeats aborts the bench rather than silently reporting an unstable cell.
+
+One scenario cell is a self-contained unit (:func:`run_scenario_cell`
+takes and returns plain dicts), so ``run_scenario(..., workers=N)`` can
+fan cells out across the process-pool executor (:mod:`repro.exec`) — with
+a resumable journal — and still assemble a result document whose simulated
+metrics are bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -14,10 +20,10 @@ from __future__ import annotations
 import resource
 import sys
 import time
-from typing import Optional
+from typing import Any, Optional
 
+from ..api import RunRequest, execute
 from ..config import DeepUMConfig
-from ..harness import calibrate_system, run_experiment
 from ..harness.experiment import ExperimentResult
 from .manifest import DEFAULT_MEASURE, DEFAULT_WARMUP, Scenario
 from .schema import make_result
@@ -41,22 +47,26 @@ def run_cell(
     """One experiment cell under the bench's pinned iteration counts.
 
     This is the primitive the figure/table benchmarks share (see
-    ``benchmarks/common.py``): model calibration plus ``run_experiment``
-    with the manifest's warm-up and measurement windows. Pass ``recorder``
-    (a :class:`~repro.obs.recorder.SpanRecorder`) to instrument the run.
+    ``benchmarks/common.py``): one :class:`repro.api.RunRequest` executed
+    in-process. Pass ``recorder`` (a
+    :class:`~repro.obs.recorder.SpanRecorder`) to instrument the run.
     """
-    system = calibrate_system(model)
-    return run_experiment(
-        model,
-        batch,
-        policy,
-        system=system,
-        warmup_iterations=warmup_iterations,
-        measure_iterations=measure_iterations,
-        deepum_config=deepum_config,
-        seed=seed,
-        recorder=recorder,
+    result = execute(
+        RunRequest(
+            model=model,
+            policy=policy,
+            batch=batch,
+            warmup_iterations=warmup_iterations,
+            measure_iterations=measure_iterations,
+            deepum_config=deepum_config,
+            seed=seed,
+            recorder=recorder,
+        )
     )
+    if result.status == "failed":
+        raise BenchRunError(f"{model}@{batch}/{policy} failed: {result.error}")
+    assert result.experiment is not None
+    return result.experiment
 
 
 def _sim_metrics(result: ExperimentResult) -> dict:
@@ -82,6 +92,207 @@ def _peak_rss_bytes() -> int:
     return ru if sys.platform == "darwin" else ru * 1024
 
 
+def cell_payload(
+    scenario: Scenario,
+    policy: str,
+    *,
+    repeats: int,
+    warmup_runs: int,
+    collect_health: bool,
+) -> dict[str, Any]:
+    """The JSON payload :func:`run_scenario_cell` (and a worker) consumes."""
+    return {
+        "model": scenario.model,
+        "paper_batch": scenario.paper_batch,
+        "policy": policy,
+        "warmup_iterations": scenario.warmup_iterations,
+        "measure_iterations": scenario.measure_iterations,
+        "seed": scenario.seed,
+        "prefetch_degree": scenario.prefetch_degree,
+        "repeats": repeats,
+        "warmup_runs": warmup_runs,
+        "collect_health": collect_health,
+    }
+
+
+def run_scenario_cell(payload: dict[str, Any]) -> dict[str, Any]:
+    """Run one scenario cell (all its passes) from a plain payload dict.
+
+    Returns the cell document stored under ``cells`` in the bench result,
+    plus a ``peak_rss_bytes`` key (this process's high-water mark) that
+    :func:`run_scenario` pops into the document level. Raises
+    :class:`BenchRunError` on OOM or nondeterminism — in a worker process
+    that surfaces as a ``failed`` cell with the traceback.
+    """
+    deepum_config = DeepUMConfig(prefetch_degree=payload["prefetch_degree"])
+    cell_name = f"{payload['model']}@{payload['paper_batch']}/{payload['policy']}"
+
+    def one(recorder=None) -> ExperimentResult:
+        return run_cell(
+            payload["model"],
+            payload["paper_batch"],
+            payload["policy"],
+            deepum_config=deepum_config,
+            warmup_iterations=payload["warmup_iterations"],
+            measure_iterations=payload["measure_iterations"],
+            seed=payload["seed"],
+            recorder=recorder,
+        )
+
+    for _ in range(payload["warmup_runs"]):
+        _sim_metrics(one())
+    walls: list[float] = []
+    sim: Optional[dict] = None
+    for _ in range(payload["repeats"]):
+        t0 = time.perf_counter()
+        result = one()
+        walls.append(time.perf_counter() - t0)
+        metrics = _sim_metrics(result)
+        if sim is None:
+            sim = metrics
+        elif sim != metrics:
+            raise BenchRunError(
+                f"{cell_name}: simulated metrics differed between "
+                f"repeats ({sim} vs {metrics}); the simulator must be "
+                f"deterministic"
+            )
+    assert sim is not None
+    cell: dict[str, Any] = {
+        "wall_seconds": min(walls),
+        "wall_seconds_all": walls,
+        "sim": sim,
+    }
+    if payload["collect_health"]:
+        from ..obs import SpanRecorder
+        from ..obs.health import policy_health
+
+        try:
+            recorder = SpanRecorder()
+            instrumented = one(recorder=recorder)
+        except TypeError:
+            pass  # tensor-swap facade: no UM engine, no health section
+        else:
+            inst_sim = _sim_metrics(instrumented)
+            if inst_sim != sim:
+                raise BenchRunError(
+                    f"{cell_name}: attribution changed simulated "
+                    f"metrics ({sim} vs {inst_sim}); the recorder must "
+                    f"be observation-only"
+                )
+            driver = getattr(instrumented.facade, "driver", None)
+            cell["policy_health"] = policy_health(recorder, driver).to_dict()
+    cell["peak_rss_bytes"] = _peak_rss_bytes()
+    return cell
+
+
+def _cells_serial(
+    scenario: Scenario,
+    *,
+    repeats: int,
+    warmup_runs: int,
+    collect_health: bool,
+    progress,
+) -> dict[str, dict]:
+    cells: dict[str, dict] = {}
+    for policy in scenario.policies:
+        cell_name = f"{scenario.model}@{scenario.paper_batch}/{policy}"
+        cells[cell_name] = run_scenario_cell(
+            cell_payload(
+                scenario,
+                policy,
+                repeats=repeats,
+                warmup_runs=warmup_runs,
+                collect_health=collect_health,
+            )
+        )
+        if progress is not None:
+            progress(
+                f"{cell_name}: {cells[cell_name]['wall_seconds']:.3f}s wall "
+                f"({repeats} repeats), "
+                f"sim {cells[cell_name]['sim']['elapsed']:.4f}s"
+            )
+    return cells
+
+
+def _cells_parallel(
+    scenario: Scenario,
+    *,
+    repeats: int,
+    warmup_runs: int,
+    collect_health: bool,
+    progress,
+    workers: int,
+    cell_timeout: Optional[float],
+    retries: int,
+    runs_dir: Optional[str],
+    run_id: Optional[str],
+    out: Optional[str],
+) -> dict[str, dict]:
+    from ..exec import (
+        DEFAULT_RUNS_DIR,
+        Executor,
+        ExecutorConfig,
+        RunJournal,
+        bench_cell_task,
+    )
+
+    tasks = []
+    for policy in scenario.policies:
+        key = f"{scenario.model}@{scenario.paper_batch}/{policy}"
+        tasks.append(
+            bench_cell_task(
+                cell_payload(
+                    scenario,
+                    policy,
+                    repeats=repeats,
+                    warmup_runs=warmup_runs,
+                    collect_health=collect_health,
+                ),
+                key,
+            )
+        )
+    config = ExecutorConfig(workers=workers, cell_timeout=cell_timeout, retries=retries)
+    journal = RunJournal.create(
+        tasks,
+        kind="bench",
+        meta={
+            "scenario": scenario.name,
+            "repeats": repeats,
+            "warmup_runs": warmup_runs,
+            "collect_health": collect_health,
+            "out": out,
+        },
+        executor=config.to_dict(),
+        runs_dir=runs_dir if runs_dir is not None else DEFAULT_RUNS_DIR,
+        run_id=run_id,
+    )
+    if progress is not None:
+        progress(
+            f"bench run {journal.run_id}: {len(tasks)} cells across "
+            f"{workers} workers (journal: {journal.root})"
+        )
+    executor = Executor(config, progress=progress)
+    results = executor.run_journal(journal)
+    return assemble_cells(results)
+
+
+def assemble_cells(results: dict[str, dict]) -> dict[str, dict]:
+    """Turn executor bench-cell results into the ``cells`` section.
+
+    Raises :class:`BenchRunError` if any cell did not finish ``ok`` — a
+    bench document must cover every pinned cell or it is not a benchmark.
+    """
+    cells: dict[str, dict] = {}
+    for key, doc in results.items():
+        if doc.get("status") != "ok":
+            raise BenchRunError(
+                f"{key}: cell ended {doc.get('status')!r}: "
+                f"{doc.get('error', '')}"
+            )
+        cells[key] = doc["cell"]
+    return cells
+
+
 def run_scenario(
     scenario: Scenario,
     *,
@@ -89,6 +300,12 @@ def run_scenario(
     warmup_runs: int = 1,
     collect_health: bool = False,
     progress=None,
+    workers: int = 1,
+    cell_timeout: Optional[float] = None,
+    retries: int = 1,
+    runs_dir: Optional[str] = None,
+    run_id: Optional[str] = None,
+    out: Optional[str] = None,
 ) -> dict:
     """Run every cell of ``scenario``; returns a schema result dict.
 
@@ -97,79 +314,43 @@ def run_scenario(
     The instrumented pass must reproduce the timed passes' simulated
     metrics exactly — a recorder that perturbs simulation is a bug the
     bench refuses to measure around.
+
+    With ``workers > 1`` the cells run in parallel worker processes
+    through the executor, journaled under ``runs_dir`` so a killed bench
+    can be resumed (``repro runs resume``); the simulated metrics are
+    bit-identical to a serial run of the same scenario.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    deepum_config = DeepUMConfig(prefetch_degree=scenario.prefetch_degree)
-    cells: dict[str, dict] = {}
-    for policy in scenario.policies:
-        cell_name = f"{scenario.model}@{scenario.paper_batch}/{policy}"
-
-        def one(recorder=None) -> ExperimentResult:
-            return run_cell(
-                scenario.model,
-                scenario.paper_batch,
-                policy,
-                deepum_config=deepum_config,
-                warmup_iterations=scenario.warmup_iterations,
-                measure_iterations=scenario.measure_iterations,
-                seed=scenario.seed,
-                recorder=recorder,
-            )
-
-        for _ in range(warmup_runs):
-            _sim_metrics(one())
-        walls: list[float] = []
-        sim: Optional[dict] = None
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            result = one()
-            walls.append(time.perf_counter() - t0)
-            metrics = _sim_metrics(result)
-            if sim is None:
-                sim = metrics
-            elif sim != metrics:
-                raise BenchRunError(
-                    f"{cell_name}: simulated metrics differed between "
-                    f"repeats ({sim} vs {metrics}); the simulator must be "
-                    f"deterministic"
-                )
-        assert sim is not None
-        cells[cell_name] = {
-            "wall_seconds": min(walls),
-            "wall_seconds_all": walls,
-            "sim": sim,
-        }
-        if collect_health:
-            from ..obs import SpanRecorder
-            from ..obs.health import policy_health
-
-            try:
-                recorder = SpanRecorder()
-                instrumented = one(recorder=recorder)
-            except TypeError:
-                pass  # tensor-swap facade: no UM engine, no health section
-            else:
-                inst_sim = _sim_metrics(instrumented)
-                if inst_sim != sim:
-                    raise BenchRunError(
-                        f"{cell_name}: attribution changed simulated "
-                        f"metrics ({sim} vs {inst_sim}); the recorder must "
-                        f"be observation-only"
-                    )
-                driver = getattr(instrumented.facade, "driver", None)
-                cells[cell_name]["policy_health"] = \
-                    policy_health(recorder, driver).to_dict()
-        if progress is not None:
-            progress(
-                f"{cell_name}: {min(walls):.3f}s wall "
-                f"({repeats} repeats), sim {sim['elapsed']:.4f}s"
-            )
+    if workers > 1:
+        cells = _cells_parallel(
+            scenario,
+            repeats=repeats,
+            warmup_runs=warmup_runs,
+            collect_health=collect_health,
+            progress=progress,
+            workers=workers,
+            cell_timeout=cell_timeout,
+            retries=retries,
+            runs_dir=runs_dir,
+            run_id=run_id,
+            out=out,
+        )
+    else:
+        cells = _cells_serial(
+            scenario,
+            repeats=repeats,
+            warmup_runs=warmup_runs,
+            collect_health=collect_health,
+            progress=progress,
+        )
+    cell_peaks = [cell.pop("peak_rss_bytes", 0) for cell in cells.values()]
+    peak_rss = max([_peak_rss_bytes()] + cell_peaks)
     return make_result(
         scenario.name,
         scenario.config_dict(),
         repeats=repeats,
         warmup_runs=warmup_runs,
         cells=cells,
-        peak_rss_bytes=_peak_rss_bytes(),
+        peak_rss_bytes=peak_rss,
     )

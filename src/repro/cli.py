@@ -5,9 +5,19 @@ Examples::
     python -m repro list
     python -m repro run bert-large --batch 16 --policies um,lms,deepum
     python -m repro run bert-large --obs timeline.json
-    python -m repro max-batch gpt2-l --policies lms,deepum
+    python -m repro run bert-large --policies um,lms,deepum --workers 3
+    python -m repro max-batch gpt2-l --policies lms,deepum --workers 4
     python -m repro sweep-degree bert-large --degrees 1,8,32,128
+    python -m repro bench run --scenario smoke --workers 2
+    python -m repro runs list
+    python -m repro runs resume 20260806-141530-3fa9c1
     python -m repro trace timeline bert-large --out timeline.json
+
+Every experiment-running subcommand builds :class:`repro.api.RunRequest`
+objects and executes them through :func:`repro.api.execute` — in-process
+when ``--workers 1`` (the default), or through the fault-tolerant
+process-pool executor (:mod:`repro.exec`) with a resumable journal under
+``--runs-dir`` otherwise. Simulated metrics are identical either way.
 """
 
 from __future__ import annotations
@@ -16,11 +26,12 @@ import argparse
 import json
 import os
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
+from .api import RunRequest, RunResult, execute
 from .config import DeepUMConfig
 from .constants import MiB
-from .harness import calibrate_system, max_batch_search, run_experiment
+from .harness import calibrate_system, max_batch_outcome
 from .harness.experiment import POLICIES
 from .harness.report import format_table, phase_breakdown_table
 from .models.registry import get_model_config, list_models
@@ -65,11 +76,115 @@ def _require_writable_dir(path: str, flag: str) -> None:
         raise SystemExit(f"{flag}: directory {parent!r} does not exist")
 
 
+def _error_tail(error: str, limit: int = 60) -> str:
+    """The last (most informative) line of a captured error, truncated."""
+    tail = error.strip().splitlines()[-1] if error.strip() else ""
+    return tail[:limit]
+
+
+# --------------------------------------------------------------------- #
+# the executor path shared by run / sweep-degree (and runs resume)
+# --------------------------------------------------------------------- #
+
+
+def _executor_config(args: argparse.Namespace):
+    from .exec import ExecutorConfig
+
+    return ExecutorConfig(workers=args.workers, cell_timeout=args.cell_timeout,
+                          retries=args.retries)
+
+
+def _run_journaled(tasks, *, kind: str, meta: dict[str, Any],
+                   args: argparse.Namespace,
+                   recorder=None) -> dict[str, dict[str, Any]]:
+    """Create a journal for ``tasks`` and run it through the executor."""
+    from .exec import Executor, RunJournal
+
+    config = _executor_config(args)
+    journal = RunJournal.create(tasks, kind=kind, meta=meta,
+                                executor=config.to_dict(),
+                                runs_dir=args.runs_dir, run_id=args.run_id)
+    print(f"{kind} {journal.run_id}: {len(tasks)} cells across "
+          f"{config.workers} workers (journal: {journal.root})")
+    executor = Executor(config, progress=print, recorder=recorder)
+    return executor.run_journal(journal)
+
+
+def _render_run_results(results: dict[str, dict[str, Any]]) -> int:
+    """The ``repro run`` policy table, from executor result documents."""
+    rows = []
+    bad = 0
+    parsed = [RunResult.from_dict(doc) for doc in results.values()]
+    # Journal reload alphabetizes task order, so find the UM reference
+    # time up front rather than relying on "um runs first".
+    um_sec = next(
+        (r.seconds_per_100_iterations for r in parsed
+         if r.request.policy == "um" and r.ok), None)
+    for res in parsed:
+        policy = res.request.policy
+        if res.status == "oom":
+            rows.append([policy, None, None, None,
+                         _error_tail(res.error, 40) or "OOM"])
+            continue
+        if not res.ok:
+            bad += 1
+            rows.append([policy, None, None, None,
+                         f"{res.status}: {_error_tail(res.error, 40)}"])
+            continue
+        sec = res.seconds_per_100_iterations
+        rows.append([policy, sec,
+                     (um_sec / sec) if um_sec and sec else None,
+                     res.faults_per_iteration, ""])
+    print(format_table(
+        ["policy", "s/100 iters", "speedup vs UM", "faults/iter", "note"],
+        rows))
+    return 1 if bad else 0
+
+
+def _render_sweep_results(results: dict[str, dict[str, Any]],
+                          title: str = "prefetch degree sweep") -> int:
+    """The ``repro sweep-degree`` table, from executor result documents."""
+    rows = []
+    bad = 0
+    for doc in results.values():
+        res = RunResult.from_dict(doc)
+        deepum_cfg = res.request.deepum_config
+        degree = deepum_cfg.prefetch_degree if deepum_cfg is not None else -1
+        if not res.ok:
+            bad += 1
+            rows.append([degree, None, None,
+                         f"{res.status}: {_error_tail(res.error, 40)}"])
+        else:
+            rows.append([degree, res.seconds_per_100_iterations,
+                         res.faults_per_iteration, ""])
+    # Journal reload alphabetizes cell keys; the sweep reads best smallest
+    # degree first.
+    rows.sort(key=lambda row: row[0])
+    print(format_table(["N", "s/100 iters", "faults/iter", "note"], rows,
+                       title=title))
+    return 1 if bad else 0
+
+
+def _render_status_rows(journal) -> None:
+    rows = []
+    for key in journal.keys():
+        rows.append([key, journal.status(key), journal.attempts(key),
+                     _error_tail(journal.error(key))])
+    print(format_table(["cell", "status", "attempts", "error"], rows))
+
+
+# --------------------------------------------------------------------- #
+# experiment subcommands
+# --------------------------------------------------------------------- #
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     cfg = get_model_config(args.model)
     batch = args.batch if args.batch is not None else \
         cfg.fig9_batches[len(cfg.fig9_batches) // 2]
-    system = calibrate_system(args.model)
+    scale = args.scale if args.scale is not None else cfg.sim_scale
+    seed = args.seed if args.seed is not None else 0
+    system = calibrate_system(args.model, scale=scale)
     print(f"{args.model} @ paper batch {batch} "
           f"(simulated GPU {system.gpu.memory_bytes // MiB} MB, "
           f"host {system.host.memory_bytes // MiB} MB)")
@@ -77,9 +192,43 @@ def cmd_run(args: argparse.Namespace) -> int:
     policies = _parse_policies(args.policies)
     if args.obs:
         _require_writable_dir(args.obs, "--obs")
+
+    def request(policy: str, recorder=None) -> RunRequest:
+        return RunRequest(
+            model=args.model, policy=policy, batch=batch, scale=scale,
+            warmup_iterations=args.warmup, measure_iterations=args.measure,
+            seed=seed, deepum_config=deepum_cfg, system=system,
+            recorder=recorder,
+        )
+
+    if args.workers > 1:
+        from .exec import experiment_task
+
+        recorder = None
+        if args.obs:
+            # Per-policy sim timelines need in-process recorders; across
+            # workers, --obs records the *executor* timeline instead
+            # (cell spans/instants on the wall-clock "exec" track).
+            from .obs import SpanRecorder
+
+            recorder = SpanRecorder()
+        tasks = [experiment_task(request(policy)) for policy in policies]
+        results = _run_journaled(
+            tasks, kind="run", args=args, recorder=recorder,
+            meta={"model": args.model, "batch": batch, "scale": scale,
+                  "policies": list(policies)},
+        )
+        if recorder is not None:
+            from .obs import write_chrome_trace
+
+            write_chrome_trace(recorder, args.obs)
+            print(f"executor timeline: {args.obs}")
+        return _render_run_results(results)
+
     rows = []
     um_sec = None
     breakdowns = []
+    exit_code = 0
     for policy in policies:
         recorder = None
         note = ""
@@ -88,23 +237,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 
             recorder = SpanRecorder()
         try:
-            result = run_experiment(
-                args.model, batch, policy, system=system,
-                warmup_iterations=args.warmup,
-                measure_iterations=args.measure,
-                deepum_config=deepum_cfg, recorder=recorder,
-            )
+            result = execute(request(policy, recorder=recorder))
         except TypeError:
             # Tensor-swap facades have no UM engine to instrument; run
             # the policy without a timeline rather than failing.
             recorder = None
             note = "no obs (tensor-swap)"
-            result = run_experiment(
-                args.model, batch, policy, system=system,
-                warmup_iterations=args.warmup,
-                measure_iterations=args.measure,
-                deepum_config=deepum_cfg,
-            )
+            result = execute(request(policy))
         if recorder is not None:
             from .obs import write_chrome_trace
 
@@ -112,14 +251,21 @@ def cmd_run(args: argparse.Namespace) -> int:
             write_chrome_trace(recorder, path)
             note = f"trace: {path}"
             breakdowns.append((policy, recorder))
-        if result.oom:
-            rows.append([policy, None, None, None, result.oom_reason[:40]])
+        if result.status == "oom":
+            rows.append([policy, None, None, None,
+                         _error_tail(result.error, 40) or "OOM"])
+            continue
+        if not result.ok:
+            exit_code = 1
+            rows.append([policy, None, None, None,
+                         f"{result.status}: {_error_tail(result.error, 40)}"])
             continue
         sec = result.seconds_per_100_iterations
         if policy == "um":
             um_sec = sec
-        rows.append([policy, sec, (um_sec / sec) if um_sec else None,
-                     result.window.faults_per_iteration, note])
+        rows.append([policy, sec,
+                     (um_sec / sec) if um_sec and sec else None,
+                     result.faults_per_iteration, note])
     print(format_table(
         ["policy", "s/100 iters", "speedup vs UM", "faults/iter", "note"],
         rows))
@@ -128,7 +274,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(phase_breakdown_table(
             recorder, args.top,
             title=f"{policy}: per-kernel phase breakdown (worst stalls first)"))
-    return 0
+    return exit_code
 
 
 def cmd_trace_timeline(args: argparse.Namespace) -> int:
@@ -149,16 +295,16 @@ def cmd_trace_timeline(args: argparse.Namespace) -> int:
     cfg = get_model_config(args.model)
     batch = args.batch if args.batch is not None else \
         cfg.fig9_batches[len(cfg.fig9_batches) // 2]
-    system = calibrate_system(args.model)
     recorder = SpanRecorder()
-    result = run_experiment(
-        args.model, batch, args.policy, system=system,
+    result = execute(RunRequest(
+        model=args.model, policy=args.policy, batch=batch, scale=args.scale,
         warmup_iterations=args.warmup, measure_iterations=args.measure,
+        seed=args.seed if args.seed is not None else 0,
         deepum_config=DeepUMConfig(prefetch_degree=args.degree),
         recorder=recorder,
-    )
-    if result.oom:
-        print(f"{args.policy} OOMed: {result.oom_reason}")
+    ))
+    if not result.ok:
+        print(f"{args.policy} {result.status}: {_error_tail(result.error)}")
         return 1
     doc = chrome_trace_dict(recorder)
     validate_chrome_trace(doc)
@@ -175,35 +321,68 @@ def cmd_trace_timeline(args: argparse.Namespace) -> int:
 
 def cmd_max_batch(args: argparse.Namespace) -> int:
     cfg = get_model_config(args.model)
-    system = calibrate_system(args.model)
+    scale = args.scale if args.scale is not None else cfg.sim_scale
+    system = calibrate_system(args.model, scale=scale)
+    start = args.batch if args.batch is not None else cfg.fig9_batches[0]
+    iterations = args.warmup if args.warmup is not None else 2
     rows = []
     for policy in _parse_policies(args.policies):
-        best = max_batch_search(args.model, policy, system,
-                                scale=cfg.sim_scale,
-                                start_batch=cfg.fig9_batches[0])
-        rows.append([policy, best if best else "does not run"])
-    print(format_table(["policy", "max paper-scale batch"], rows,
-                       title=f"{args.model}: maximum batch sizes"))
+        outcome = max_batch_outcome(
+            args.model, policy, system, scale=scale, start_batch=start,
+            iterations=iterations,
+            seed=args.seed if args.seed is not None else 0,
+            probe_workers=args.workers,
+        )
+        if outcome.fits:
+            rows.append([policy, outcome.max_batch, len(outcome.probes), ""])
+        else:
+            # Never a bare "does not run": name the smallest batch that
+            # was actually probed and why it failed.
+            rows.append([policy, "does not run", len(outcome.probes),
+                         f"batch {outcome.smallest_probed}: "
+                         f"{_error_tail(outcome.failure) or 'unknown'}"])
+    print(format_table(
+        ["policy", "max paper-scale batch", "probes", "why not larger"],
+        rows, title=f"{args.model}: maximum batch sizes"))
     return 0
 
 
 def cmd_sweep_degree(args: argparse.Namespace) -> int:
     cfg = get_model_config(args.model)
-    batch = cfg.fig9_batches[0]
-    system = calibrate_system(args.model)
+    batch = args.batch if args.batch is not None else cfg.fig9_batches[0]
+    scale = args.scale if args.scale is not None else cfg.sim_scale
+    seed = args.seed if args.seed is not None else 0
+    system = calibrate_system(args.model, scale=scale)
     degrees = [int(d) for d in args.degrees.split(",")]
-    rows = []
-    for degree in degrees:
-        result = run_experiment(
-            args.model, batch, "deepum", system=system,
-            warmup_iterations=args.warmup,
-            deepum_config=DeepUMConfig(prefetch_degree=degree),
+    title = f"{args.model}: prefetch degree sweep"
+
+    def request(degree: int) -> RunRequest:
+        return RunRequest(
+            model=args.model, policy="deepum", batch=batch, scale=scale,
+            warmup_iterations=args.warmup, measure_iterations=args.measure,
+            seed=seed, deepum_config=DeepUMConfig(prefetch_degree=degree),
+            system=system,
         )
-        rows.append([degree, result.seconds_per_100_iterations,
-                     result.window.faults_per_iteration])
-    print(format_table(["N", "s/100 iters", "faults/iter"], rows,
-                       title=f"{args.model}: prefetch degree sweep"))
-    return 0
+
+    if args.workers > 1:
+        from .exec import experiment_task
+
+        tasks = [
+            experiment_task(request(degree),
+                            key=f"{args.model}@{batch}/deepum/N{degree}")
+            for degree in degrees
+        ]
+        results = _run_journaled(
+            tasks, kind="sweep-degree", args=args,
+            meta={"model": args.model, "batch": batch, "scale": scale,
+                  "degrees": degrees},
+        )
+        return _render_sweep_results(results, title=title)
+
+    results = {}
+    for degree in degrees:
+        results[f"N{degree}"] = execute(request(degree)).to_dict()
+    return _render_sweep_results(results, title=title)
 
 
 def cmd_bench_list(args: argparse.Namespace) -> int:
@@ -223,6 +402,7 @@ def cmd_bench_list(args: argparse.Namespace) -> int:
 
 def cmd_bench_run(args: argparse.Namespace) -> int:
     from .bench import SCENARIOS, run_scenario, write_result
+    from .bench.runner import BenchRunError
 
     scenario = SCENARIOS.get(args.scenario)
     if scenario is None:
@@ -230,9 +410,19 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
         raise SystemExit(f"unknown scenario {args.scenario!r}; known: {known}")
     out = args.out or f"BENCH_{scenario.name}.json"
     _require_writable_dir(out, "--out")
-    doc = run_scenario(scenario, repeats=args.repeats,
-                       warmup_runs=args.warmup_runs,
-                       collect_health=args.health, progress=print)
+    try:
+        doc = run_scenario(scenario, repeats=args.repeats,
+                           warmup_runs=args.warmup_runs,
+                           collect_health=args.health, progress=print,
+                           workers=args.workers,
+                           cell_timeout=args.cell_timeout,
+                           retries=args.retries, runs_dir=args.runs_dir,
+                           run_id=args.run_id, out=out)
+    except BenchRunError as exc:
+        hint = ("" if args.workers <= 1 else
+                " (the journal is kept; see `repro runs list` / "
+                "`repro runs resume`)")
+        raise SystemExit(f"bench run: {exc}{hint}")
     write_result(doc, out)
     print(f"wrote {out}")
     return 0
@@ -246,6 +436,9 @@ def cmd_doctor(args: argparse.Namespace) -> int:
             args.scenario,
             warmup_iterations=args.warmup,
             measure_iterations=args.measure,
+            batch=args.batch,
+            scale=args.scale,
+            seed=args.seed,
             progress=None if args.json else print,
         )
     except KeyError as exc:
@@ -271,16 +464,16 @@ def cmd_trace_why(args: argparse.Namespace) -> int:
     cfg = get_model_config(args.model)
     batch = args.batch if args.batch is not None else \
         cfg.fig9_batches[len(cfg.fig9_batches) // 2]
-    system = calibrate_system(args.model)
     recorder = SpanRecorder()
-    result = run_experiment(
-        args.model, batch, args.policy, system=system,
+    result = execute(RunRequest(
+        model=args.model, policy=args.policy, batch=batch, scale=args.scale,
         warmup_iterations=args.warmup, measure_iterations=args.measure,
+        seed=args.seed if args.seed is not None else 0,
         deepum_config=DeepUMConfig(prefetch_degree=args.degree),
         recorder=recorder,
-    )
-    if result.oom:
-        print(f"{args.policy} OOMed: {result.oom_reason}")
+    ))
+    if not result.ok:
+        print(f"{args.policy} {result.status}: {_error_tail(result.error)}")
         return 1
     events = recorder.decisions.events_for_block(args.block, args.kernel)
     where = f"block {args.block}" + (
@@ -315,49 +508,238 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
     return 0 if outcome.ok else 1
 
 
+# --------------------------------------------------------------------- #
+# run-journal subcommands (list / show / resume)
+# --------------------------------------------------------------------- #
+
+
+def _counts_str(counts: dict[str, int]) -> str:
+    return " ".join(f"{k}={v}" for k, v in sorted(counts.items())) or "-"
+
+
+def _load_journal(args: argparse.Namespace):
+    from .exec import JournalError, RunJournal
+
+    try:
+        return RunJournal.load(args.run_id, args.runs_dir)
+    except JournalError as exc:
+        raise SystemExit(f"runs: {exc}")
+
+
+def cmd_runs_list(args: argparse.Namespace) -> int:
+    from .exec import list_runs
+
+    runs = list_runs(args.runs_dir)
+    if not runs:
+        print(f"no runs under {args.runs_dir!r}")
+        return 0
+    rows = []
+    for summary in runs:
+        counts = summary["counts"]
+        state = "corrupt" if summary["corrupt"] else _counts_str(counts)
+        rows.append([summary["run_id"], summary["kind"],
+                     summary["created_at"], sum(counts.values()), state])
+    print(format_table(["run", "kind", "created", "cells", "status"], rows,
+                       title=f"Runs under {args.runs_dir}/"))
+    return 0
+
+
+def cmd_runs_show(args: argparse.Namespace) -> int:
+    journal = _load_journal(args)
+    meta = json.dumps(journal.meta, sort_keys=True)
+    print(f"run {journal.run_id} (kind: {journal.kind}, "
+          f"created: {journal.state['created_at']})")
+    print(f"meta: {meta}")
+    print(f"executor: {json.dumps(journal.state.get('executor', {}), sort_keys=True)}")
+    print()
+    _render_status_rows(journal)
+    unfinished = journal.unfinished()
+    if unfinished:
+        print()
+        print(f"{len(unfinished)} cell(s) unfinished; resume with: "
+              f"repro runs resume {journal.run_id} --runs-dir {args.runs_dir}")
+    return 0
+
+
+def _finalize_resumed(journal, results: dict[str, dict[str, Any]],
+                      args: argparse.Namespace) -> int:
+    """Rebuild each run kind's normal output from the journaled results."""
+    kind = journal.kind
+    if kind == "run":
+        return _render_run_results(results)
+    if kind == "sweep-degree":
+        meta = journal.meta
+        return _render_sweep_results(
+            results,
+            title=f"{meta.get('model', '?')}: prefetch degree sweep")
+    if kind == "bench":
+        from .bench import SCENARIOS, write_result
+        from .bench.runner import (
+            BenchRunError,
+            _peak_rss_bytes,
+            assemble_cells,
+        )
+        from .bench.schema import make_result
+
+        meta = journal.meta
+        scenario = SCENARIOS.get(str(meta.get("scenario")))
+        if scenario is None:
+            print(f"cannot finalize: unknown scenario "
+                  f"{meta.get('scenario')!r} in the journal")
+            _render_status_rows(journal)
+            return 1
+        try:
+            cells = assemble_cells(results)
+        except BenchRunError as exc:
+            raise SystemExit(f"runs resume: {exc}")
+        peak = max([_peak_rss_bytes()]
+                   + [cell.pop("peak_rss_bytes", 0)
+                      for cell in cells.values()])
+        doc = make_result(scenario.name, scenario.config_dict(),
+                          repeats=int(meta.get("repeats", 1)),
+                          warmup_runs=int(meta.get("warmup_runs", 0)),
+                          cells=cells, peak_rss_bytes=peak)
+        out = meta.get("out") or f"BENCH_{scenario.name}.json"
+        write_result(doc, out)
+        print(f"wrote {out}")
+        return 0
+    _render_status_rows(journal)
+    bad = sum(1 for doc in results.values()
+              if doc.get("status") in ("failed", "timeout"))
+    return 1 if bad else 0
+
+
+def cmd_runs_resume(args: argparse.Namespace) -> int:
+    from .exec import Executor, ExecutorConfig
+
+    journal = _load_journal(args)
+    if args.retry_failed:
+        stuck = [key for key in journal.keys()
+                 if journal.status(key) in ("failed", "timeout")]
+        if stuck:
+            print(f"resetting {len(stuck)} failed/timed-out cell(s)")
+            journal.reset(stuck)
+    saved = dict(journal.state.get("executor", {}))
+    for field in ("workers", "cell_timeout", "retries"):
+        override = getattr(args, field)
+        if override is not None:
+            saved[field] = override
+    allowed = {"workers", "cell_timeout", "retries", "backoff",
+               "poll_interval", "start_method"}
+    config = ExecutorConfig(
+        **{k: v for k, v in saved.items() if k in allowed})
+    unfinished = journal.unfinished()
+    if unfinished:
+        print(f"resuming {journal.kind} {journal.run_id}: "
+              f"{len(unfinished)} of {len(journal.keys())} cell(s) left "
+              f"({config.workers} workers)")
+        results = Executor(config, progress=print).run_journal(journal)
+    else:
+        print(f"{journal.kind} {journal.run_id}: all cells already finished")
+        results = journal.results()
+    return _finalize_resumed(journal, results, args)
+
+
+# --------------------------------------------------------------------- #
+# parser construction
+# --------------------------------------------------------------------- #
+
+
+def _cell_parent() -> argparse.ArgumentParser:
+    """--batch / --scale / --seed, shared by every cell-running command."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--batch", type=int, default=None,
+                        help="paper-scale batch size (default: the "
+                             "command's standard pick from the model grid)")
+    parent.add_argument("--scale", type=float, default=None,
+                        help="simulation scale override "
+                             "(default: the model's preset)")
+    parent.add_argument("--seed", type=int, default=None,
+                        help="workload RNG seed (default: 0, or the "
+                             "scenario's pin for doctor)")
+    return parent
+
+
+def _iters_parent() -> argparse.ArgumentParser:
+    """--warmup / --measure; each command sets its own defaults."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--warmup", type=int, default=None,
+                        help="warm-up iterations before the window")
+    parent.add_argument("--measure", type=int, default=None,
+                        help="measured iterations in the window")
+    return parent
+
+
+def _degree_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--degree", type=int, default=32,
+                        help="DeepUM prefetch degree N")
+    return parent
+
+
+def _exec_parent() -> argparse.ArgumentParser:
+    """Executor knobs shared by run / max-batch / sweep-degree / bench run."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = in-process serial; "
+                             ">1 journals the run for `repro runs resume`)")
+    parent.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-cell wall-clock timeout")
+    parent.add_argument("--retries", type=int, default=1,
+                        help="extra attempts for crashed cells")
+    parent.add_argument("--runs-dir", default="runs", metavar="DIR",
+                        help="journal root (default: runs/)")
+    parent.add_argument("--run-id", default=None,
+                        help="journal id (default: generated)")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DeepUM reproduction: run paper experiments from the CLI",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    cell = _cell_parent()
+    iters = _iters_parent()
+    degree = _degree_parent()
+    execp = _exec_parent()
 
     sub.add_parser("list", help="list workloads and policies") \
         .set_defaults(fn=cmd_list)
 
-    run = sub.add_parser("run", help="run one workload under several policies")
+    run = sub.add_parser("run", parents=[cell, iters, degree, execp],
+                         help="run one workload under several policies")
     run.add_argument("model")
-    run.add_argument("--batch", type=int, default=None,
-                     help="paper-scale batch size (default: grid midpoint)")
     run.add_argument("--policies", default="um,lms,deepum,ideal")
-    run.add_argument("--degree", type=int, default=32,
-                     help="DeepUM prefetch degree N")
-    run.add_argument("--warmup", type=int, default=4)
-    run.add_argument("--measure", type=int, default=3)
     run.add_argument("--obs", default=None, metavar="PATH",
                      help="record a timeline and write Perfetto JSON here "
-                          "(per-policy suffix when several policies run)")
+                          "(per-policy sim timelines when --workers 1, the "
+                          "executor wall-clock timeline otherwise)")
     run.add_argument("--top", type=int, default=10,
                      help="kernels shown in the --obs phase breakdown")
-    run.set_defaults(fn=cmd_run)
+    run.set_defaults(fn=cmd_run, warmup=4, measure=3)
 
-    mb = sub.add_parser("max-batch", help="find the largest trainable batch")
+    mb = sub.add_parser("max-batch", parents=[cell, iters, execp],
+                        help="find the largest trainable batch")
     mb.add_argument("model")
     mb.add_argument("--policies", default="lms,deepum")
-    mb.set_defaults(fn=cmd_max_batch)
+    mb.set_defaults(fn=cmd_max_batch, warmup=2, measure=0)
 
-    sweep = sub.add_parser("sweep-degree", help="sweep DeepUM's prefetch degree")
+    sweep = sub.add_parser("sweep-degree", parents=[cell, iters, execp],
+                           help="sweep DeepUM's prefetch degree")
     sweep.add_argument("model")
     sweep.add_argument("--degrees", default="1,8,32,128,512")
-    sweep.add_argument("--warmup", type=int, default=4)
-    sweep.set_defaults(fn=cmd_sweep_degree)
+    sweep.set_defaults(fn=cmd_sweep_degree, warmup=4, measure=3)
 
     bench = sub.add_parser(
         "bench", help="pinned benchmark scenarios and regression compare")
     bsub = bench.add_subparsers(dest="bench_command", required=True)
     bsub.add_parser("list", help="list pinned scenarios") \
         .set_defaults(fn=cmd_bench_list)
-    brun = bsub.add_parser("run", help="run a scenario, write BENCH_<name>.json")
+    brun = bsub.add_parser("run", parents=[execp],
+                           help="run a scenario, write BENCH_<name>.json")
     brun.add_argument("--scenario", required=True)
     brun.add_argument("--repeats", type=int, default=3,
                       help="timed passes per cell; the minimum is kept")
@@ -381,14 +763,10 @@ def build_parser() -> argparse.ArgumentParser:
     bcmp.set_defaults(fn=cmd_bench_compare)
 
     doctor = sub.add_parser(
-        "doctor",
+        "doctor", parents=[cell, iters],
         help="diagnose a scenario's prefetch behaviour (ranked findings)")
     doctor.add_argument("scenario",
                         help="bench scenario name (see `repro bench list`)")
-    doctor.add_argument("--warmup", type=int, default=None,
-                        help="override the scenario's warm-up iterations")
-    doctor.add_argument("--measure", type=int, default=None,
-                        help="override the scenario's measured iterations")
     doctor.add_argument("--json", action="store_true",
                         help="emit the schema-validated JSON report instead "
                              "of the human summary")
@@ -396,45 +774,59 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the JSON report here")
     doctor.set_defaults(fn=cmd_doctor)
 
+    runs = sub.add_parser(
+        "runs", help="inspect and resume journaled executor runs")
+    rsub = runs.add_subparsers(dest="runs_command", required=True)
+    rlist = rsub.add_parser("list", help="list run journals")
+    rlist.add_argument("--runs-dir", default="runs", metavar="DIR")
+    rlist.set_defaults(fn=cmd_runs_list)
+    rshow = rsub.add_parser("show", help="per-cell status of one run")
+    rshow.add_argument("run_id")
+    rshow.add_argument("--runs-dir", default="runs", metavar="DIR")
+    rshow.set_defaults(fn=cmd_runs_show)
+    rres = rsub.add_parser(
+        "resume",
+        help="re-execute a run's unfinished cells and rebuild its output")
+    rres.add_argument("run_id")
+    rres.add_argument("--runs-dir", default="runs", metavar="DIR")
+    rres.add_argument("--workers", type=int, default=None,
+                      help="override the journaled worker count")
+    rres.add_argument("--cell-timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="override the journaled per-cell timeout")
+    rres.add_argument("--retries", type=int, default=None,
+                      help="override the journaled retry budget")
+    rres.add_argument("--retry-failed", action="store_true",
+                      help="also reset failed/timed-out cells to pending")
+    rres.set_defaults(fn=cmd_runs_resume)
+
     trace = sub.add_parser("trace", help="timeline capture and conversion")
     tsub = trace.add_subparsers(dest="trace_command", required=True)
     tl = tsub.add_parser(
-        "timeline",
+        "timeline", parents=[cell, iters, degree],
         help="run a workload and emit a Perfetto/chrome://tracing timeline")
     tl.add_argument("model", nargs="?", default=None,
                     help="workload to run live (omit with --from-jsonl)")
-    tl.add_argument("--batch", type=int, default=None,
-                    help="paper-scale batch size (default: grid midpoint)")
     tl.add_argument("--policy", default="deepum",
                     help="UM-family policy to instrument (default: deepum)")
-    tl.add_argument("--degree", type=int, default=32,
-                    help="DeepUM prefetch degree N")
-    tl.add_argument("--warmup", type=int, default=2)
-    tl.add_argument("--measure", type=int, default=2)
     tl.add_argument("--out", default="timeline.json",
                     help="output JSON path (default: timeline.json)")
     tl.add_argument("--top", type=int, default=10,
                     help="kernels shown in the phase breakdown")
     tl.add_argument("--from-jsonl", default=None, metavar="FILE",
                     help="convert a saved Tracer .jsonl instead of running")
-    tl.set_defaults(fn=cmd_trace_timeline)
+    tl.set_defaults(fn=cmd_trace_timeline, warmup=2, measure=2)
     why = tsub.add_parser(
-        "why",
+        "why", parents=[cell, iters, degree],
         help="explain one UM block's demand faults (decision drill-down)")
     why.add_argument("model", help="workload to run instrumented")
     why.add_argument("--block", type=int, required=True,
                      help="UM block index to explain")
     why.add_argument("--kernel", type=int, default=None,
                      help="restrict to one kernel sequence number")
-    why.add_argument("--batch", type=int, default=None,
-                     help="paper-scale batch size (default: grid midpoint)")
     why.add_argument("--policy", default="deepum",
                      help="UM-family policy to instrument (default: deepum)")
-    why.add_argument("--degree", type=int, default=32,
-                     help="DeepUM prefetch degree N")
-    why.add_argument("--warmup", type=int, default=2)
-    why.add_argument("--measure", type=int, default=2)
-    why.set_defaults(fn=cmd_trace_why)
+    why.set_defaults(fn=cmd_trace_why, warmup=2, measure=2)
     return parser
 
 

@@ -1,0 +1,60 @@
+"""``repro.exec``: the parallel, fault-tolerant, resumable cell executor.
+
+The pieces:
+
+* :mod:`repro.exec.tasks` — serializable task payloads and the worker-side
+  dispatch (plus the test-only fault-injection hook).
+* :mod:`repro.exec.journal` — the on-disk run journal
+  (``runs/<run-id>/state.json`` + per-cell result files) that makes runs
+  resumable.
+* :mod:`repro.exec.executor` — the process-pool scheduling loop: crash
+  isolation, per-cell wall-clock timeouts, bounded retry with backoff.
+
+The load-bearing invariant: a cell is a deterministic function of its
+journaled payload, so parallel, serial, and killed-then-resumed runs
+produce bit-identical simulated metrics (wall-clock may differ; the
+``snapshot`` dicts may not).
+"""
+
+from .executor import Executor, ExecutorConfig
+from .journal import (
+    DEFAULT_RUNS_DIR,
+    JOURNAL_SCHEMA_VERSION,
+    TERMINAL_STATUSES,
+    JournalError,
+    RunJournal,
+    list_runs,
+    new_run_id,
+    validate_state,
+)
+from .tasks import (
+    INJECT_ENV,
+    KIND_BENCH_CELL,
+    KIND_EXPERIMENT,
+    TASK_KINDS,
+    Task,
+    bench_cell_task,
+    execute_task,
+    experiment_task,
+)
+
+__all__ = [
+    "DEFAULT_RUNS_DIR",
+    "Executor",
+    "ExecutorConfig",
+    "INJECT_ENV",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalError",
+    "KIND_BENCH_CELL",
+    "KIND_EXPERIMENT",
+    "RunJournal",
+    "TASK_KINDS",
+    "TERMINAL_STATUSES",
+    "Task",
+    "bench_cell_task",
+    "execute_task",
+    "experiment_task",
+    "list_runs",
+    "new_run_id",
+    "validate_state",
+]

@@ -1,0 +1,119 @@
+"""Task payloads the executor ships to worker processes.
+
+A :class:`Task` is a (key, kind, payload) triple where the payload is a
+plain JSON-serializable dict, so tasks can cross process boundaries and be
+journaled to disk verbatim. :func:`execute_task` is the single dispatch
+point a worker runs: it rebuilds the typed request from the payload,
+executes it, and returns a JSON-serializable result dict whose ``status``
+is one of :data:`repro.api.RUN_STATUSES`.
+
+Fault injection (tests and chaos drills) rides on the ``REPRO_EXEC_INJECT``
+environment variable: a JSON object mapping task keys to an injection spec
+(``{"mode": "crash"|"sigkill"|"hang"|"flaky", ...}``). Workers consult it
+before executing; production runs never set it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+KIND_EXPERIMENT = "experiment"
+KIND_BENCH_CELL = "bench-cell"
+
+TASK_KINDS = (KIND_EXPERIMENT, KIND_BENCH_CELL)
+
+#: Environment variable carrying the fault-injection spec (JSON).
+INJECT_ENV = "REPRO_EXEC_INJECT"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of work: a key, a kind, a JSON payload."""
+
+    key: str
+    kind: str
+    payload: dict[str, Any]
+
+    def __post_init__(self) -> None:
+        if self.kind not in TASK_KINDS:
+            raise ValueError(
+                f"unknown task kind {self.kind!r}; known: {TASK_KINDS}")
+        if not self.key:
+            raise ValueError("task key must be non-empty")
+
+
+def experiment_task(request: Any, key: Optional[str] = None) -> Task:
+    """Build an executor task from a :class:`repro.api.RunRequest`.
+
+    The request is resolved first (batch/scale/system pinned) so every
+    worker — and every resume — executes exactly the same cell.
+    """
+    resolved = request.resolved()
+    return Task(
+        key=key if key is not None else resolved.cell_key,
+        kind=KIND_EXPERIMENT,
+        payload=resolved.to_dict(),
+    )
+
+
+def bench_cell_task(payload: dict[str, Any], key: str) -> Task:
+    """Build an executor task for one bench scenario cell.
+
+    ``payload`` is the dict :func:`repro.bench.runner.run_scenario_cell`
+    accepts (model, batch, policy, iteration pins, repeats, ...).
+    """
+    return Task(key=key, kind=KIND_BENCH_CELL, payload=payload)
+
+
+def maybe_inject_fault(key: str, attempt: int) -> None:
+    """Apply the ``REPRO_EXEC_INJECT`` spec for ``key``, if any.
+
+    Modes: ``crash`` exits the process without a result (optionally only
+    through attempt ``until_attempt``); ``sigkill`` dies by signal;
+    ``hang`` sleeps ``seconds`` (default: forever, for timeout tests);
+    ``flaky`` raises until attempt ``ok_on_attempt`` is reached.
+    """
+    raw = os.environ.get(INJECT_ENV)
+    if not raw:
+        return
+    spec = json.loads(raw).get(key)
+    if not spec:
+        return
+    mode = spec.get("mode")
+    if mode == "flaky":
+        if attempt < int(spec.get("ok_on_attempt", 2)):
+            raise RuntimeError(
+                f"injected flaky failure for {key!r} (attempt {attempt})")
+    elif mode == "crash":
+        if attempt <= int(spec.get("until_attempt", 10 ** 9)):
+            os._exit(int(spec.get("exit_code", 1)))
+    elif mode == "sigkill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif mode == "hang":
+        time.sleep(float(spec.get("seconds", 86400.0)))
+    else:
+        raise ValueError(f"unknown injection mode {mode!r} for {key!r}")
+
+
+def execute_task(kind: str, payload: dict[str, Any],
+                 attempt: int = 1) -> dict[str, Any]:
+    """Run one task in the current process; returns its result dict.
+
+    Exceptions escape to the caller (the worker entry wraps them into a
+    ``failed`` result with the traceback) — except inside
+    :func:`repro.api.execute`, which already captures cell-level failures.
+    """
+    if kind == KIND_EXPERIMENT:
+        from ..api import RunRequest, execute
+
+        return execute(RunRequest.from_dict(payload)).to_dict()
+    if kind == KIND_BENCH_CELL:
+        from ..bench.runner import run_scenario_cell
+
+        return {"status": "ok", "cell": run_scenario_cell(payload)}
+    raise ValueError(f"unknown task kind {kind!r}; known: {TASK_KINDS}")

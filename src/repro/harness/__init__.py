@@ -3,6 +3,7 @@
 from .experiment import (
     POLICIES,
     ExperimentResult,
+    build_policy,
     calibrate_system,
     make_policy,
     run_experiment,
@@ -10,11 +11,13 @@ from .experiment import (
 from .metrics import WindowMetrics, phase_breakdown_rows
 from .report import (format_table, geomean, phase_breakdown_table,
                      speedup_table)
-from .sweep import max_batch_search
+from .sweep import MaxBatchOutcome, max_batch_outcome, max_batch_search
 
 __all__ = [
     "POLICIES",
     "ExperimentResult",
+    "MaxBatchOutcome",
+    "build_policy",
     "calibrate_system",
     "make_policy",
     "run_experiment",
@@ -24,5 +27,6 @@ __all__ = [
     "phase_breakdown_table",
     "geomean",
     "speedup_table",
+    "max_batch_outcome",
     "max_batch_search",
 ]

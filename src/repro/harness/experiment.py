@@ -72,8 +72,8 @@ DEFAULT_SIM_SCALE = 0.125
 _HOST_TO_GPU = 16  # the paper's testbed: 512 GB host : 32 GB GPU
 
 
-def make_policy(name: str, system: SystemConfig, *,
-                deepum_config: Optional[DeepUMConfig] = None, seed: int = 0):
+def build_policy(name: str, system: SystemConfig, *,
+                 deepum_config: Optional[DeepUMConfig] = None, seed: int = 0):
     """Instantiate a policy facade by registry name."""
     try:
         cls = POLICIES[name]
@@ -83,6 +83,31 @@ def make_policy(name: str, system: SystemConfig, *,
     if name == "deepum":
         return DeepUM(system, deepum_config, seed=seed)
     return cls(system, seed=seed)
+
+
+_make_policy_warned = False
+
+
+def make_policy(name: str, system: SystemConfig, *,
+                deepum_config: Optional[DeepUMConfig] = None, seed: int = 0):
+    """Deprecated alias of :func:`build_policy`.
+
+    Cells should be constructed through :class:`repro.api.RunRequest` (and
+    run via :func:`repro.api.execute`); callers that only need the facade
+    should use :func:`build_policy`. Warns once per process.
+    """
+    global _make_policy_warned
+    if not _make_policy_warned:
+        import warnings
+
+        warnings.warn(
+            "make_policy is deprecated: construct cells via "
+            "repro.api.RunRequest / repro.api.execute, or use "
+            "repro.harness.build_policy for a bare facade",
+            DeprecationWarning, stacklevel=2,
+        )
+        _make_policy_warned = True
+    return build_policy(name, system, deepum_config=deepum_config, seed=seed)
 
 
 @dataclass
@@ -212,7 +237,7 @@ def run_experiment(
         scale = cfg.sim_scale
     if system is None:
         system = calibrate_system(model, scale=scale)
-    facade = make_policy(policy, system, deepum_config=deepum_config, seed=seed)
+    facade = build_policy(policy, system, deepum_config=deepum_config, seed=seed)
     if recorder is not None:
         from ..obs import attach
 

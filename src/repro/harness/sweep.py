@@ -1,30 +1,209 @@
-"""Parameter sweeps: maximum-batch search (Tables 3 and 7)."""
+"""Parameter sweeps: maximum-batch search (Tables 3 and 7).
+
+Probes are warm-up-only cells (``RunRequest(measure_iterations=0)``) run
+through :func:`repro.api.execute`, so a probe reports *why* it failed, not
+just that it did. :func:`max_batch_outcome` returns the full structured
+result — including the smallest probed batch and its failure cause when
+nothing fits — and :func:`max_batch_search` stays as the integer-returning
+compatibility wrapper.
+
+With ``probe_workers > 1`` the doubling phase probes several upcoming
+batch sizes speculatively through the process-pool executor
+(:mod:`repro.exec`); because a probe's outcome is a deterministic function
+of its request, the parallel search lands on exactly the serial answer.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from ..config import DeepUMConfig, SystemConfig
-from ..core.um_manager import UMCapacityError
-from ..baselines import TensorSwapOOM
 from ..models.registry import get_model_config
-from ..torchsim.allocator import TorchSimOOM
-from .experiment import make_policy
+
+
+@dataclass(frozen=True)
+class MaxBatchOutcome:
+    """Structured result of a maximum-batch search.
+
+    ``max_batch`` is 0 when no probed batch fits; ``smallest_probed`` and
+    ``failure`` then say which batch the search bottomed out at and why it
+    failed, so "does not run" is always accompanied by a cause.
+    """
+
+    model: str
+    policy: str
+    max_batch: int
+    #: Every probed (batch, status) pair, smallest batch first.
+    probes: tuple[tuple[int, str], ...]
+    smallest_probed: int
+    failure: str = ""
+
+    @property
+    def fits(self) -> bool:
+        return self.max_batch > 0
+
+    @property
+    def status(self) -> str:
+        from ..api import STATUS_OK, STATUS_OOM
+
+        return STATUS_OK if self.fits else STATUS_OOM
+
+
+class _Prober:
+    """Runs fit probes, recording every outcome for the final report."""
+
+    def __init__(self, model: str, policy: str, system: SystemConfig, *,
+                 scale: float, iterations: int,
+                 deepum_config: Optional[DeepUMConfig], seed: int = 0):
+        self.model = model
+        self.policy = policy
+        self.system = system
+        self.scale = scale
+        self.iterations = iterations
+        self.deepum_config = deepum_config
+        self.seed = seed
+        #: batch -> (status, error) for every probe ever run.
+        self.outcomes: dict[int, tuple[str, str]] = {}
+
+    def request(self, batch: int):
+        from ..api import RunRequest
+
+        return RunRequest(
+            model=self.model, policy=self.policy, batch=batch,
+            scale=self.scale, warmup_iterations=self.iterations,
+            measure_iterations=0, seed=self.seed,
+            deepum_config=self.deepum_config, system=self.system,
+        )
+
+    def record(self, batch: int, status: str, error: str) -> bool:
+        self.outcomes[batch] = (status, error)
+        from ..api import STATUS_OK
+
+        return status == STATUS_OK
+
+    def __call__(self, batch: int) -> bool:
+        """True if ``batch`` completes the probe iterations without OOM."""
+        cached = self.outcomes.get(batch)
+        if cached is not None:
+            from ..api import STATUS_OK
+
+            return cached[0] == STATUS_OK
+        from ..api import execute
+
+        result = execute(self.request(batch))
+        return self.record(batch, result.status, result.error)
+
+    def probe_many(self, batches: list[int], workers: int) -> None:
+        """Probe several batches concurrently through the executor."""
+        todo = [b for b in batches if b not in self.outcomes]
+        if not todo:
+            return
+        if workers <= 1 or len(todo) == 1:
+            for b in todo:
+                self(b)
+            return
+        from ..exec import Executor, ExecutorConfig, experiment_task
+
+        tasks = [experiment_task(self.request(b), key=f"probe-{b}")
+                 for b in todo]
+        executor = Executor(ExecutorConfig(workers=min(workers, len(todo))))
+        results = executor.run_tasks(tasks)
+        for b in todo:
+            doc = results[f"probe-{b}"]
+            self.record(b, doc["status"], doc.get("error", ""))
+
+    def outcome(self, model_step: int, best: int) -> MaxBatchOutcome:
+        probes = tuple(sorted(
+            (batch, status) for batch, (status, _) in self.outcomes.items()
+        ))
+        smallest = min(self.outcomes) if self.outcomes else model_step
+        failure = ""
+        if best == 0 and self.outcomes:
+            failure = self.outcomes[smallest][1]
+        return MaxBatchOutcome(
+            model=self.model, policy=self.policy, max_batch=best,
+            probes=probes, smallest_probed=smallest, failure=failure,
+        )
 
 
 def _runs(model: str, paper_batch: int, policy: str, system: SystemConfig,
           *, scale: float, iterations: int,
           deepum_config: Optional[DeepUMConfig]) -> bool:
     """True if the configuration completes ``iterations`` without OOM."""
+    from ..api import RunRequest, execute
+
+    result = execute(RunRequest(
+        model=model, policy=policy, batch=paper_batch, scale=scale,
+        warmup_iterations=iterations, measure_iterations=0,
+        deepum_config=deepum_config, system=system,
+    ))
+    return result.ok
+
+
+def max_batch_outcome(
+    model: str,
+    policy: str,
+    system: SystemConfig,
+    *,
+    scale: float,
+    start_batch: Optional[int] = None,
+    iterations: int = 2,
+    deepum_config: Optional[DeepUMConfig] = None,
+    seed: int = 0,
+    probe_workers: int = 1,
+) -> MaxBatchOutcome:
+    """Largest paper-scale batch that trains without OOM, with provenance.
+
+    Doubles from a known-good starting point, then binary-searches the
+    boundary; batch granularity is the model's ``batch_divisor``. With
+    ``probe_workers > 1`` the doubling phase speculatively probes the next
+    few doublings in parallel worker processes; the boundary (and thus the
+    answer) is identical to the serial search.
+    """
     cfg = get_model_config(model)
-    facade = make_policy(policy, system, deepum_config=deepum_config)
-    try:
-        workload = cfg.build(facade.device, cfg.sim_batch(paper_batch),
-                             scale=scale)
-        workload.run(iterations)
-    except (UMCapacityError, TorchSimOOM, TensorSwapOOM):
-        return False
-    return True
+    step = cfg.batch_divisor
+    prober = _Prober(model, policy, system, scale=scale,
+                     iterations=iterations, deepum_config=deepum_config,
+                     seed=seed)
+    lo = start_batch if start_batch is not None else cfg.fig9_batches[0]
+    lo = max(step, (lo // step) * step)
+    if not prober(lo):
+        # Shrink until something runs (or give up at one simulated sample).
+        while lo > step:
+            lo //= 2
+            lo = max(step, (lo // step) * step)
+            if prober(lo):
+                break
+        else:
+            return prober.outcome(step, 0)
+        if lo == step and not prober(lo):
+            return prober.outcome(step, 0)
+    hi = lo * 2
+    while True:
+        if probe_workers > 1:
+            # Speculative wave: probe the next few doublings concurrently.
+            # Wasted probes cost worker time, never correctness — the
+            # boundary below is read off the same per-batch outcomes the
+            # serial search would compute one by one.
+            wave = [hi * (2 ** i) for i in range(probe_workers)]
+            prober.probe_many(wave, probe_workers)
+        if not prober(hi):
+            break
+        lo = hi
+        hi *= 2
+        if hi > lo * 64:  # paranoia bound; never hit in practice
+            break
+    # Binary search in (lo, hi): lo runs, hi fails.
+    while hi - lo > step:
+        mid = ((lo + hi) // 2 // step) * step
+        if mid in (lo, hi):
+            break
+        if prober(mid):
+            lo = mid
+        else:
+            hi = mid
+    return prober.outcome(step, lo)
 
 
 def max_batch_search(
@@ -37,46 +216,8 @@ def max_batch_search(
     iterations: int = 2,
     deepum_config: Optional[DeepUMConfig] = None,
 ) -> int:
-    """Largest paper-scale batch that trains without OOM.
-
-    Doubles from a known-good starting point, then binary-searches the
-    boundary. Batch granularity is the model's ``batch_divisor`` (one
-    simulated sample).
-    """
-    cfg = get_model_config(model)
-    step = cfg.batch_divisor
-    lo = start_batch if start_batch is not None else cfg.fig9_batches[0]
-    lo = max(step, (lo // step) * step)
-    if not _runs(model, lo, policy, system, scale=scale,
-                 iterations=iterations, deepum_config=deepum_config):
-        # Shrink until something runs (or give up at one simulated sample).
-        while lo > step:
-            lo //= 2
-            lo = max(step, (lo // step) * step)
-            if _runs(model, lo, policy, system, scale=scale,
-                     iterations=iterations, deepum_config=deepum_config):
-                break
-        else:
-            return 0
-        if lo == step and not _runs(model, lo, policy, system, scale=scale,
-                                    iterations=iterations,
-                                    deepum_config=deepum_config):
-            return 0
-    hi = lo * 2
-    while _runs(model, hi, policy, system, scale=scale,
-                iterations=iterations, deepum_config=deepum_config):
-        lo = hi
-        hi *= 2
-        if hi > lo * 64:  # paranoia bound; never hit in practice
-            break
-    # Binary search in (lo, hi): lo runs, hi fails.
-    while hi - lo > step:
-        mid = ((lo + hi) // 2 // step) * step
-        if mid in (lo, hi):
-            break
-        if _runs(model, mid, policy, system, scale=scale,
-                 iterations=iterations, deepum_config=deepum_config):
-            lo = mid
-        else:
-            hi = mid
-    return lo
+    """Integer-only view of :func:`max_batch_outcome` (0 = nothing fits)."""
+    return max_batch_outcome(
+        model, policy, system, scale=scale, start_batch=start_batch,
+        iterations=iterations, deepum_config=deepum_config,
+    ).max_batch

@@ -63,6 +63,7 @@ from .phases import (
 from .recorder import (
     ALL_TRACKS,
     NULL_RECORDER,
+    TRACK_EXEC,
     TRACK_FAULT,
     TRACK_GPU,
     TRACK_LABELS,
@@ -132,6 +133,7 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "TableHealth",
+    "TRACK_EXEC",
     "TRACK_FAULT",
     "TRACK_GPU",
     "TRACK_LABELS",

@@ -155,17 +155,23 @@ def diagnose(health: PolicyHealth) -> list[Finding]:
 
 def run_doctor(scenario, *, warmup_iterations: Optional[int] = None,
                measure_iterations: Optional[int] = None,
+               batch: Optional[int] = None,
+               scale: Optional[float] = None,
+               seed: Optional[int] = None,
                progress: Optional[Callable[[str], None]] = None) -> dict:
     """Run every cell of ``scenario`` instrumented and diagnose each.
 
     ``scenario`` is a bench :class:`~repro.bench.manifest.Scenario` or a
-    registered scenario name. Tensor-swap policies (no UM engine) are
-    skipped and listed in the report; OOM cells are reported as such.
+    registered scenario name; ``batch``/``scale``/``seed`` and the
+    iteration counts override the scenario's pins when given. Tensor-swap
+    policies (no UM engine) are skipped and listed in the report; OOM and
+    failed cells are reported as such.
     """
     # Imported lazily: repro.obs must stay importable without dragging the
     # harness/bench layers (and their model registry) into every trace use.
+    from ..api import RunRequest, execute
     from ..bench.manifest import SCENARIOS
-    from ..harness.experiment import calibrate_system, run_experiment
+    from ..config import DeepUMConfig
 
     if isinstance(scenario, str):
         resolved = SCENARIOS.get(scenario)
@@ -177,35 +183,43 @@ def run_doctor(scenario, *, warmup_iterations: Optional[int] = None,
               else warmup_iterations)
     measure = (scenario.measure_iterations if measure_iterations is None
                else measure_iterations)
-    system = calibrate_system(scenario.model)
+    paper_batch = scenario.paper_batch if batch is None else batch
     report: dict = {
         "doctor_schema_version": DOCTOR_SCHEMA_VERSION,
         "scenario": scenario.name,
         "model": scenario.model,
-        "paper_batch": scenario.paper_batch,
+        "paper_batch": paper_batch,
         "cells": {},
         "skipped": {},
     }
     for policy in scenario.policies:
-        cell = f"{scenario.model}@{scenario.paper_batch}/{policy}"
+        cell = f"{scenario.model}@{paper_batch}/{policy}"
         if progress:
             progress(f"doctor: running {cell} ...")
         recorder = SpanRecorder()
+        request = RunRequest(
+            model=scenario.model, policy=policy, batch=paper_batch,
+            scale=scale, warmup_iterations=warmup,
+            measure_iterations=measure,
+            seed=scenario.seed if seed is None else seed,
+            deepum_config=DeepUMConfig(
+                prefetch_degree=scenario.prefetch_degree),
+            recorder=recorder,
+        )
         try:
-            result = run_experiment(
-                scenario.model, scenario.paper_batch, policy,
-                system=system, warmup_iterations=warmup,
-                measure_iterations=measure, recorder=recorder,
-                seed=scenario.seed,
-            )
+            result = execute(request)
         except TypeError:
             # No UM engine to instrument (tensor-swap facade).
             report["skipped"][cell] = "no UM engine (tensor-swap policy)"
             continue
-        if result.oom:
-            report["skipped"][cell] = f"OOM: {result.oom_reason}"
+        if result.status == "oom":
+            report["skipped"][cell] = f"OOM: {result.error}"
             continue
-        driver = getattr(result.facade, "driver", None)
+        if not result.ok:
+            report["skipped"][cell] = f"{result.status}: {result.error}"
+            continue
+        assert result.experiment is not None
+        driver = getattr(result.experiment.facade, "driver", None)
         health = policy_health(recorder, driver)
         report["cells"][cell] = {
             "policy_health": health.to_dict(),

@@ -43,9 +43,13 @@ TRACK_LINK = "pcie"
 TRACK_MIGRATION = "migration"
 TRACK_PREEVICT = "preevict"
 TRACK_FAULT = "fault"
+#: Experiment-executor events (cell start/finish/retry). Unlike every
+#: simulation track, events here are stamped in wall-clock seconds since
+#: the executor run started — they describe the harness, not the machine.
+TRACK_EXEC = "exec"
 
 ALL_TRACKS = (TRACK_GPU, TRACK_FAULT, TRACK_LINK, TRACK_MIGRATION,
-              TRACK_PREEVICT)
+              TRACK_PREEVICT, TRACK_EXEC)
 
 #: Human-readable track names (used as thread names in the Chrome trace).
 TRACK_LABELS = {
@@ -54,6 +58,7 @@ TRACK_LABELS = {
     TRACK_LINK: "PCIe link",
     TRACK_MIGRATION: "Migration thread",
     TRACK_PREEVICT: "Pre-evictor",
+    TRACK_EXEC: "Executor (wall)",
 }
 
 

@@ -270,6 +270,42 @@ def test_run_scenario_rejects_bad_repeats():
         run_scenario(TINY, repeats=0)
 
 
+def test_run_scenario_parallel_is_bit_identical_to_serial(tmp_path):
+    two = Scenario(
+        name="tiny2", model="mobilenet", paper_batch=3072,
+        policies=("um", "deepum"), warmup_iterations=1,
+        measure_iterations=1,
+    )
+    serial = run_scenario(two, repeats=1, warmup_runs=0)
+    parallel = run_scenario(two, repeats=1, warmup_runs=0, workers=2,
+                            runs_dir=str(tmp_path))
+    validate_result(parallel)
+    assert set(parallel["cells"]) == set(serial["cells"])
+    for name in serial["cells"]:
+        assert parallel["cells"][name]["sim"] == serial["cells"][name]["sim"]
+    assert compare_results(serial, parallel, threshold=1000.0).ok
+    # The run left a resumable journal behind.
+    from repro.exec import list_runs
+
+    runs = list_runs(str(tmp_path))
+    assert len(runs) == 1 and runs[0]["kind"] == "bench"
+    assert runs[0]["counts"] == {"ok": 2}
+
+
+def test_parallel_bench_failed_cell_raises_with_journal_kept(
+        tmp_path, monkeypatch):
+    from repro.exec import INJECT_ENV, list_runs
+
+    monkeypatch.setenv(INJECT_ENV, json.dumps(
+        {"mobilenet@3072/um": {"mode": "crash"}}))
+    with pytest.raises(BenchRunError, match="failed"):
+        run_scenario(TINY, repeats=1, warmup_runs=0, workers=2,
+                     retries=0, runs_dir=str(tmp_path))
+    runs = list_runs(str(tmp_path))
+    assert len(runs) == 1
+    assert runs[0]["counts"] == {"failed": 1}
+
+
 def test_oom_cell_raises_bench_error():
     from repro.bench.runner import _sim_metrics
     from repro.harness.experiment import ExperimentResult
@@ -283,6 +319,33 @@ def test_oom_cell_raises_bench_error():
 
 
 # ------------------------------------------------------------------- cli
+
+def test_cli_runs_resume_rebuilds_bench_result(tmp_path, monkeypatch, capsys):
+    """Kill a cell of a journaled bench run, resume it from the CLI, and
+    get a result file whose simulated metrics equal a serial run's."""
+    from repro.exec import INJECT_ENV, list_runs
+
+    out_path = str(tmp_path / "BENCH_smoke.json")
+    runs_dir = str(tmp_path / "runs")
+    smoke = SCENARIOS["smoke"]
+    victim = f"{smoke.model}@{smoke.paper_batch}/{smoke.policies[0]}"
+    monkeypatch.setenv(INJECT_ENV, json.dumps({victim: {"mode": "crash"}}))
+    with pytest.raises(SystemExit, match="resume"):
+        main(["bench", "run", "--scenario", "smoke", "--repeats", "1",
+              "--warmup-runs", "0", "--workers", "2", "--retries", "0",
+              "--runs-dir", runs_dir, "--out", out_path])
+    monkeypatch.delenv(INJECT_ENV)
+    (run_summary,) = list_runs(runs_dir)
+    assert run_summary["counts"]["failed"] == 1
+    assert main(["runs", "resume", run_summary["run_id"],
+                 "--runs-dir", runs_dir, "--retry-failed"]) == 0
+    assert "wrote" in capsys.readouterr().out
+    doc = load_result(out_path)
+    serial = run_scenario(smoke, repeats=1, warmup_runs=0)
+    assert set(doc["cells"]) == set(serial["cells"])
+    for name in serial["cells"]:
+        assert doc["cells"][name]["sim"] == serial["cells"][name]["sim"]
+
 
 def test_cli_bench_list(capsys):
     assert main(["bench", "list"]) == 0

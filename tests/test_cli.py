@@ -1,5 +1,9 @@
 """Command-line interface."""
 
+import dataclasses
+import json
+import re
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -48,5 +52,109 @@ def test_sweep_degree(capsys):
 def test_parser_has_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
-    for cmd in ("list", "run", "max-batch", "sweep-degree"):
+    for cmd in ("list", "run", "max-batch", "sweep-degree", "runs"):
         assert cmd in text
+
+
+def test_shared_flags_on_every_cell_command():
+    """The parent parsers give every cell-running command one flag set."""
+    parser = build_parser()
+    for argv in (["run", "m"], ["max-batch", "m"], ["sweep-degree", "m"],
+                 ["doctor", "s"]):
+        args = parser.parse_args(argv)
+        for flag in ("batch", "scale", "seed", "warmup", "measure"):
+            assert hasattr(args, flag), f"{argv[0]} lost --{flag}"
+    for argv in (["run", "m"], ["max-batch", "m"], ["sweep-degree", "m"],
+                 ["bench", "run", "--scenario", "s"]):
+        args = parser.parse_args(argv)
+        for flag in ("workers", "cell_timeout", "retries", "runs_dir",
+                     "run_id"):
+            assert hasattr(args, flag), f"{argv[0]} lost executor flags"
+
+
+def test_run_parallel_matches_serial_and_is_resumable(tmp_path, capsys):
+    argv = ["run", "mobilenet", "--batch", "64", "--policies", "um,deepum",
+            "--warmup", "1", "--measure", "1"]
+    assert main(argv) == 0
+    serial = capsys.readouterr().out
+    assert main(argv + ["--workers", "2", "--runs-dir", str(tmp_path)]) == 0
+    parallel = capsys.readouterr().out
+    assert "2 cells across 2 workers" in parallel
+    # The policy table (the simulated numbers) is identical either way.
+    table = [line for line in serial.splitlines()
+             if line.strip().startswith(("um", "deepum"))]
+    for line in table:
+        assert line in parallel
+
+    assert main(["runs", "list", "--runs-dir", str(tmp_path)]) == 0
+    listing = capsys.readouterr().out
+    match = re.search(r"(\d{8}-\d{6}-[0-9a-f]{6})", listing)
+    assert match, listing
+    run_id = match.group(1)
+    assert "ok=2" in listing
+
+    assert main(["runs", "show", run_id, "--runs-dir", str(tmp_path)]) == 0
+    shown = capsys.readouterr().out
+    assert "mobilenet@64/um" in shown and "mobilenet@64/deepum" in shown
+
+    assert main(["runs", "resume", run_id,
+                 "--runs-dir", str(tmp_path)]) == 0
+    resumed = capsys.readouterr().out
+    assert "already finished" in resumed
+    for line in table:
+        assert line in resumed
+
+
+def test_runs_show_unknown_run_exits(tmp_path):
+    with pytest.raises(SystemExit, match="no run"):
+        main(["runs", "show", "nope", "--runs-dir", str(tmp_path)])
+
+
+def test_sweep_degree_parallel_matches_serial(tmp_path, capsys):
+    argv = ["sweep-degree", "mobilenet", "--batch", "64", "--degrees",
+            "1,8", "--warmup", "1", "--measure", "1"]
+    assert main(argv) == 0
+    serial = capsys.readouterr().out
+    assert main(argv + ["--workers", "2",
+                        "--runs-dir", str(tmp_path)]) == 0
+    parallel = capsys.readouterr().out
+    rows = [line for line in serial.splitlines()
+            if re.match(r"\s*\d+ \|", line)]
+    assert rows
+    for line in rows:
+        assert line in parallel
+
+
+def test_max_batch_reports_does_not_run_cause(capsys, monkeypatch):
+    """A model that fits nothing names the smallest probed batch and why."""
+    import repro.cli as cli
+    from repro.constants import MiB
+
+    real = cli.calibrate_system
+
+    def tiny_system(model, **kwargs):
+        system = real(model, **kwargs)
+        return dataclasses.replace(
+            system,
+            gpu=dataclasses.replace(system.gpu, memory_bytes=1 * MiB),
+            host=dataclasses.replace(system.host, memory_bytes=2 * MiB),
+        )
+
+    monkeypatch.setattr(cli, "calibrate_system", tiny_system)
+    assert main(["max-batch", "mobilenet", "--policies", "um"]) == 0
+    out = capsys.readouterr().out
+    assert "does not run" in out
+    assert re.search(r"batch \d+: \S", out), out  # a cause, not bare 0
+    assert "why not larger" in out
+
+
+def test_run_obs_parallel_writes_executor_timeline(tmp_path, capsys):
+    trace_path = tmp_path / "exec.json"
+    assert main(["run", "mobilenet", "--batch", "64", "--policies",
+                 "um,deepum", "--warmup", "1", "--measure", "1",
+                 "--workers", "2", "--runs-dir", str(tmp_path / "runs"),
+                 "--obs", str(trace_path)]) == 0
+    assert "executor timeline" in capsys.readouterr().out
+    doc = json.loads(trace_path.read_text())
+    names = {event.get("name") for event in doc["traceEvents"]}
+    assert "mobilenet@64/um" in names

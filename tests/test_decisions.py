@@ -17,7 +17,7 @@ from repro.config import DeepUMConfig, GPUSpec, HostSpec, SystemConfig
 from repro.constants import GiB, MiB
 from repro.core.deepum import DeepUM
 from repro.baselines import NaiveUM
-from repro.harness import calibrate_system, make_policy, run_experiment
+from repro.harness import calibrate_system, build_policy, run_experiment
 from repro.models.registry import get_model_config
 from repro.obs import (
     ALL_CAUSES,
@@ -276,7 +276,7 @@ def test_every_fault_is_attributed_end_to_end(model, scale, policy):
 
 def test_attribution_survives_steady_state_replay():
     def instrumented(replay):
-        facade = make_policy("deepum", calibrate_system("mobilenet"))
+        facade = build_policy("deepum", calibrate_system("mobilenet"))
         rec = attach(facade)
         if not replay:
             facade.device.replayer = None

@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import DeepUMConfig, GPUSpec, HostSpec, SystemConfig
 from repro.constants import GiB, MiB
-from repro.harness.experiment import POLICIES, make_policy
+from repro.harness.experiment import POLICIES, build_policy
 
 from workloads import make_mlp_workload
 
@@ -17,7 +17,7 @@ def system():
 
 @pytest.mark.parametrize("policy", sorted(POLICIES))
 def test_every_policy_exposes_uniform_interface(policy, system):
-    facade = make_policy(policy, system)
+    facade = build_policy(policy, system)
     assert hasattr(facade, "device")
     assert hasattr(facade, "elapsed")
     assert hasattr(facade, "energy_joules")
@@ -28,7 +28,7 @@ def test_every_policy_exposes_uniform_interface(policy, system):
 @pytest.mark.parametrize("policy", ["um", "deepum", "ideal", "lms",
                                     "sentinel", "capuchin"])
 def test_every_policy_trains_toy_mlp(policy, system):
-    facade = make_policy(policy, system)
+    facade = build_policy(policy, system)
     step, _, _ = make_mlp_workload(facade.device, layers_n=4, dim=512,
                                    batch=64)
     for _ in range(2):
@@ -38,14 +38,14 @@ def test_every_policy_trains_toy_mlp(policy, system):
 
 
 def test_deepum_config_threading(system):
-    facade = make_policy("deepum", system,
+    facade = build_policy("deepum", system,
                          deepum_config=DeepUMConfig(prefetch_degree=7))
     assert facade.driver.prefetcher.degree == 7
 
 
 def test_seed_threading(system):
-    a = make_policy("swapadvisor", system, seed=1)
-    b = make_policy("swapadvisor", system, seed=1)
+    a = build_policy("swapadvisor", system, seed=1)
+    b = build_policy("swapadvisor", system, seed=1)
     for facade in (a, b):
         step, _, _ = make_mlp_workload(facade.device, layers_n=6, dim=1024,
                                        batch=128)
@@ -55,7 +55,7 @@ def test_seed_threading(system):
 
 
 def test_ideal_never_faults_after_first_touch(system):
-    facade = make_policy("ideal", system)
+    facade = build_policy("ideal", system)
     step, _, _ = make_mlp_workload(facade.device, layers_n=4, dim=512,
                                    batch=64)
     step()
@@ -70,7 +70,7 @@ def test_ideal_never_faults_after_first_touch(system):
 def test_um_and_deepum_same_footprint(system):
     results = {}
     for policy in ("um", "deepum"):
-        facade = make_policy(policy, system)
+        facade = build_policy(policy, system)
         step, _, _ = make_mlp_workload(facade.device, layers_n=4, dim=512,
                                        batch=64)
         step()

@@ -7,7 +7,7 @@ from repro.constants import GiB, MiB
 from repro.harness import (
     POLICIES,
     calibrate_system,
-    make_policy,
+    build_policy,
     max_batch_search,
     run_experiment,
 )
@@ -22,9 +22,9 @@ def test_policy_registry_complete():
         assert name in POLICIES
 
 
-def test_make_policy_unknown_raises():
+def test_build_policy_unknown_raises():
     with pytest.raises(KeyError):
-        make_policy("magic", SystemConfig())
+        build_policy("magic", SystemConfig())
 
 
 def test_measure_footprint_positive():

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.replay import STABLE_PAIRS, IterationReplayer, ReplayDivergence
 from repro.harness import calibrate_system
-from repro.harness.experiment import make_policy
+from repro.harness.experiment import build_policy
 from repro.models.registry import get_model_config
 
 MODEL = "mobilenet"
@@ -13,7 +13,7 @@ ITERS = 8
 
 
 def _run(policy, *, replay):
-    facade = make_policy(policy, calibrate_system(MODEL))
+    facade = build_policy(policy, calibrate_system(MODEL))
     if not replay:
         facade.device.replayer = None
     cfg = get_model_config(MODEL)
@@ -47,7 +47,7 @@ def test_replay_engages_after_stable_pairs():
 
 
 def test_replay_extends_across_separate_run_calls():
-    facade = make_policy("um", calibrate_system(MODEL))
+    facade = build_policy("um", calibrate_system(MODEL))
     cfg = get_model_config(MODEL)
     workload = cfg.build(facade.device, cfg.sim_batch(BATCH), scale=cfg.sim_scale)
     workload.run(4)
@@ -59,7 +59,7 @@ def test_replay_extends_across_separate_run_calls():
 
 def test_replayer_is_wired_by_um_facades():
     for policy in ("um", "deepum", "ideal"):
-        facade = make_policy(policy, calibrate_system(MODEL))
+        facade = build_policy(policy, calibrate_system(MODEL))
         assert isinstance(facade.device.replayer, IterationReplayer)
 
 
