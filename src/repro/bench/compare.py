@@ -17,6 +17,7 @@ Two different rules, because the two kinds of numbers fail differently:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from .schema import SIM_METRIC_KEYS, validate_result
 
@@ -31,6 +32,8 @@ class CompareResult:
     regressions: list[str] = field(default_factory=list)
     sim_mismatches: list[str] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Exact local commands that reproduce/diagnose a failure (empty on OK).
+    repro_hints: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -43,6 +46,9 @@ class CompareResult:
         for line in self.regressions:
             lines.append(f"REGRESSION    {line}")
         lines.append("compare: OK" if self.ok else "compare: FAILED")
+        if not self.ok and self.repro_hints:
+            lines.append("reproduce locally:")
+            lines.extend(f"  {hint}" for hint in self.repro_hints)
         return "\n".join(lines)
 
 
@@ -122,4 +128,36 @@ def compare_results(
             out.regressions.append(line)
         else:
             out.notes.append(line)
+    if not out.ok:
+        out.repro_hints = repro_hints(current)
     return out
+
+
+def repro_hints(result: dict) -> list[str]:
+    """The exact deep-dive commands for one result's scenario pin.
+
+    ``repro report`` re-runs the scenario instrumented and renders the full
+    observability report; ``repro trace diff`` attributes the simulated-time
+    delta between the scenario's A/B policy pair kernel-by-kernel.
+    """
+    scenario = result["scenario"]
+    config = result.get("config") or {}
+    hints = [f"repro report {scenario} --out report-{scenario}.html"]
+    policies = list(config.get("policies") or [])
+    if "um" in policies and "deepum" in policies:
+        pair: Optional[tuple[str, str]] = ("um", "deepum")
+    elif len(policies) >= 2:
+        pair = (policies[0], policies[1])
+    else:
+        pair = None
+    model = config.get("model")
+    if pair is not None and model:
+        a, b = pair
+        hints.append(
+            f"repro trace diff {model} --batch {config.get('paper_batch')} "
+            f"--seed {config.get('seed')} "
+            f"--warmup {config.get('warmup_iterations')} "
+            f"--measure {config.get('measure_iterations')} "
+            f"--degree {config.get('prefetch_degree')} --a {a} --b {b}"
+        )
+    return hints

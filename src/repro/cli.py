@@ -168,9 +168,14 @@ def _render_sweep_results(results: dict[str, dict[str, Any]],
 def _render_status_rows(journal) -> None:
     rows = []
     for key in journal.keys():
-        rows.append([key, journal.status(key), journal.attempts(key),
-                     _error_tail(journal.error(key))])
-    print(format_table(["cell", "status", "attempts", "error"], rows))
+        result = journal.result(key)
+        wall = result.get("wall_seconds") if isinstance(result, dict) else None
+        retries = max(journal.attempts(key) - 1, 0)
+        rows.append([key, journal.status(key),
+                     f"{wall:.3f}" if wall is not None else None,
+                     retries, _error_tail(journal.error(key))])
+    print(format_table(["cell", "status", "wall (s)", "retries", "error"],
+                       rows))
 
 
 # --------------------------------------------------------------------- #
@@ -494,6 +499,75 @@ def cmd_trace_why(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_diff(args: argparse.Namespace) -> int:
+    """Run two policies instrumented and attribute their time delta."""
+    from .obs import SpanRecorder
+    from .obs.diff import diff_runs, format_diff
+
+    if args.a == args.b:
+        raise SystemExit(f"trace diff: --a and --b are both {args.a!r}; "
+                         "nothing to compare")
+    cfg = get_model_config(args.model)
+    batch = args.batch if args.batch is not None else \
+        cfg.fig9_batches[len(cfg.fig9_batches) // 2]
+    recorders: dict[str, Any] = {}
+    for policy in (args.a, args.b):
+        recorder = SpanRecorder()
+        result = execute(RunRequest(
+            model=args.model, policy=policy, batch=batch, scale=args.scale,
+            warmup_iterations=args.warmup, measure_iterations=args.measure,
+            seed=args.seed if args.seed is not None else 0,
+            deepum_config=DeepUMConfig(prefetch_degree=args.degree),
+            recorder=recorder,
+        ))
+        if not result.ok:
+            print(f"{policy} {result.status}: {_error_tail(result.error)}")
+            return 1
+        recorders[policy] = recorder
+    diff = diff_runs(recorders[args.a], recorders[args.b],
+                     label_a=args.a, label_b=args.b)
+    print(f"{args.model} @ paper batch {batch}")
+    print(format_diff(diff, top=args.top))
+    if args.out:
+        _require_writable_dir(args.out, "--out")
+        with open(args.out, "w") as fh:
+            json.dump(diff.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render the single-file HTML observability report."""
+    from .obs.report import journal_report, scenario_report, write_report
+
+    if bool(args.scenario) == bool(args.run):
+        raise SystemExit(
+            "report: give exactly one of a scenario name or --run <run-id>")
+    _require_writable_dir(args.out, "--out")
+    if args.run:
+        journal = _load_journal(
+            argparse.Namespace(run_id=args.run, runs_dir=args.runs_dir))
+        doc = journal_report(journal)
+        what = f"run {journal.run_id} ({len(doc['cells'])} cells)"
+    else:
+        try:
+            doc = scenario_report(
+                args.scenario,
+                warmup_iterations=args.warmup,
+                measure_iterations=args.measure,
+                batch=args.batch, scale=args.scale, seed=args.seed,
+                progress=print,
+            )
+        except KeyError as exc:
+            raise SystemExit(f"report: {exc.args[0]}")
+        what = (f"scenario {doc['scenario']} ({len(doc['cells'])} cells, "
+                f"{len(doc['skipped'])} skipped)")
+    write_report(doc, args.out)
+    print(f"wrote {what} -> {args.out}")
+    return 0
+
+
 def cmd_bench_compare(args: argparse.Namespace) -> int:
     from .bench import compare_results, load_result
     from .bench.schema import BenchSchemaError
@@ -774,6 +848,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the JSON report here")
     doctor.set_defaults(fn=cmd_doctor)
 
+    report = sub.add_parser(
+        "report", parents=[cell, iters],
+        help="render a self-contained HTML observability report")
+    report.add_argument("scenario", nargs="?", default=None,
+                        help="bench scenario to run instrumented "
+                             "(or use --run for a journaled run)")
+    report.add_argument("--run", default=None, metavar="RUN_ID",
+                        help="render a journaled executor run instead")
+    report.add_argument("--runs-dir", default="runs", metavar="DIR",
+                        help="journal root for --run (default: runs/)")
+    report.add_argument("--out", default="report.html", metavar="PATH",
+                        help="output HTML path (default: report.html)")
+    report.set_defaults(fn=cmd_report)
+
     runs = sub.add_parser(
         "runs", help="inspect and resume journaled executor runs")
     rsub = runs.add_subparsers(dest="runs_command", required=True)
@@ -827,6 +915,19 @@ def build_parser() -> argparse.ArgumentParser:
     why.add_argument("--policy", default="deepum",
                      help="UM-family policy to instrument (default: deepum)")
     why.set_defaults(fn=cmd_trace_why, warmup=2, measure=2)
+    tdiff = tsub.add_parser(
+        "diff", parents=[cell, iters, degree],
+        help="attribute the simulated-time delta between two policies")
+    tdiff.add_argument("model", help="workload to run under both policies")
+    tdiff.add_argument("--a", default="um",
+                       help="baseline policy (default: um)")
+    tdiff.add_argument("--b", default="deepum",
+                       help="comparison policy (default: deepum)")
+    tdiff.add_argument("--top", type=int, default=15,
+                       help="kernels shown in the per-kernel delta table")
+    tdiff.add_argument("--out", default=None, metavar="PATH",
+                       help="also write the full diff document as JSON")
+    tdiff.set_defaults(fn=cmd_trace_diff, warmup=2, measure=2)
     return parser
 
 

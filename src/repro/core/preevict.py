@@ -110,7 +110,7 @@ class PreEvictor:
                     blk.index,
                     "invalidated" if is_invalidated(blk) else "lru-cold",
                 )
-        end = self.handler.evict(victims, now)
+        end = self.handler.evict(victims, now, trigger="preevict")
         self.stats.evicted_blocks += len(victims)
         evicted_bytes = sum(v.populated_bytes for v in victims)
         self.stats.evicted_bytes += evicted_bytes

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from ..constants import PAGE_SIZE
+from ..obs.recorder import TRACK_MEMORY
 from ..sim.engine import BlockAccess, KernelExecution, UMSimulator
 from ..torchsim.kernels import KernelCostModel, KernelLaunch
 
@@ -125,7 +126,16 @@ class UMMemoryManager:
             if grown:
                 self.populated_bytes += grown
                 if blk.index in self.engine.gpu.resident:
-                    self.engine.gpu.used_bytes += grown
+                    gpu = self.engine.gpu
+                    gpu.used_bytes += grown
+                    rec = self.engine.recorder
+                    if rec.enabled:
+                        # In-place population of a resident block is the one
+                        # residency-bytes change outside the fault handler;
+                        # the memory timeline needs it to reconcile.
+                        rec.instant(TRACK_MEMORY, "mem.grow", self.engine.now,
+                                    args={"block": blk.index, "bytes": grown,
+                                          "used": gpu.used_bytes})
         if self.populated_bytes > self.peak_populated_bytes:
             self.peak_populated_bytes = self.populated_bytes
         if self.populated_bytes > self.host_capacity:

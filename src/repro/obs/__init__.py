@@ -38,6 +38,15 @@ from .decisions import (
     Provenance,
     describe_event,
 )
+from .diff import (
+    BUCKETS,
+    DiffEntry,
+    KernelSlice,
+    RunDiff,
+    diff_runs,
+    format_diff,
+    kernel_slices,
+)
 from .doctor import (
     DOCTOR_SCHEMA_VERSION,
     Finding,
@@ -52,6 +61,23 @@ from .health import (
     policy_health,
     table_health,
     validate_policy_health,
+)
+from .memory import (
+    EVICT_TRIGGERS,
+    MemoryEvent,
+    MemoryReconciliationError,
+    MemoryTimeline,
+    ResidencyInterval,
+    memory_timeline,
+)
+from .report import (
+    REPORT_SCHEMA_VERSION,
+    ReportOfflineError,
+    assert_offline,
+    journal_report,
+    render_html,
+    scenario_report,
+    write_report,
 )
 from .phases import (
     FAULT_PHASES,
@@ -68,6 +94,7 @@ from .recorder import (
     TRACK_GPU,
     TRACK_LABELS,
     TRACK_LINK,
+    TRACK_MEMORY,
     TRACK_MIGRATION,
     TRACK_PREEVICT,
     Instant,
@@ -116,9 +143,12 @@ def attach(target, recorder: Optional[SpanRecorder] = None) -> SpanRecorder:
 __all__ = [
     "ALL_CAUSES",
     "ALL_TRACKS",
+    "BUCKETS",
     "COMMAND_SOURCES",
     "DOCTOR_SCHEMA_VERSION",
     "DecisionLog",
+    "DiffEntry",
+    "EVICT_TRIGGERS",
     "FAULT_PHASES",
     "FaultCause",
     "Finding",
@@ -126,10 +156,18 @@ __all__ = [
     "KernelAggregate",
     "KernelPhases",
     "KernelRecord",
+    "KernelSlice",
+    "MemoryEvent",
+    "MemoryReconciliationError",
+    "MemoryTimeline",
     "NULL_RECORDER",
     "NullRecorder",
     "PolicyHealth",
     "Provenance",
+    "REPORT_SCHEMA_VERSION",
+    "ReportOfflineError",
+    "ResidencyInterval",
+    "RunDiff",
     "Span",
     "SpanRecorder",
     "TableHealth",
@@ -138,18 +176,27 @@ __all__ = [
     "TRACK_GPU",
     "TRACK_LABELS",
     "TRACK_LINK",
+    "TRACK_MEMORY",
     "TRACK_MIGRATION",
     "TRACK_PREEVICT",
     "aggregate_by_kernel",
+    "assert_offline",
     "attach",
     "chrome_trace_dict",
     "chrome_trace_events",
     "describe_event",
     "diagnose",
+    "diff_runs",
+    "format_diff",
     "format_doctor",
+    "journal_report",
     "kernel_phases",
+    "kernel_slices",
+    "memory_timeline",
     "policy_health",
+    "render_html",
     "run_doctor",
+    "scenario_report",
     "table_health",
     "tracer_chrome_events",
     "validate_chrome_trace",

@@ -1,0 +1,288 @@
+"""Differential run diffing: attribute the time delta between two runs.
+
+Aligns two recorded runs (:class:`~repro.obs.recorder.SpanRecorder`)
+kernel-by-kernel on their ``(name, exec_id)`` sequences — with insert and
+delete handling when the sequences diverge — and attributes the total
+simulated-time delta to per-kernel buckets:
+
+* ``compute`` — the kernel's own compute time;
+* ``inflight_wait`` — stall waiting on an in-flight prefetch;
+* one bucket per demand-fault cause in
+  :data:`~repro.obs.decisions.ALL_CAUSES` (the taxonomy stall sums);
+* ``fault_other`` — fault-phase time not attributed to a classified cause
+  (e.g. faults in a run without a decision log);
+* ``residual`` — kernel wall time not covered by the above (float dust and
+  any in-kernel time outside the three accumulators).
+
+**Exactness contract.** Floating-point addition is not associative, so
+"the deltas sum to the total" is only meaningful for a *fixed* summation
+order. This module defines one: a per-entry delta is the sum of its bucket
+deltas in :data:`BUCKETS` order, and :attr:`RunDiff.total_delta` is the sum
+of entry deltas in alignment order. Any consumer that re-adds the published
+buckets in the published order reproduces ``total_delta`` bit-for-bit —
+this is test-enforced, not best-effort. The diff covers kernel-attributed
+time only; per-launch overhead between kernels is policy-independent and
+identical on both sides of an aligned pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from difflib import SequenceMatcher
+from typing import Any, Optional
+
+from .decisions import ALL_CAUSES
+from .recorder import KernelRecord
+
+#: Attribution buckets, in the canonical summation order. Consumers must
+#: sum bucket deltas in exactly this order to reproduce ``total_delta``.
+BUCKETS: tuple[str, ...] = ("compute", "inflight_wait") + tuple(ALL_CAUSES) \
+    + ("fault_other", "residual")
+
+
+@dataclass(frozen=True)
+class KernelSlice:
+    """One kernel execution reduced to its attribution buckets."""
+
+    seq: int
+    name: str
+    exec_id: int
+    duration: float
+    buckets: dict[str, float]
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """Alignment identity: the kernel name and its runtime exec ID."""
+        return (self.name, self.exec_id)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seq": self.seq, "name": self.name, "exec_id": self.exec_id,
+                "duration": self.duration, "buckets": dict(self.buckets)}
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One aligned position: a matched pair, an insert, or a delete.
+
+    ``deltas`` is keyed by :data:`BUCKETS`; for an *insert* (kernel only in
+    run B) the deltas are B's buckets, for a *delete* (only in run A) they
+    are A's buckets negated — so the entry still contributes its full
+    simulated time to the attribution. ``delta`` is the sum of ``deltas``
+    in :data:`BUCKETS` order.
+    """
+
+    op: str  # "match" | "insert" | "delete"
+    a: Optional[KernelSlice]
+    b: Optional[KernelSlice]
+    deltas: dict[str, float]
+    delta: float
+
+    @property
+    def key(self) -> tuple[str, int]:
+        slc = self.b if self.b is not None else self.a
+        assert slc is not None
+        return slc.key
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "a": self.a.to_dict() if self.a else None,
+            "b": self.b.to_dict() if self.b else None,
+            "deltas": dict(self.deltas),
+            "delta": self.delta,
+        }
+
+
+@dataclass
+class RunDiff:
+    """The aligned, fully attributed difference between two recorded runs."""
+
+    label_a: str
+    label_b: str
+    entries: list[DiffEntry] = field(default_factory=list)
+    #: Per-bucket totals, each the sum of that bucket's per-entry deltas in
+    #: alignment order.
+    bucket_deltas: dict[str, float] = field(default_factory=dict)
+    #: Sum of entry deltas in alignment order — THE total of this diff.
+    total_delta: float = 0.0
+    #: Sum of kernel durations per side, in sequence order.
+    total_a: float = 0.0
+    total_b: float = 0.0
+    matched: int = 0
+    inserted: int = 0
+    deleted: int = 0
+    #: Alignment identity used: "exec" when both runs carry runtime exec
+    #: IDs, "name" when either side has none (e.g. naive UM, whose driver
+    #: assigns no execution IDs — every exec_id is -1).
+    aligned_on: str = "exec"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "label_a": self.label_a,
+            "label_b": self.label_b,
+            "aligned_on": self.aligned_on,
+            "buckets": list(BUCKETS),
+            "entries": [e.to_dict() for e in self.entries],
+            "bucket_deltas": dict(self.bucket_deltas),
+            "total_delta": self.total_delta,
+            "total_a": self.total_a,
+            "total_b": self.total_b,
+            "matched": self.matched,
+            "inserted": self.inserted,
+            "deleted": self.deleted,
+        }
+
+
+def kernel_slices(recorder: Any) -> list[KernelSlice]:
+    """Reduce a recorded run to per-kernel attribution buckets.
+
+    ``recorder`` needs ``kernels`` (:class:`KernelRecord` list) and
+    optionally ``decisions.fault_causes`` for the cause taxonomy; cause
+    stalls are accumulated per kernel in fault order (deterministic — the
+    simulator is single-threaded).
+    """
+    cause_stall: dict[int, dict[str, float]] = {}
+    decisions = getattr(recorder, "decisions", None)
+    if decisions is not None:
+        for fc in decisions.fault_causes:
+            per = cause_stall.setdefault(fc.kernel_seq, {})
+            per[fc.cause] = per.get(fc.cause, 0.0) + fc.stall
+    slices: list[KernelSlice] = []
+    for k in recorder.kernels:
+        slices.append(_slice_kernel(k, cause_stall.get(k.seq, {})))
+    return slices
+
+
+def _slice_kernel(k: KernelRecord, causes: dict[str, float]) -> KernelSlice:
+    duration = k.end - k.start
+    buckets: dict[str, float] = {
+        "compute": k.compute_time,
+        "inflight_wait": k.inflight_wait,
+    }
+    fault_other = k.fault_wait
+    for cause in ALL_CAUSES:
+        stall = causes.get(cause, 0.0)
+        buckets[cause] = stall
+        fault_other -= stall
+    buckets["fault_other"] = fault_other
+    residual = duration
+    for name in BUCKETS[:-1]:
+        residual -= buckets[name]
+    buckets["residual"] = residual
+    return KernelSlice(seq=k.seq, name=k.name, exec_id=k.exec_id,
+                       duration=duration, buckets=buckets)
+
+
+def _entry(op: str, a: Optional[KernelSlice],
+           b: Optional[KernelSlice]) -> DiffEntry:
+    deltas: dict[str, float] = {}
+    delta = 0.0
+    for name in BUCKETS:
+        av = a.buckets[name] if a is not None else 0.0
+        bv = b.buckets[name] if b is not None else 0.0
+        d = bv - av
+        deltas[name] = d
+        delta += d
+    return DiffEntry(op=op, a=a, b=b, deltas=deltas, delta=delta)
+
+
+def diff_runs(recorder_a: Any, recorder_b: Any, *,
+              label_a: str = "a", label_b: str = "b") -> RunDiff:
+    """Align two recorded runs and attribute their simulated-time delta.
+
+    Alignment uses :class:`difflib.SequenceMatcher` over the
+    ``(kernel name, exec ID)`` sequences, so two runs of the same workload
+    align positionally even when one policy executes extra kernels (the
+    extras become inserts/deletes carrying their full time). When either
+    run carries no runtime exec IDs at all (naive UM leaves every
+    ``exec_id`` at -1), alignment falls back to the kernel-name sequence —
+    otherwise nothing would ever match across policies. The returned
+    :class:`RunDiff` satisfies the exactness contract in the module
+    docstring.
+    """
+    slices_a = kernel_slices(recorder_a)
+    slices_b = kernel_slices(recorder_b)
+    use_exec = (any(s.exec_id >= 0 for s in slices_a)
+                and any(s.exec_id >= 0 for s in slices_b))
+    diff = RunDiff(label_a=label_a, label_b=label_b,
+                   aligned_on="exec" if use_exec else "name")
+
+    def key_of(s: KernelSlice) -> tuple[str, int]:
+        return s.key if use_exec else (s.name, 0)
+
+    for s in slices_a:
+        diff.total_a += s.duration
+    for s in slices_b:
+        diff.total_b += s.duration
+    matcher = SequenceMatcher(a=[key_of(s) for s in slices_a],
+                              b=[key_of(s) for s in slices_b],
+                              autojunk=False)
+    entries = diff.entries
+    for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+        if tag == "equal":
+            for i, j in zip(range(i1, i2), range(j1, j2)):
+                entries.append(_entry("match", slices_a[i], slices_b[j]))
+        else:  # replace / delete / insert: replace = delete + insert
+            for i in range(i1, i2):
+                entries.append(_entry("delete", slices_a[i], None))
+            for j in range(j1, j2):
+                entries.append(_entry("insert", None, slices_b[j]))
+    bucket_deltas = {name: 0.0 for name in BUCKETS}
+    total = 0.0
+    for entry in entries:
+        total += entry.delta
+        for name in BUCKETS:
+            bucket_deltas[name] += entry.deltas[name]
+        if entry.op == "match":
+            diff.matched += 1
+        elif entry.op == "insert":
+            diff.inserted += 1
+        else:
+            diff.deleted += 1
+    diff.bucket_deltas = bucket_deltas
+    diff.total_delta = total
+    return diff
+
+
+def format_diff(diff: RunDiff, top: int = 15) -> str:
+    """Human rendering: bucket attribution plus the worst per-kernel deltas."""
+    from ..harness.report import format_table
+
+    ms = 1e3
+    lines = [
+        f"trace diff: {diff.label_b} - {diff.label_a} "
+        f"({diff.matched} matched, {diff.inserted} inserted, "
+        f"{diff.deleted} deleted kernel(s))",
+        f"total kernel time: {diff.label_a} {diff.total_a * ms:.3f} ms, "
+        f"{diff.label_b} {diff.total_b * ms:.3f} ms",
+        f"attributed delta: {diff.total_delta * ms:+.3f} ms "
+        f"(negative: {diff.label_b} is faster)",
+        "",
+    ]
+    rows = []
+    for name in BUCKETS:
+        d = diff.bucket_deltas[name]
+        if d == 0.0:
+            continue
+        share = (d / diff.total_delta) if diff.total_delta else None
+        rows.append([name, d * ms, share])
+    lines.append(format_table(
+        ["bucket", "delta (ms)", "share of total"], rows,
+        title="Attribution by bucket (sums to the total bit-for-bit)"))
+    worst = sorted(diff.entries, key=lambda e: abs(e.delta), reverse=True)
+    rows = []
+    for entry in worst[:top]:
+        if entry.delta == 0.0:
+            continue
+        name, exec_id = entry.key
+        dominant = max(BUCKETS, key=lambda n: abs(entry.deltas[n]))
+        rows.append([
+            f"{name} (exec {exec_id})", entry.op, entry.delta * ms,
+            f"{dominant} {entry.deltas[dominant] * ms:+.3f}",
+        ])
+    if rows:
+        lines.append("")
+        lines.append(format_table(
+            ["kernel", "op", "delta (ms)", "dominant bucket (ms)"], rows,
+            title=f"Largest per-kernel deltas (top {min(top, len(rows))})"))
+    return "\n".join(lines)

@@ -19,6 +19,7 @@ from typing import Callable, Optional
 
 from .decisions import ALL_CAUSES, CAUSE_CHAIN_BREAK, CAUSE_EVICTED, CAUSE_LATE
 from .health import PolicyHealth, policy_health, validate_policy_health
+from .memory import memory_timeline
 from .recorder import SpanRecorder
 
 DOCTOR_SCHEMA_VERSION = 1
@@ -33,6 +34,18 @@ ACCURACY_WARN = 0.50
 COVERAGE_WARN = 0.50
 CAUSE_STALL_WARN = 0.25
 ATTRIBUTION_MIN = 0.95
+#: Oversubscription-pressure thresholds (from the memory timeline): a
+#: working set past capacity is worth a note; add a meaningful thrash
+#: score (re-fetched admissions) and it becomes a warning.
+THRASH_WARN = 0.10
+
+#: Numeric keys every doctor ``memory`` section must carry (a subset of
+#: :meth:`repro.obs.memory.MemoryTimeline.summary`).
+MEMORY_SUMMARY_KEYS = (
+    "capacity_bytes", "peak_used_bytes", "peak_occupancy",
+    "working_set_bytes", "oversubscription", "admits", "evicts",
+    "thrash_score",
+)
 
 
 @dataclass(frozen=True)
@@ -52,10 +65,41 @@ def _pct(x: Optional[float]) -> str:
     return "n/a" if x is None else f"{100.0 * x:.1f}%"
 
 
-def diagnose(health: PolicyHealth) -> list[Finding]:
-    """Rank what is wrong (or fine) with one cell's prefetch behaviour."""
+def diagnose(health: PolicyHealth,
+             memory: Optional[dict] = None) -> list[Finding]:
+    """Rank what is wrong (or fine) with one cell's prefetch behaviour.
+
+    ``memory`` is an optional memory-timeline summary
+    (:meth:`repro.obs.memory.MemoryTimeline.summary`); when given, the
+    diagnosis includes oversubscription pressure (peak working set vs GPU
+    capacity, eviction thrash).
+    """
     findings: list[Finding] = []
     out = findings.append
+
+    if memory is not None and memory.get("capacity_bytes", 0) > 0:
+        oversub = float(memory.get("oversubscription", 0.0))
+        thrash = float(memory.get("thrash_score", 0.0))
+        if oversub > 1.0:
+            trig = memory.get("evicts_by_trigger") or {}
+            split = ", ".join(
+                f"{k}={v}" for k, v in sorted(trig.items())) or "none"
+            msg = (
+                f"working set {memory['working_set_bytes'] / 2**20:.1f} MiB "
+                f"is {oversub:.2f}x GPU capacity "
+                f"({memory['capacity_bytes'] / 2**20:.1f} MiB); peak "
+                f"occupancy {_pct(memory.get('peak_occupancy'))}, "
+                f"{memory.get('evicts', 0)} evictions ({split}), thrash "
+                f"score {thrash:.3f}"
+            )
+            if thrash >= THRASH_WARN:
+                out(Finding(
+                    "warning", "oversubscription-pressure",
+                    f"{msg} — evicted blocks are re-fetched: raise "
+                    "pre-eviction headroom or check victim choice",
+                ))
+            else:
+                out(Finding("info", "oversubscription-pressure", msg))
 
     attributed = health.attributed_stall_fraction
     if attributed is not None and attributed < ATTRIBUTION_MIN:
@@ -221,9 +265,12 @@ def run_doctor(scenario, *, warmup_iterations: Optional[int] = None,
         assert result.experiment is not None
         driver = getattr(result.experiment.facade, "driver", None)
         health = policy_health(recorder, driver)
+        capacity = int(result.request.system.gpu.memory_bytes)
+        mem = memory_timeline(recorder, capacity).summary()
         report["cells"][cell] = {
             "policy_health": health.to_dict(),
-            "findings": [f.to_dict() for f in diagnose(health)],
+            "memory": mem,
+            "findings": [f.to_dict() for f in diagnose(health, memory=mem)],
         }
     return report
 
@@ -250,6 +297,16 @@ def validate_doctor_report(doc: object) -> dict:
             raise ValueError(
                 f"cell {cell!r} must carry policy_health and findings")
         validate_policy_health(body["policy_health"])
+        memory = body.get("memory")
+        if memory is not None:
+            # Optional (older reports predate it) but validated when present.
+            if not isinstance(memory, dict):
+                raise ValueError(f"cell {cell!r}: memory must be an object")
+            for key in MEMORY_SUMMARY_KEYS:
+                if not isinstance(memory.get(key), (int, float)):
+                    raise ValueError(
+                        f"cell {cell!r}: memory section missing numeric "
+                        f"key {key!r}")
         for finding in body["findings"]:
             if not isinstance(finding, dict):
                 raise ValueError(f"cell {cell!r}: findings must be objects")
@@ -282,6 +339,15 @@ def format_doctor(report: dict) -> str:
             f"prefetch accuracy {_pct(health['accuracy'])}, "
             f"coverage {_pct(health['coverage'])}"
         )
+        memory = body.get("memory")
+        if memory:
+            lines.append(
+                f"  memory: peak {memory['peak_used_bytes'] / 2**20:.1f} MiB "
+                f"({_pct(memory['peak_occupancy'])} of capacity), working "
+                f"set {memory['working_set_bytes'] / 2**20:.1f} MiB "
+                f"({memory['oversubscription']:.2f}x), thrash "
+                f"{memory['thrash_score']:.3f}"
+            )
         for finding in body["findings"]:
             lines.append(f"  [{finding['severity']:>7}] {finding['code']}: "
                          f"{finding['message']}")

@@ -1,0 +1,329 @@
+"""Memory-pressure timeline derived from recorded residency events.
+
+The simulator mutates GPU residency in exactly three places (demand-fault
+admit, prefetch admit, eviction — all in :mod:`repro.sim.fault_handler`),
+and each mutation emits one ``TRACK_MEMORY`` instant carrying the
+authoritative ``GPUMemory.used_bytes`` *after* the change. This module
+replays those instants offline — in append order, which is causal mutation
+order — and derives the pressure story the aggregate counters can't tell:
+
+* occupancy in bytes over simulated time (and its peak);
+* the resident working set (total distinct bytes that were ever resident);
+* admission and eviction rates, with evictions split by *trigger*
+  (``fault`` = critical-path demand eviction, ``migration`` = prefetch-path
+  make-room, ``preevict`` = watermark idle work) and by *reason*
+  (``writeback`` vs invalidated ``drop``);
+* per-block residency intervals and a thrash score counting blocks that
+  were evicted and then faulted or prefetched straight back in.
+
+Every event is reconciled invariant-style: the derived running occupancy
+must equal the recorded ``used`` bytes (equivalently ``capacity -
+GPUMemory.free_bytes``) after *every* admit and evict. Any mismatch —
+a missed instrumentation site, a double admit, an evict of a non-resident
+block — raises :exc:`MemoryReconciliationError` instead of producing a
+quietly wrong chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from .recorder import TRACK_MEMORY
+
+#: Eviction triggers, in reporting order (see DriverFaultHandler.evict).
+EVICT_TRIGGERS = ("fault", "migration", "preevict")
+
+#: Admission reasons, in reporting order.
+ADMIT_REASONS = ("fault", "prefetch")
+
+
+class MemoryReconciliationError(AssertionError):
+    """The derived occupancy diverged from the simulator's own accounting."""
+
+
+@dataclass(frozen=True)
+class MemoryEvent:
+    """One residency change, replayed from a ``TRACK_MEMORY`` instant.
+
+    ``used`` is the authoritative occupancy *after* the event as recorded
+    by the simulator; ``derived_used`` is this module's independent running
+    sum. Reconciliation guarantees they are equal on every event.
+    """
+
+    kind: str  # "admit" | "evict" | "grow"
+    t: float
+    block: int
+    bytes: int
+    reason: str  # admit: fault|prefetch; evict: writeback|drop
+    trigger: str  # evict only; "" for admits
+    used: int
+    kernel_seq: int
+
+
+@dataclass
+class ResidencyInterval:
+    """One stay of a block in GPU memory.
+
+    ``end`` is ``None`` while the block is still resident when the record
+    stops (an open interval).
+    """
+
+    block: int
+    bytes: int
+    start: float
+    admit_reason: str
+    end: Optional[float] = None
+    evict_reason: str = ""
+    evict_trigger: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "block": self.block,
+            "bytes": self.bytes,
+            "start": self.start,
+            "end": self.end,
+            "admit_reason": self.admit_reason,
+            "evict_reason": self.evict_reason,
+            "evict_trigger": self.evict_trigger,
+        }
+
+
+@dataclass
+class MemoryTimeline:
+    """The derived pressure timeline for one recorded run."""
+
+    capacity_bytes: int
+    events: list[MemoryEvent] = field(default_factory=list)
+    intervals: list[ResidencyInterval] = field(default_factory=list)
+    #: (t, occupied bytes) after each event, prefixed with a (0.0, 0) origin
+    #: sample. Append order = causal order; ``t`` is monotone except where
+    #: link-idle eviction work was booked into an earlier slot.
+    occupancy: list[tuple[float, int]] = field(default_factory=list)
+    peak_used_bytes: int = 0
+    peak_used_t: float = 0.0
+    working_set_bytes: int = 0
+    working_set_blocks: int = 0
+    admits: int = 0
+    admitted_bytes: int = 0
+    admits_by_reason: dict[str, int] = field(default_factory=dict)
+    evicts: int = 0
+    evicted_bytes: int = 0
+    evicts_by_trigger: dict[str, int] = field(default_factory=dict)
+    evicted_bytes_by_trigger: dict[str, int] = field(default_factory=dict)
+    evicts_by_reason: dict[str, int] = field(default_factory=dict)
+    #: Admissions of blocks that had been evicted earlier in the run.
+    refetched_admits: int = 0
+    refetched_bytes: int = 0
+    #: In-place population growth of resident blocks (first-touch pages
+    #: materializing under a block that is already on the device).
+    grows: int = 0
+    grown_bytes: int = 0
+    #: Largest overshoot past capacity from in-place growth (see
+    #: :func:`memory_timeline`); 0 when occupancy never exceeded capacity.
+    over_capacity_bytes: int = 0
+    end_t: float = 0.0
+
+    @property
+    def peak_occupancy(self) -> float:
+        """Peak occupancy as a fraction of capacity (0..1)."""
+        if self.capacity_bytes <= 0:
+            return 0.0
+        return self.peak_used_bytes / self.capacity_bytes
+
+    @property
+    def oversubscription(self) -> float:
+        """Working set over capacity; > 1.0 means the run oversubscribes."""
+        if self.capacity_bytes <= 0:
+            return 0.0
+        return self.working_set_bytes / self.capacity_bytes
+
+    @property
+    def thrash_score(self) -> float:
+        """Fraction of admissions that re-fetch a previously evicted block.
+
+        0.0 means every block came in at most once per eviction-free run;
+        values near 1.0 mean the run spends its admissions re-fetching what
+        it just evicted (the Long et al. thrash pathology).
+        """
+        if self.admits == 0:
+            return 0.0
+        return self.refetched_admits / self.admits
+
+    def rates(self, buckets: int = 60) -> list[dict[str, float]]:
+        """Admission/eviction byte rates over ``buckets`` equal time slices.
+
+        Each entry: ``{"t0", "t1", "admitted_bytes", "evicted_bytes"}``.
+        Events at exactly ``end_t`` land in the last bucket.
+        """
+        if buckets <= 0:
+            raise ValueError(f"buckets must be positive, got {buckets}")
+        end = self.end_t
+        if end <= 0.0:
+            return []
+        width = end / buckets
+        out = [
+            {"t0": i * width, "t1": (i + 1) * width,
+             "admitted_bytes": 0.0, "evicted_bytes": 0.0}
+            for i in range(buckets)
+        ]
+        for ev in self.events:
+            i = min(int(ev.t / width), buckets - 1) if width > 0 else 0
+            key = "evicted_bytes" if ev.kind == "evict" else "admitted_bytes"
+            out[i][key] += ev.bytes
+        return out
+
+    def summary(self) -> dict[str, Any]:
+        """Compact dict for the doctor and report (no per-event data)."""
+        return {
+            "capacity_bytes": self.capacity_bytes,
+            "peak_used_bytes": self.peak_used_bytes,
+            "peak_used_t": self.peak_used_t,
+            "peak_occupancy": self.peak_occupancy,
+            "working_set_bytes": self.working_set_bytes,
+            "working_set_blocks": self.working_set_blocks,
+            "oversubscription": self.oversubscription,
+            "admits": self.admits,
+            "admitted_bytes": self.admitted_bytes,
+            "admits_by_reason": dict(self.admits_by_reason),
+            "evicts": self.evicts,
+            "evicted_bytes": self.evicted_bytes,
+            "evicts_by_trigger": dict(self.evicts_by_trigger),
+            "evicted_bytes_by_trigger": dict(self.evicted_bytes_by_trigger),
+            "evicts_by_reason": dict(self.evicts_by_reason),
+            "refetched_admits": self.refetched_admits,
+            "refetched_bytes": self.refetched_bytes,
+            "grows": self.grows,
+            "grown_bytes": self.grown_bytes,
+            "over_capacity_bytes": self.over_capacity_bytes,
+            "thrash_score": self.thrash_score,
+            "end_t": self.end_t,
+        }
+
+    def to_dict(self, max_samples: int = 2000) -> dict[str, Any]:
+        """Full serialisation for the HTML report.
+
+        ``occupancy`` is decimated to at most ``max_samples`` points
+        (peak-preserving: the peak sample is always kept).
+        """
+        samples = self.occupancy
+        if len(samples) > max_samples:
+            step = len(samples) / max_samples
+            picked = {int(i * step) for i in range(max_samples)}
+            picked.add(len(samples) - 1)
+            peak = max(range(len(samples)), key=lambda i: samples[i][1])
+            picked.add(peak)
+            samples = [samples[i] for i in sorted(picked)]
+        doc = self.summary()
+        doc["occupancy"] = [[t, used] for t, used in samples]
+        doc["intervals"] = [iv.to_dict() for iv in self.intervals]
+        return doc
+
+
+def memory_timeline(recorder: Any, capacity_bytes: int) -> MemoryTimeline:
+    """Replay ``TRACK_MEMORY`` instants into a reconciled pressure timeline.
+
+    ``recorder`` is a :class:`~repro.obs.recorder.SpanRecorder` (anything
+    with ``instants`` and ``kernels`` sequences works). Raises
+    :exc:`MemoryReconciliationError` if the derived occupancy ever diverges
+    from the recorded ``GPUMemory.used_bytes``, if a block is admitted while
+    already resident, or if a non-resident block is evicted.
+    """
+    tl = MemoryTimeline(capacity_bytes=capacity_bytes)
+    tl.occupancy.append((0.0, 0))
+    derived = 0
+    open_intervals: dict[int, ResidencyInterval] = {}
+    block_bytes: dict[int, int] = {}
+    evicted_once: set[int] = set()
+    kinds = {"mem.admit": "admit", "mem.evict": "evict", "mem.grow": "grow"}
+    for inst in recorder.instants:
+        if inst.track != TRACK_MEMORY:
+            continue
+        args: Mapping[str, Any] = inst.args or {}
+        kind = kinds[inst.name]
+        block = int(args["block"])
+        nbytes = int(args["bytes"])
+        used = int(args["used"])
+        reason = str(args.get("reason", ""))
+        trigger = str(args.get("trigger", ""))
+        ev = MemoryEvent(kind=kind, t=inst.t, block=block, bytes=nbytes,
+                         reason=reason, trigger=trigger, used=used,
+                         kernel_seq=inst.kernel_seq)
+        tl.events.append(ev)
+        if kind == "admit":
+            if block in open_intervals:
+                raise MemoryReconciliationError(
+                    f"block {block} admitted at t={inst.t} while already "
+                    f"resident since t={open_intervals[block].start}"
+                )
+            derived += nbytes
+            iv = ResidencyInterval(block=block, bytes=nbytes,
+                                   start=inst.t, admit_reason=reason)
+            open_intervals[block] = iv
+            tl.intervals.append(iv)
+            tl.admits += 1
+            tl.admitted_bytes += nbytes
+            tl.admits_by_reason[reason] = tl.admits_by_reason.get(reason, 0) + 1
+            if block in evicted_once:
+                tl.refetched_admits += 1
+                tl.refetched_bytes += nbytes
+            block_bytes[block] = max(block_bytes.get(block, 0), nbytes)
+        elif kind == "grow":
+            iv0 = open_intervals.get(block)
+            if iv0 is None:
+                raise MemoryReconciliationError(
+                    f"block {block} grew by {nbytes} B at t={inst.t} but "
+                    "is not resident"
+                )
+            derived += nbytes
+            iv0.bytes += nbytes
+            tl.grows += 1
+            tl.grown_bytes += nbytes
+            block_bytes[block] = max(block_bytes.get(block, 0), iv0.bytes)
+        else:
+            iv2 = open_intervals.pop(block, None)
+            if iv2 is None:
+                raise MemoryReconciliationError(
+                    f"block {block} evicted at t={inst.t} but no admit is open"
+                )
+            derived -= nbytes
+            iv2.end = inst.t
+            iv2.evict_reason = reason
+            iv2.evict_trigger = trigger
+            tl.evicts += 1
+            tl.evicted_bytes += nbytes
+            tl.evicts_by_trigger[trigger] = \
+                tl.evicts_by_trigger.get(trigger, 0) + 1
+            tl.evicted_bytes_by_trigger[trigger] = \
+                tl.evicted_bytes_by_trigger.get(trigger, 0) + nbytes
+            tl.evicts_by_reason[reason] = tl.evicts_by_reason.get(reason, 0) + 1
+            evicted_once.add(block)
+        if derived != used:
+            raise MemoryReconciliationError(
+                f"after {inst.name} of block {block} at t={inst.t}: derived "
+                f"occupancy {derived} != recorded GPUMemory.used_bytes {used} "
+                f"(free_bytes {capacity_bytes - used})"
+            )
+        if derived > capacity_bytes:
+            if kind != "grow":
+                # gpu.admit enforces capacity, so only in-place population
+                # of a resident block (which has no capacity check in the
+                # simulator) may legitimately overshoot; anything else
+                # exceeding capacity is an accounting bug.
+                raise MemoryReconciliationError(
+                    f"occupancy {derived} exceeds capacity {capacity_bytes} "
+                    f"after {inst.name} of block {block} at t={inst.t}"
+                )
+            tl.over_capacity_bytes = max(tl.over_capacity_bytes,
+                                         derived - capacity_bytes)
+        tl.occupancy.append((inst.t, derived))
+        if derived > tl.peak_used_bytes:
+            tl.peak_used_bytes = derived
+            tl.peak_used_t = inst.t
+        tl.end_t = max(tl.end_t, inst.t)
+    tl.working_set_blocks = len(block_bytes)
+    tl.working_set_bytes = sum(block_bytes.values())
+    kernels = getattr(recorder, "kernels", None)
+    if kernels:
+        tl.end_t = max(tl.end_t, kernels[-1].end)
+    return tl

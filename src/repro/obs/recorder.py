@@ -24,6 +24,7 @@ track                     meaning
 ``TRACK_MIGRATION``       the migration thread (prefetch-queue processing)
 ``TRACK_PREEVICT``        the pre-evictor (watermark-triggered idle work)
 ``TRACK_FAULT``           the fault-handling pipeline (per-fault phases)
+``TRACK_MEMORY``          GPU physical memory (block admits / evictions)
 ========================  ====================================================
 
 Events never reference wall-clock time; everything is simulated seconds from
@@ -43,13 +44,19 @@ TRACK_LINK = "pcie"
 TRACK_MIGRATION = "migration"
 TRACK_PREEVICT = "preevict"
 TRACK_FAULT = "fault"
+#: GPU physical-memory residency changes (block admits and evictions).
+#: Every instant here carries the authoritative ``GPUMemory.used_bytes``
+#: *after* the event, which is what lets the memory-pressure timeline
+#: (:mod:`repro.obs.memory`) reconcile its derived occupancy against the
+#: simulator invariant-style.
+TRACK_MEMORY = "gpumem"
 #: Experiment-executor events (cell start/finish/retry). Unlike every
 #: simulation track, events here are stamped in wall-clock seconds since
 #: the executor run started — they describe the harness, not the machine.
 TRACK_EXEC = "exec"
 
 ALL_TRACKS = (TRACK_GPU, TRACK_FAULT, TRACK_LINK, TRACK_MIGRATION,
-              TRACK_PREEVICT, TRACK_EXEC)
+              TRACK_PREEVICT, TRACK_MEMORY, TRACK_EXEC)
 
 #: Human-readable track names (used as thread names in the Chrome trace).
 TRACK_LABELS = {
@@ -58,6 +65,7 @@ TRACK_LABELS = {
     TRACK_LINK: "PCIe link",
     TRACK_MIGRATION: "Migration thread",
     TRACK_PREEVICT: "Pre-evictor",
+    TRACK_MEMORY: "GPU memory",
     TRACK_EXEC: "Executor (wall)",
 }
 

@@ -380,7 +380,8 @@ class UMSimulator:
                     # *command* is pinned to its issue instant.
                     if not background_tick(link.free_at):
                         handler.make_room(
-                            blk.populated_bytes, link.free_at
+                            blk.populated_bytes, link.free_at,
+                            trigger="migration",
                         )
                     end = handler.prefetch_block(
                         blk, max(link.free_at, earliest)

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Protocol
 
 from ..config import FaultCosts
-from ..obs.recorder import NULL_RECORDER, TRACK_FAULT
+from ..obs.recorder import NULL_RECORDER, TRACK_FAULT, TRACK_MEMORY
 from .gpu import GPUMemory
 from .interconnect import PCIeLink
 from .um_space import BlockLocation, UMBlock, UnifiedMemorySpace
@@ -116,7 +116,7 @@ class DriverFaultHandler:
         needed = block.populated_bytes
         if gpu.capacity_bytes - gpu.used_bytes < needed:
             evict_start = t
-            t = self.make_room(needed, t)
+            t = self.make_room(needed, t, trigger="fault")
             if rec_on and t > evict_start:
                 rec.span(TRACK_FAULT, "fault.evict", evict_start, t,
                          args={"block": block.index})
@@ -141,6 +141,9 @@ class DriverFaultHandler:
             stats.first_touch_faults += 1
         gpu.admit(block, t)
         if rec_on:
+            rec.instant(TRACK_MEMORY, "mem.admit", t,
+                        args={"block": block.index, "bytes": needed,
+                              "reason": "fault", "used": gpu.used_bytes})
             rec.span(TRACK_FAULT, "fault.replay", t,
                      t + self.costs.replay_overhead,
                      args={"block": block.index})
@@ -148,7 +151,8 @@ class DriverFaultHandler:
         stats.fault_stall_time += t - now
         return t
 
-    def make_room(self, needed_bytes: int, now: float) -> float:
+    def make_room(self, needed_bytes: int, now: float, *,
+                  trigger: str = "fault") -> float:
         """Evict until ``needed_bytes`` fit; returns when the room exists."""
         t = now
         while self.gpu.free_bytes < needed_bytes:
@@ -160,33 +164,55 @@ class DriverFaultHandler:
                     "eviction policy returned no victims while "
                     f"{needed_bytes - self.gpu.free_bytes} bytes are still needed"
                 )
-            t = self.evict(victims, t)
+            t = self.evict(victims, t, trigger=trigger)
         return t
 
-    def evict(self, victims: Iterable[UMBlock], now: float) -> float:
-        """Evict ``victims``; invalidated blocks are dropped without traffic."""
+    def evict(self, victims: Iterable[UMBlock], now: float, *,
+              trigger: str = "fault") -> float:
+        """Evict ``victims``; invalidated blocks are dropped without traffic.
+
+        ``trigger`` names what put the eviction on the clock — ``fault``
+        (critical-path, a demand fault needed room), ``migration`` (the
+        prefetch path made room off the critical path) or ``preevict``
+        (watermark-triggered idle work) — and is recorded with each
+        residency change so the memory timeline can split demand evictions
+        from pre-evictions.
+        """
         t = now
         gpu = self.gpu
         stats = self.stats
         resident = gpu.resident
         is_invalidated = self.is_invalidated
         occupy = self.link.occupy
+        rec_on = self.rec_on
         for blk in victims:
             if blk.index not in resident:
                 continue
             if is_invalidated(blk):
+                bytes_ = blk.populated_bytes
                 gpu.remove(blk, to_cpu=False)
                 stats.invalidated_evictions += 1
-                stats.invalidated_bytes += blk.populated_bytes
-                if self.rec_on:
+                stats.invalidated_bytes += bytes_
+                if rec_on:
                     self.recorder.instant(TRACK_FAULT, "evict.invalidated", t,
                                           args={"block": blk.index})
+                    self.recorder.instant(
+                        TRACK_MEMORY, "mem.evict", t,
+                        args={"block": blk.index, "bytes": bytes_,
+                              "reason": "drop", "trigger": trigger,
+                              "used": gpu.used_bytes})
                 continue
             _, t = occupy(t, blk.populated_bytes, to_gpu=False,
                           label="evict.writeback")
             gpu.remove(blk, to_cpu=True)
             stats.evictions += 1
             stats.evicted_bytes += blk.populated_bytes
+            if rec_on:
+                self.recorder.instant(
+                    TRACK_MEMORY, "mem.evict", t,
+                    args={"block": blk.index, "bytes": blk.populated_bytes,
+                          "reason": "writeback", "trigger": trigger,
+                          "used": gpu.used_bytes})
         return t
 
     def handle_batch(self, buffer, now: float) -> float:
@@ -234,4 +260,9 @@ class DriverFaultHandler:
         else:
             end = earliest
         self.gpu.admit(block, end)
+        if self.rec_on:
+            self.recorder.instant(
+                TRACK_MEMORY, "mem.admit", end,
+                args={"block": block.index, "bytes": block.populated_bytes,
+                      "reason": "prefetch", "used": self.gpu.used_bytes})
         return end

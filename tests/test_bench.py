@@ -160,6 +160,35 @@ def test_compare_threshold_below_one_rejected():
         compare_results(_result(), _result(), threshold=0.9)
 
 
+def test_failed_compare_names_deep_dive_commands():
+    cmp = compare_results(_result(faults=42), _result(faults=43))
+    assert not cmp.ok
+    report = cmp.report()
+    assert "reproduce locally:" in report
+    assert "repro report tiny --out report-tiny.html" in report
+    # TINY pins a single policy, so there is no A/B pair to trace-diff.
+    assert all("trace diff" not in h for h in cmp.repro_hints)
+
+
+def test_ok_compare_has_no_repro_hints():
+    cmp = compare_results(_result(), _result())
+    assert cmp.ok and cmp.repro_hints == []
+    assert "reproduce locally:" not in cmp.report()
+
+
+def test_repro_hints_name_the_scenario_ab_pair():
+    from repro.bench.compare import repro_hints
+
+    doc = _result()
+    doc["config"] = dict(doc["config"], policies=["um", "deepum"])
+    hints = repro_hints(doc)
+    assert hints[0] == "repro report tiny --out report-tiny.html"
+    assert hints[1] == (
+        "repro trace diff mobilenet --batch 3072 --seed 0 "
+        "--warmup 1 --measure 1 --degree 32 --a um --b deepum"
+    )
+
+
 # ----------------------------------------------------- v1 -> v2 compat
 
 def _v1_result(**kw):

@@ -1,0 +1,138 @@
+"""Single-file HTML report: document build, offline rendering, CLI wiring."""
+
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs.report import (
+    REPORT_SCHEMA_VERSION,
+    ReportOfflineError,
+    assert_offline,
+    journal_report,
+    render_html,
+    scenario_report,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_doc():
+    return scenario_report("smoke", warmup_iterations=1, measure_iterations=1)
+
+
+# ------------------------------------------------------------- documents
+
+
+def test_scenario_report_document(smoke_doc):
+    doc = smoke_doc
+    assert doc["report_schema_version"] == REPORT_SCHEMA_VERSION
+    assert doc["kind"] == "scenario" and doc["scenario"] == "smoke"
+    cells = doc["cells"]
+    assert set(cells) == {"mobilenet@3072/um", "mobilenet@3072/deepum"}
+    for body in cells.values():
+        assert body["seconds_per_100_iterations"] > 0
+        mem = body["memory"]
+        assert mem["capacity_bytes"] > 0
+        assert mem["oversubscription"] > 1.0
+        assert mem["occupancy"][0] == [0.0, 0]
+        assert body["kernels"] and body["policy_health"]["kernels"] > 0
+        codes = {f["code"] for f in body["findings"]}
+        assert "oversubscription-pressure" in codes
+    # The A/B diff is embedded, um as A and deepum as B.
+    assert doc["diff_pair"] == ["mobilenet@3072/um", "mobilenet@3072/deepum"]
+    diff = doc["diff"]
+    assert diff["label_a"] == "um" and diff["label_b"] == "deepum"
+    assert diff["matched"] > 0
+
+
+def test_scenario_report_renders_offline(smoke_doc, tmp_path):
+    out = tmp_path / "report.html"
+    html = write_report(smoke_doc, str(out))
+    assert out.read_text() == html
+    assert_offline(html)  # re-check what landed on disk
+    assert html.startswith("<!DOCTYPE html>")
+    assert "mobilenet@3072/um" in html and "mobilenet@3072/deepum" in html
+    assert "<svg" in html  # occupancy + kernel timelines
+    assert "A/B diff: deepum vs um" in html
+    assert "thrash score" in html
+    assert "oversubscription-pressure" in html
+
+
+def test_unknown_scenario_and_kind_raise():
+    with pytest.raises(KeyError, match="unknown scenario"):
+        scenario_report("no-such-scenario")
+    with pytest.raises(ValueError, match="unknown report kind"):
+        render_html({"kind": "nope"})
+
+
+# --------------------------------------------------------------- offline
+
+
+def test_assert_offline_rejects_external_references():
+    for bad in (
+        "<img src=\"https://cdn.example.com/x.png\">",
+        "<script src=\"app.js\"></script>",
+        "<link rel=\"stylesheet\" href=\"style.css\">",
+        "<style>body { background: url(remote.png); }</style>",
+        "<a href=\"mailto:x@example.com\">x</a>",
+    ):
+        with pytest.raises(ReportOfflineError):
+            assert_offline(f"<html>{bad}</html>")
+    # Fragment and data: targets are the only allowed link forms.
+    assert_offline("<a href=\"#section\">ok</a>"
+                   "<img src=\"data:image/png;base64,AAAA\">")
+
+
+# --------------------------------------------------- journal mode + CLI
+
+
+def _make_run(tmp_path, capsys):
+    assert main(["run", "mobilenet", "--batch", "64",
+                 "--policies", "um,deepum", "--warmup", "1", "--measure", "1",
+                 "--workers", "2", "--runs-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["runs", "list", "--runs-dir", str(tmp_path)]) == 0
+    match = re.search(r"(\d{8}-\d{6}-[0-9a-f]{6})", capsys.readouterr().out)
+    assert match
+    return match.group(1)
+
+
+def test_journal_report_and_runs_show(tmp_path, capsys):
+    from repro.exec import RunJournal
+
+    run_id = _make_run(tmp_path, capsys)
+    journal = RunJournal.load(run_id, str(tmp_path))
+    doc = journal_report(journal)
+    assert doc["kind"] == "run" and doc["run_id"] == run_id
+    assert len(doc["cells"]) == 2
+    for cell in doc["cells"]:
+        assert cell["status"] == "ok"
+        assert cell["wall_seconds"] > 0
+        assert cell["attempts"] >= 1
+    html = render_html(doc)
+    assert run_id in html and "wall (s)" in html and "retries" in html
+
+    # `runs show` surfaces the same per-cell wall time and retry count.
+    assert main(["runs", "show", run_id, "--runs-dir", str(tmp_path)]) == 0
+    shown = capsys.readouterr().out
+    assert "wall (s)" in shown and "retries" in shown
+
+    # journal mode through the CLI writes the same offline artifact.
+    out = tmp_path / "run-report.html"
+    assert main(["report", "--run", run_id, "--runs-dir", str(tmp_path),
+                 "--out", str(out)]) == 0
+    html2 = out.read_text()
+    assert_offline(html2)
+    assert run_id in html2
+
+
+def test_report_cli_requires_exactly_one_source(tmp_path):
+    with pytest.raises(SystemExit, match="exactly one"):
+        main(["report"])
+    with pytest.raises(SystemExit, match="exactly one"):
+        main(["report", "smoke", "--run", "x",
+              "--runs-dir", str(tmp_path)])
+    with pytest.raises(SystemExit, match="unknown scenario"):
+        main(["report", "definitely-not-a-scenario",
+              "--out", str(tmp_path / "r.html")])
