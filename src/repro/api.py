@@ -278,15 +278,17 @@ def _execute_probe(req: RunRequest) -> RunResult:
 
     assert req.batch is not None and req.system is not None
     cfg = get_model_config(req.model)
-    facade = build_policy(req.policy, req.system,
-                          deepum_config=req.deepum_config, seed=req.seed)
     try:
+        facade = build_policy(req.policy, req.system,
+                              deepum_config=req.deepum_config, seed=req.seed)
         workload = cfg.build(facade.device, cfg.sim_batch(req.batch),
                              scale=req.scale)
         workload.run(req.warmup_iterations)
     except (UMCapacityError, TorchSimOOM, TensorSwapOOM) as exc:
         return RunResult(request=req, status=STATUS_OOM,
                          error=f"{type(exc).__name__}: {exc}")
+    except (KeyError, TypeError):
+        raise  # unknown name / recorder-facade mismatch: a caller error
     except Exception:
         return RunResult(request=req, status=STATUS_FAILED,
                          error=traceback.format_exc())

@@ -124,7 +124,12 @@ def run_scenario_cell(payload: dict[str, Any]) -> dict[str, Any]:
     :class:`BenchRunError` on OOM or nondeterminism — in a worker process
     that surfaces as a ``failed`` cell with the traceback.
     """
-    deepum_config = DeepUMConfig(prefetch_degree=payload["prefetch_degree"])
+    from ..harness.experiment import policy_accepts_config
+
+    deepum_config = (
+        DeepUMConfig(prefetch_degree=payload["prefetch_degree"])
+        if policy_accepts_config(payload["policy"]) else None
+    )
     cell_name = f"{payload['model']}@{payload['paper_batch']}/{payload['policy']}"
 
     def one(recorder=None) -> ExperimentResult:

@@ -26,13 +26,13 @@ import argparse
 import json
 import os
 import sys
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 from .api import RunRequest, RunResult, execute
 from .config import DeepUMConfig
 from .constants import MiB
 from .harness import calibrate_system, max_batch_outcome
-from .harness.experiment import POLICIES
+from .harness.experiment import POLICIES, policy_accepts_config
 from .harness.report import format_table, phase_breakdown_table
 from .models.registry import get_model_config, list_models
 
@@ -202,8 +202,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         return RunRequest(
             model=args.model, policy=policy, batch=batch, scale=scale,
             warmup_iterations=args.warmup, measure_iterations=args.measure,
-            seed=seed, deepum_config=deepum_cfg, system=system,
-            recorder=recorder,
+            seed=seed,
+            deepum_config=deepum_cfg if policy_accepts_config(policy)
+            else None,
+            system=system, recorder=recorder,
         )
 
     if args.workers > 1:
@@ -305,7 +307,10 @@ def cmd_trace_timeline(args: argparse.Namespace) -> int:
         model=args.model, policy=args.policy, batch=batch, scale=args.scale,
         warmup_iterations=args.warmup, measure_iterations=args.measure,
         seed=args.seed if args.seed is not None else 0,
-        deepum_config=DeepUMConfig(prefetch_degree=args.degree),
+        deepum_config=(
+            DeepUMConfig(prefetch_degree=args.degree)
+            if policy_accepts_config(args.policy) else None
+        ),
         recorder=recorder,
     ))
     if not result.ok:
@@ -474,7 +479,10 @@ def cmd_trace_why(args: argparse.Namespace) -> int:
         model=args.model, policy=args.policy, batch=batch, scale=args.scale,
         warmup_iterations=args.warmup, measure_iterations=args.measure,
         seed=args.seed if args.seed is not None else 0,
-        deepum_config=DeepUMConfig(prefetch_degree=args.degree),
+        deepum_config=(
+            DeepUMConfig(prefetch_degree=args.degree)
+            if policy_accepts_config(args.policy) else None
+        ),
         recorder=recorder,
     ))
     if not result.ok:
@@ -517,7 +525,10 @@ def cmd_trace_diff(args: argparse.Namespace) -> int:
             model=args.model, policy=policy, batch=batch, scale=args.scale,
             warmup_iterations=args.warmup, measure_iterations=args.measure,
             seed=args.seed if args.seed is not None else 0,
-            deepum_config=DeepUMConfig(prefetch_degree=args.degree),
+            deepum_config=(
+                DeepUMConfig(prefetch_degree=args.degree)
+                if policy_accepts_config(policy) else None
+            ),
             recorder=recorder,
         ))
         if not result.ok:
@@ -535,6 +546,56 @@ def cmd_trace_diff(args: argparse.Namespace) -> int:
             fh.write("\n")
         print(f"\nwrote {args.out}")
     return 0
+
+
+def cmd_tournament(args: argparse.Namespace) -> int:
+    """Run a policy tournament grid and print the ranking tables."""
+    from .exec import tournament_cell_task
+    from .harness.tournament import TOURNAMENTS, tournament_payloads
+
+    if args.scenario == "list" or args.list:
+        rows = [[s.name, ",".join(s.models),
+                 "/".join(f"{p:g}" for p in s.pressures),
+                 ",".join(s.policies), s.description]
+                for s in TOURNAMENTS.values()]
+        print(format_table(
+            ["scenario", "models", "pressures", "policies", "description"],
+            rows, title="Tournament scenarios"))
+        return 0
+    scenario = TOURNAMENTS.get(args.scenario)
+    if scenario is None:
+        known = ", ".join(sorted(TOURNAMENTS))
+        raise SystemExit(
+            f"unknown tournament scenario {args.scenario!r}; known: {known}")
+    policies = _parse_policies(args.policies) if args.policies else None
+    if args.out:
+        _require_writable_dir(args.out, "--out")
+    payloads = tournament_payloads(scenario, policies=policies)
+    tasks = [tournament_cell_task(payload, key)
+             for key, payload in payloads.items()]
+    results = _run_journaled(
+        tasks, kind="tournament", args=args,
+        meta={"scenario": scenario.name,
+              "policies": policies or list(scenario.policies),
+              "out": args.out},
+    )
+    return _render_tournament_results(results, scenario.name, args.out)
+
+
+def _render_tournament_results(results: dict[str, dict[str, Any]],
+                               title: str, out: Optional[str]) -> int:
+    from .harness.tournament import format_tournament, rank_tournament
+
+    doc = rank_tournament(results)
+    if out:
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    print(format_tournament(doc, title=f"tournament {title}"))
+    if out:
+        print(f"\nwrote {out}")
+    bad = sum(1 for cell in doc["cells"] if cell.get("status") != "ok")
+    return 1 if bad else 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -646,6 +707,10 @@ def _finalize_resumed(journal, results: dict[str, dict[str, Any]],
         return _render_sweep_results(
             results,
             title=f"{meta.get('model', '?')}: prefetch degree sweep")
+    if kind == "tournament":
+        return _render_tournament_results(
+            results, str(journal.meta.get("scenario", "?")),
+            journal.meta.get("out"))
     if kind == "bench":
         from .bench import SCENARIOS, write_result
         from .bench.runner import (
@@ -806,6 +871,22 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("model")
     sweep.add_argument("--degrees", default="1,8,32,128,512")
     sweep.set_defaults(fn=cmd_sweep_degree, warmup=4, measure=3)
+
+    tour = sub.add_parser(
+        "tournament", parents=[execp],
+        help="rank prefetch policies on a pinned grid of models x "
+             "memory pressures, judged by PolicyHealth")
+    tour.add_argument("scenario", nargs="?", default="flagship",
+                      help="tournament scenario name, or `list` "
+                           "(default: flagship)")
+    tour.add_argument("--list", action="store_true",
+                      help="list the pinned tournament scenarios")
+    tour.add_argument("--policies", default=None,
+                      help="comma-separated entrant override "
+                           "(default: the scenario's pinned entrants)")
+    tour.add_argument("--out", default=None, metavar="PATH",
+                      help="also write the ranked JSON document here")
+    tour.set_defaults(fn=cmd_tournament)
 
     bench = sub.add_parser(
         "bench", help="pinned benchmark scenarios and regression compare")

@@ -12,6 +12,7 @@ This is the public entry point a user of the library touches::
 from __future__ import annotations
 
 from ..config import DeepUMConfig, SystemConfig
+from ..policies import build_prefetch_policy
 from ..sim.engine import UMSimulator
 from ..torchsim.backend import UMBackend
 from ..torchsim.context import Device
@@ -32,12 +33,16 @@ class DeepUM:
         seed: int = 0,
         block_size: int | None = None,
         recorder=None,
+        prefetch_policy: str = "deepum",
     ):
         self.system = system
         self.config = config if config is not None else DeepUMConfig()
+        self.prefetch_policy = prefetch_policy
         self.engine = UMSimulator(system, block_size=block_size,
                                   recorder=recorder)
-        self.driver = DeepUMDriver(self.engine, self.config)
+        policy = build_prefetch_policy(prefetch_policy, self.engine,
+                                       self.config)
+        self.driver = DeepUMDriver(self.engine, self.config, policy)
         self.engine.hooks = self.driver
         self.runtime = DeepUMRuntime(self.driver)
         self.manager = UMMemoryManager(

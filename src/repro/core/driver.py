@@ -4,123 +4,84 @@ In the paper this is a Linux kernel module with a fault-handling thread, a
 correlator thread, a prefetching thread, and a migration thread around two
 single-producer/single-consumer queues. In the simulator the threads become
 event handlers invoked by the engine (which owns time): the engine *is* the
-fault-handling and migration machinery, and this driver supplies the
-correlator, the chaining prefetcher, the pre-evictor, and the invalidation
-registry behind the :class:`~repro.sim.engine.DriverHooks` interface.
+fault-handling and migration machinery, and this driver is the *plumbing*
+between the runtime callbacks and a pluggable
+:class:`~repro.policies.base.PrefetchPolicy` — the brain supplying
+prediction, eviction protection, and pre-eviction. The paper's chaining
+prefetcher (:class:`~repro.policies.chaining.ChainingPolicy`) is the
+default brain; the policy registry (:mod:`repro.policies`) names the rest.
+
+Only the invalidation registry (Section 5.2) stays driver-owned: dead-block
+tracking is a property of the allocator integration, not of any particular
+prediction policy, and every policy benefits from it identically.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..config import DeepUMConfig
+from ..policies.eviction import ProtectedLRUEvictionPolicy
 from ..sim.engine import UMSimulator
-from ..sim.gpu import GPUMemory
 from ..sim.um_space import UMBlock
-from .block_table import BlockTableConfig
-from .correlator import Correlator
 from .invalidate import InactiveBlockRegistry
-from .preevict import PreEvictor
-from .prefetcher import ChainingPrefetcher
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..policies.base import PrefetchPolicy
 
-class DeepUMEvictionPolicy:
-    """Victim policy for the demand-fault path under DeepUM.
-
-    Order of preference: invalidated blocks (free to drop), then
-    least-recently-migrated blocks outside the predicted-access window,
-    then — only if the need is still unmet — protected blocks in
-    migration order.
-    """
-
-    def __init__(self, prefetcher: ChainingPrefetcher, *,
-                 prefer_invalidated: bool, protect_predicted: bool):
-        self.prefetcher = prefetcher
-        self.prefer_invalidated = prefer_invalidated
-        self.protect_predicted = protect_predicted
-
-    def select_victims(self, gpu: GPUMemory, needed_bytes: int,
-                       now: float) -> list[UMBlock]:
-        protected = (
-            self.prefetcher.protected_blocks() if self.protect_predicted else ()
-        )
-        dead: list[UMBlock] = []
-        cold: list[UMBlock] = []
-        hot: list[UMBlock] = []
-        for blk in gpu.migration_order():
-            if blk.index in protected:
-                # Predicted for imminent use: never preferred, even when
-                # invalidated (dropping it would just refault at touch).
-                hot.append(blk)
-            elif self.prefer_invalidated and blk.invalidated:
-                dead.append(blk)
-            else:
-                cold.append(blk)
-        victims: list[UMBlock] = []
-        reclaimed = 0
-        for blk in (*dead, *cold, *hot):
-            if reclaimed >= needed_bytes:
-                break
-            victims.append(blk)
-            reclaimed += blk.populated_bytes
-        return victims
+#: Backwards-compatible name: the DeepUM victim policy is the protected-LRU
+#: policy parameterized by the chaining prefetcher's window.
+DeepUMEvictionPolicy = ProtectedLRUEvictionPolicy
 
 
 class DeepUMDriver:
-    """DriverHooks implementation carrying DeepUM's intelligence."""
+    """DriverHooks implementation wiring a prefetch policy into the engine."""
 
-    def __init__(self, engine: UMSimulator, config: DeepUMConfig):
+    def __init__(self, engine: UMSimulator, config: DeepUMConfig,
+                 policy: Optional["PrefetchPolicy"] = None):
         self.config = config
         self.engine = engine
-        block_config = BlockTableConfig(
-            num_rows=config.block_table_rows,
-            assoc=config.block_table_assoc,
-            num_succs=config.block_table_num_succs,
-        )
-        self.correlator = Correlator(
-            block_config, history_depth=config.exec_history_depth
-        )
-        self.prefetcher = ChainingPrefetcher(self.correlator, config.prefetch_degree)
-        self.preevictor = PreEvictor(
-            engine.gpu,
-            engine.handler,
-            self.prefetcher,
-            low_watermark=config.preevict_low_watermark,
-            batch_blocks=config.preevict_batch_blocks,
-        )
-        self.invalidation = InactiveBlockRegistry(engine.um)
+        if policy is None:
+            # Imported here, not at module top: repro.policies implementation
+            # modules import repro.core, so the eager import would re-enter
+            # this package while it initializes.
+            from ..policies.chaining import ChainingPolicy
+
+            policy = ChainingPolicy(engine, config)
+        self.policy = policy
+        # Component attributes of the chaining policy, surfaced for the
+        # observability layer (table health) and existing callers; None for
+        # policies without correlation tables.
+        self.correlator = getattr(policy, "correlator", None)
+        self.prefetcher = getattr(policy, "prefetcher", None)
+        self.preevictor = policy.preevictor
+        self.invalidation = InactiveBlockRegistry(engine.um, gpu=engine.gpu)
         if not config.enable_invalidation:
             # Victims are then always written back, like the stock driver.
             engine.handler.is_invalidated = lambda blk: False
-        # Demand faults that still need room use DeepUM's victim policy too
-        # (invalidated first, predicted-soon blocks last), replacing the
-        # stock least-recently-migrated-only policy.
-        engine.handler.eviction_policy = DeepUMEvictionPolicy(
-            self.prefetcher,
-            prefer_invalidated=config.enable_invalidation,
-            protect_predicted=config.enable_preeviction or config.enable_prefetch,
-        )
+        # Demand faults that still need room use the policy's victim
+        # ordering (invalidated first, predicted-soon blocks last),
+        # replacing the stock least-recently-migrated-only policy.
+        engine.handler.eviction_policy = policy.eviction_policy
         # The engine consults these hooks before every block access; when a
         # feature is enabled, bind its implementation directly so the
         # per-access dispatch skips the config re-check (the class methods
         # below remain the disabled-feature fallback).
         if config.enable_prefetch:
-            self.pop_prefetch = self.prefetcher.pop_command
-        if config.enable_preeviction:
-            self.background_tick = self.preevictor.tick
+            self.pop_prefetch = policy.pop_command
+        if config.enable_preeviction and policy.preevictor is not None:
+            self.background_tick = policy.preevictor.tick
         if engine.recorder.enabled:
             self.attach_recorder(engine.recorder)
 
     def attach_recorder(self, recorder) -> None:
         """Thread an observability recorder through the driver threads.
 
-        The prefetcher gets the engine clock so its chain-break instants
-        land at the simulated time they happen; the pre-evictor stamps its
-        own ticks (it is handed ``now`` by the engine).
+        The policy gets the engine clock so its chain-break instants land
+        at the simulated time they happen; the pre-evictor stamps its own
+        ticks (it is handed ``now`` by the engine).
         """
-        self.prefetcher.recorder = recorder
-        self.prefetcher.clock = lambda: self.engine.now
-        self.preevictor.recorder = recorder
+        self.policy.attach_recorder(recorder, lambda: self.engine.now)
         self.invalidation.recorder = recorder
 
     # ------------------------------------------------------------------ #
@@ -133,15 +94,15 @@ class DeepUMDriver:
         if recorder.enabled:
             recorder.set_exec_id(exec_id)
             if self.config.enable_prefetch:
-                # Attribution signal: faults under a kernel whose tables
-                # have no start block yet are cold starts, not chain
+                # Attribution signal: faults under a kernel the policy
+                # cannot predict for yet are cold starts, not prediction
                 # failures. Only an active prefetcher sends this — its
                 # absence tells the decision log the policy cannot predict
                 # at all (naive UM).
-                recorder.note_kernel_known(self.correlator.kernel_known(exec_id))
-        self.correlator.on_kernel_launch(exec_id)
+                recorder.note_kernel_known(self.policy.kernel_known(exec_id))
+        self.policy.observe_kernel_launch(exec_id)
         if self.config.enable_prefetch:
-            self.prefetcher.on_kernel_launch(exec_id)
+            self.policy.start_prefetch(exec_id)
 
     def notify_pt_block_state(self, pt_block, active: bool) -> None:
         """The PyTorch allocator patch reporting a PT block state change."""
@@ -158,29 +119,29 @@ class DeepUMDriver:
         return None
 
     def on_fault(self, block: UMBlock, now: float) -> None:
-        self.correlator.on_fault(block.index)
+        self.policy.observe_fault(block.index)
         if self.config.enable_prefetch:
-            self.prefetcher.restart_from_fault(block.index)
+            self.policy.restart_from_fault(block.index)
 
     def pop_prefetch(self) -> Optional[int]:
         if not self.config.enable_prefetch:
             return None
-        return self.prefetcher.pop_command()
+        return self.policy.pop_command()
 
     def push_back_prefetch(self, block_index: int) -> None:
-        self.prefetcher.push_back(block_index)
+        self.policy.push_back(block_index)
 
     def background_tick(self, now: float) -> bool:
-        if not self.config.enable_preeviction:
+        if not self.config.enable_preeviction or self.policy.preevictor is None:
             return False
-        return self.preevictor.tick(now)
+        return self.policy.preevictor.tick(now)
 
     def on_kernel_end(self, now: float) -> None:
         if self.config.enable_prefetch:
-            self.prefetcher.on_kernel_end()
+            self.policy.on_kernel_end()
 
     # ------------------------------------------------------------------ #
 
     @property
     def correlation_table_bytes(self) -> int:
-        return self.correlator.table_size_bytes
+        return self.policy.table_size_bytes

@@ -14,8 +14,10 @@ UM block it overlaps (even partially) loses its invalidated flag.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..obs.recorder import NULL_RECORDER
+from ..sim.gpu import GPUMemory
 from ..sim.um_space import UnifiedMemorySpace
 from ..torchsim.allocator import PTBlock
 
@@ -31,8 +33,13 @@ class InvalidationStats:
 class InactiveBlockRegistry:
     """Tracks which UM blocks are covered by inactive PT blocks."""
 
-    def __init__(self, um: UnifiedMemorySpace):
+    def __init__(self, um: UnifiedMemorySpace,
+                 gpu: Optional[GPUMemory] = None):
         self.um = um
+        # This registry is the sole writer of ``UMBlock.invalidated``, so
+        # it also keeps the GPU's count of invalidated *resident* blocks
+        # (the pre-evictor's free-victim supply) exact on every flip.
+        self.gpu = gpu
         self.stats = InvalidationStats()
         self.recorder = NULL_RECORDER
 
@@ -51,10 +58,14 @@ class InactiveBlockRegistry:
         last = pt_block.end // size        # one past the last
         rec = self.recorder
         rec_on = rec.enabled
+        gpu = self.gpu
         for idx in range(first, last):
             blk = self.um.block(idx)
             if not blk.invalidated:
-                blk.invalidated = True
+                if gpu is not None:
+                    gpu.set_invalidated(blk, True)
+                else:
+                    blk.invalidated = True
                 self.stats.blocks_invalidated += 1
                 if rec_on:
                     rec.note_invalidated(idx, False)
@@ -67,10 +78,14 @@ class InactiveBlockRegistry:
         last = (pt_block.end - 1) // size
         rec = self.recorder
         rec_on = rec.enabled
+        gpu = self.gpu
         for idx in range(first, last + 1):
             blk = self.um.block(idx)
             if blk.invalidated:
-                blk.invalidated = False
+                if gpu is not None:
+                    gpu.set_invalidated(blk, False)
+                else:
+                    blk.invalidated = False
                 self.stats.blocks_revalidated += 1
                 if rec_on:
                     rec.note_invalidated(idx, True)

@@ -13,10 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..obs.recorder import NULL_RECORDER, TRACK_PREEVICT
+from ..policies.eviction import ProtectedBlockProvider
 from ..sim.fault_handler import DriverFaultHandler
 from ..sim.gpu import GPUMemory
 from ..sim.um_space import UMBlock
-from .prefetcher import ChainingPrefetcher
 
 
 @dataclass(slots=True)
@@ -34,7 +34,7 @@ class PreEvictor:
         self,
         gpu: GPUMemory,
         handler: DriverFaultHandler,
-        prefetcher: ChainingPrefetcher,
+        prefetcher: ProtectedBlockProvider,
         *,
         low_watermark: float = 0.02,
         batch_blocks: int = 16,
@@ -75,9 +75,23 @@ class PreEvictor:
         victims: list[UMBlock] = []
         live: list[UMBlock] = []
         skips = 0
+        # Invalidated (free) victims are preferred wherever they sit in the
+        # migration order, so the scan may only stop early once the live
+        # list is full AND no invalidated block remains ahead — the GPU's
+        # resident count makes "remains ahead" a counter, not a rescan.
+        inval_ahead = self.gpu.invalidated_resident
         for blk in self.gpu.migration_order():
+            if len(live) >= batch and inval_ahead == 0:
+                break
+            if blk.invalidated:
+                inval_ahead -= 1
             if blk.index in protected:
-                skips += 1
+                # A skip is only a *deferral* when the block would have
+                # been selected: a free victim while the victim list has
+                # room, or a live one while the live list has room.
+                if len(victims) < batch if blk.invalidated \
+                        else len(live) < batch:
+                    skips += 1
                 continue
             if blk.invalidated:
                 victims.append(blk)

@@ -110,39 +110,49 @@ class UMMemoryManager:
         if cached is not None:
             return cached
         parts: list[tuple[int, int]] = []
+        growths: list[int] = []
         block_size = self.engine.um.block_size
         end = addr + nbytes
         first = addr // block_size
         last = (end - 1) // block_size
+        # Pass 1: plan only. The whole range's growth is known before a
+        # single page is populated, so a capacity overshoot raises with no
+        # counters touched and no events emitted — a caught UMCapacityError
+        # leaves the manager's accounting exactly reconcilable.
         for idx in range(first, last + 1):
             lo = max(addr, idx * block_size)
             hi = min(end, (idx + 1) * block_size)
             pages = (hi - lo + PAGE_SIZE - 1) // PAGE_SIZE
             parts.append((idx, pages))
             blk = self.engine.um.block(idx)
-            before = blk.populated_pages
+            would_have = min(blk.capacity_pages, blk.populated_pages + pages)
+            growths.append((would_have - blk.populated_pages) * PAGE_SIZE)
+        total_grown = sum(growths)
+        if self.populated_bytes + total_grown > self.host_capacity:
+            raise UMCapacityError(
+                f"populated UM footprint {self.populated_bytes + total_grown} "
+                f"B exceeds host capacity {self.host_capacity} B"
+            )
+        # Pass 2: apply, in the same block order as the plan.
+        for (idx, pages), grown in zip(parts, growths):
+            if not grown:
+                continue
+            blk = self.engine.um.block(idx)
             blk.populate(pages)
-            grown = (blk.populated_pages - before) * PAGE_SIZE
-            if grown:
-                self.populated_bytes += grown
-                if blk.index in self.engine.gpu.resident:
-                    gpu = self.engine.gpu
-                    gpu.used_bytes += grown
-                    rec = self.engine.recorder
-                    if rec.enabled:
-                        # In-place population of a resident block is the one
-                        # residency-bytes change outside the fault handler;
-                        # the memory timeline needs it to reconcile.
-                        rec.instant(TRACK_MEMORY, "mem.grow", self.engine.now,
-                                    args={"block": blk.index, "bytes": grown,
-                                          "used": gpu.used_bytes})
+            self.populated_bytes += grown
+            if blk.index in self.engine.gpu.resident:
+                gpu = self.engine.gpu
+                gpu.used_bytes += grown
+                rec = self.engine.recorder
+                if rec.enabled:
+                    # In-place population of a resident block is the one
+                    # residency-bytes change outside the fault handler;
+                    # the memory timeline needs it to reconcile.
+                    rec.instant(TRACK_MEMORY, "mem.grow", self.engine.now,
+                                args={"block": blk.index, "bytes": grown,
+                                      "used": gpu.used_bytes})
         if self.populated_bytes > self.peak_populated_bytes:
             self.peak_populated_bytes = self.populated_bytes
-        if self.populated_bytes > self.host_capacity:
-            raise UMCapacityError(
-                f"populated UM footprint {self.populated_bytes} B exceeds "
-                f"host capacity {self.host_capacity} B"
-            )
         self._decomp_cache[key] = parts
         return parts
 

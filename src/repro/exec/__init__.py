@@ -31,11 +31,13 @@ from .tasks import (
     INJECT_ENV,
     KIND_BENCH_CELL,
     KIND_EXPERIMENT,
+    KIND_TOURNAMENT_CELL,
     TASK_KINDS,
     Task,
     bench_cell_task,
     execute_task,
     experiment_task,
+    tournament_cell_task,
 )
 
 __all__ = [
@@ -47,6 +49,7 @@ __all__ = [
     "JournalError",
     "KIND_BENCH_CELL",
     "KIND_EXPERIMENT",
+    "KIND_TOURNAMENT_CELL",
     "RunJournal",
     "TASK_KINDS",
     "TERMINAL_STATUSES",
@@ -54,6 +57,7 @@ __all__ = [
     "bench_cell_task",
     "execute_task",
     "experiment_task",
+    "tournament_cell_task",
     "list_runs",
     "new_run_id",
     "validate_state",

@@ -24,8 +24,9 @@ from typing import Any, Optional
 
 KIND_EXPERIMENT = "experiment"
 KIND_BENCH_CELL = "bench-cell"
+KIND_TOURNAMENT_CELL = "tournament-cell"
 
-TASK_KINDS = (KIND_EXPERIMENT, KIND_BENCH_CELL)
+TASK_KINDS = (KIND_EXPERIMENT, KIND_BENCH_CELL, KIND_TOURNAMENT_CELL)
 
 #: Environment variable carrying the fault-injection spec (JSON).
 INJECT_ENV = "REPRO_EXEC_INJECT"
@@ -68,6 +69,16 @@ def bench_cell_task(payload: dict[str, Any], key: str) -> Task:
     accepts (model, batch, policy, iteration pins, repeats, ...).
     """
     return Task(key=key, kind=KIND_BENCH_CELL, payload=payload)
+
+
+def tournament_cell_task(payload: dict[str, Any], key: str) -> Task:
+    """Build an executor task for one tournament grid cell.
+
+    ``payload`` is the dict
+    :func:`repro.harness.tournament.run_tournament_cell` accepts (model,
+    batch, policy, pressure, iteration pins, seed, prefetch degree).
+    """
+    return Task(key=key, kind=KIND_TOURNAMENT_CELL, payload=payload)
 
 
 def maybe_inject_fault(key: str, attempt: int) -> None:
@@ -116,4 +127,8 @@ def execute_task(kind: str, payload: dict[str, Any],
         from ..bench.runner import run_scenario_cell
 
         return {"status": "ok", "cell": run_scenario_cell(payload)}
+    if kind == KIND_TOURNAMENT_CELL:
+        from ..harness.tournament import run_tournament_cell
+
+        return run_tournament_cell(payload)
     raise ValueError(f"unknown task kind {kind!r}; known: {TASK_KINDS}")

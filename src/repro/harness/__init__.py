@@ -6,6 +6,7 @@ from .experiment import (
     build_policy,
     calibrate_system,
     make_policy,
+    policy_accepts_config,
     run_experiment,
 )
 from .metrics import WindowMetrics, phase_breakdown_rows
@@ -20,6 +21,7 @@ __all__ = [
     "build_policy",
     "calibrate_system",
     "make_policy",
+    "policy_accepts_config",
     "run_experiment",
     "WindowMetrics",
     "format_table",

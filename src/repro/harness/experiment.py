@@ -31,12 +31,36 @@ from ..baselines import (
     VDNN,
 )
 from ..models.registry import get_model_config
+from ..policies import PREFETCH_POLICIES
 from ..torchsim.allocator import TorchSimOOM
 from .metrics import Snapshot, WindowMetrics
 
+
+def _um_policy_facade(prefetch_name: str) -> Callable[..., object]:
+    """Facade factory for a registered UM prefetch policy.
+
+    Each entry of :data:`repro.policies.PREFETCH_POLICIES` runs on the full
+    DeepUM stack (runtime + driver + engine) with only the driver's brain
+    swapped, so every competitor inherits the same simulated machinery the
+    paper's policy is measured on.
+    """
+    def factory(system: SystemConfig,
+                config: Optional[DeepUMConfig] = None, *,
+                seed: int = 0, **kwargs: object) -> DeepUM:
+        return DeepUM(system, config, seed=seed,
+                      prefetch_policy=prefetch_name, **kwargs)
+
+    factory.__name__ = f"um_policy_{prefetch_name}"
+    return factory
+
+
 POLICIES: dict[str, Callable[..., object]] = {
     "um": NaiveUM,
+    # The UM prefetch-policy family: "deepum" plus every competitor in the
+    # policy registry, all sharing the DeepUM facade.
     "deepum": DeepUM,
+    **{name: _um_policy_facade(name)
+       for name in PREFETCH_POLICIES if name != "deepum"},
     "ideal": IdealNoOversubscription,
     "lms": LMS,
     "lms-mod": LMSMod,
@@ -46,6 +70,16 @@ POLICIES: dict[str, Callable[..., object]] = {
     "capuchin": Capuchin,
     "sentinel": Sentinel,
 }
+
+
+def policy_accepts_config(name: str) -> bool:
+    """True if policy ``name`` honors a :class:`DeepUMConfig`.
+
+    Exactly the UM prefetch-policy family does; passing a config to any
+    other policy is a silent no-op bug that :func:`build_policy` now
+    rejects, so callers constructing configs unconditionally gate on this.
+    """
+    return name in PREFETCH_POLICIES
 
 #: Footprint / GPU-capacity ratio each model runs at for the *middle* batch
 #: of its Fig. 9 grid (estimated from the paper's setup: which batches OOM
@@ -80,8 +114,15 @@ def build_policy(name: str, system: SystemConfig, *,
     except KeyError:
         known = ", ".join(sorted(POLICIES))
         raise KeyError(f"unknown policy {name!r}; known: {known}") from None
-    if name == "deepum":
-        return DeepUM(system, deepum_config, seed=seed)
+    if policy_accepts_config(name):
+        return cls(system, deepum_config, seed=seed)
+    if deepum_config is not None:
+        family = ", ".join(sorted(PREFETCH_POLICIES))
+        raise ValueError(
+            f"policy {name!r} does not honor a DeepUMConfig (it applies "
+            f"only to the UM prefetch policies: {family}); passing one "
+            "here would be silently ignored"
+        )
     return cls(system, seed=seed)
 
 

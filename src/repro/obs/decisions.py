@@ -70,8 +70,10 @@ ALL_CAUSES = (
     CAUSE_NEVER_PREDICTED,
 )
 
-#: Prefetch-command walk phases (the ``source`` of a :class:`Provenance`).
-COMMAND_SOURCES = ("seed", "hop", "chain", "restart")
+#: Prefetch-command provenance tags (the ``source`` of a
+#: :class:`Provenance`): the chaining walk phases plus one tag per
+#: competitor policy ("stream" for stride, "ngram" for Markov).
+COMMAND_SOURCES = ("seed", "hop", "chain", "restart", "stream", "ngram")
 
 #: Execution-table miss reasons (see ``ExecutionCorrelationTable``).
 MISS_NO_ENTRY = "no-entry"

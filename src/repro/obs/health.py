@@ -276,7 +276,7 @@ def policy_health(recorder: SpanRecorder, driver=None,
             ph.lateness_total += late
             if late > ph.lateness_max:
                 ph.lateness_max = late
-    if driver is not None and hasattr(driver, "correlator"):
+    if driver is not None and getattr(driver, "correlator", None) is not None:
         ph.tables = table_health(driver)
     for agg in aggregate_by_kernel(recorder)[:worst_kernels]:
         ph.worst_kernels.append({

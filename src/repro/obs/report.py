@@ -89,6 +89,7 @@ def scenario_report(scenario: Any, *,
     from ..api import RunRequest, execute
     from ..bench.manifest import SCENARIOS
     from ..config import DeepUMConfig
+    from ..harness.experiment import policy_accepts_config
 
     if isinstance(scenario, str):
         resolved = SCENARIOS.get(scenario)
@@ -123,8 +124,10 @@ def scenario_report(scenario: Any, *,
             scale=scale, warmup_iterations=warmup,
             measure_iterations=measure,
             seed=scenario.seed if seed is None else seed,
-            deepum_config=DeepUMConfig(
-                prefetch_degree=scenario.prefetch_degree),
+            deepum_config=(
+                DeepUMConfig(prefetch_degree=scenario.prefetch_degree)
+                if policy_accepts_config(policy) else None
+            ),
             recorder=recorder,
         )
         try:

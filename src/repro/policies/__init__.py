@@ -1,0 +1,111 @@
+"""Pluggable UM prefetch/eviction policies and their registry.
+
+A *prefetch policy* is everything intelligent a
+:class:`~repro.core.driver.DeepUMDriver` does: prediction, the prefetch
+command queue, eviction protection, and pre-eviction. The driver is the
+plumbing (runtime callbacks in, engine hooks out); the policy is the brain.
+The registry below names the brains:
+
+* ``deepum`` — the paper's correlation-table chaining prefetcher
+  (:class:`~repro.policies.chaining.ChainingPolicy`);
+* ``stride`` — a confirmed-stride stream detector
+  (:class:`~repro.policies.stride.StridePolicy`);
+* ``markov`` — an n-gram fault-history predictor
+  (:class:`~repro.policies.markov.MarkovPolicy`).
+
+Registering a new policy takes one :class:`PolicySpec` entry whose factory
+builds a :class:`~repro.policies.base.PrefetchPolicy` from an engine and a
+:class:`~repro.config.DeepUMConfig`. The harness
+(:data:`repro.harness.experiment.POLICIES`) picks the registry up
+automatically, which makes the policy runnable from ``RunRequest``, the
+CLI, and ``repro tournament`` with no further wiring.
+
+Factories import their implementation modules lazily so importing this
+package (which :mod:`repro.core.driver` does) never re-enters
+:mod:`repro.core` while it is still initializing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from .base import EvictionPolicy, LRUMigratedPolicy, PrefetchPolicy
+from .eviction import ProtectedLRUEvictionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..config import DeepUMConfig
+    from ..sim.engine import UMSimulator
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One registered prefetch policy: a name, a blurb, and a factory."""
+
+    name: str
+    description: str
+    factory: "Callable[[UMSimulator, DeepUMConfig], PrefetchPolicy]" = field(
+        repr=False)
+
+
+def _chaining(engine: "UMSimulator", config: "DeepUMConfig") -> PrefetchPolicy:
+    from .chaining import ChainingPolicy
+
+    return ChainingPolicy(engine, config)
+
+
+def _stride(engine: "UMSimulator", config: "DeepUMConfig") -> PrefetchPolicy:
+    from .stride import StridePolicy
+
+    return StridePolicy(engine, config)
+
+
+def _markov(engine: "UMSimulator", config: "DeepUMConfig") -> PrefetchPolicy:
+    from .markov import MarkovPolicy
+
+    return MarkovPolicy(engine, config)
+
+
+#: Every registered prefetch policy, keyed by registry name. These names
+#: double as facade policy names in :data:`repro.harness.experiment.POLICIES`
+#: (the UM-policy family — the facades that honor a ``DeepUMConfig``).
+PREFETCH_POLICIES: dict[str, PolicySpec] = {
+    "deepum": PolicySpec(
+        "deepum",
+        "correlation-table chaining prefetcher (the paper's DeepUM)",
+        _chaining,
+    ),
+    "stride": PolicySpec(
+        "stride",
+        "confirmed-stride stream detector over the fault stream",
+        _stride,
+    ),
+    "markov": PolicySpec(
+        "markov",
+        "n-gram fault-history (Markov) predictor",
+        _markov,
+    ),
+}
+
+
+def build_prefetch_policy(name: str, engine: "UMSimulator",
+                          config: "DeepUMConfig") -> PrefetchPolicy:
+    """Instantiate a registered prefetch policy by name."""
+    try:
+        spec = PREFETCH_POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(PREFETCH_POLICIES))
+        raise KeyError(
+            f"unknown prefetch policy {name!r}; known: {known}") from None
+    return spec.factory(engine, config)
+
+
+__all__ = [
+    "EvictionPolicy",
+    "LRUMigratedPolicy",
+    "PolicySpec",
+    "PrefetchPolicy",
+    "ProtectedLRUEvictionPolicy",
+    "PREFETCH_POLICIES",
+    "build_prefetch_policy",
+]

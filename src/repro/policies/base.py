@@ -1,0 +1,104 @@
+"""Policy protocol surfaces: what a UM prefetch/eviction policy must provide.
+
+The driver (:class:`repro.core.driver.DeepUMDriver`) is policy-agnostic: it
+forwards runtime callbacks (kernel launches, faults, kernel completions) to
+a :class:`PrefetchPolicy` and installs the policy's eviction machinery into
+the engine's fault handler. The paper's correlation-table prefetcher
+(:class:`repro.policies.chaining.ChainingPolicy`) is one implementation of
+this protocol; the stride and Markov competitors are others.
+
+Two separate observation/action pairs keep the learning path alive even
+when prefetching is disabled (the ablation configs rely on this):
+
+* ``observe_kernel_launch`` / ``observe_fault`` — *learning*: always
+  invoked, whatever the config says.
+* ``start_prefetch`` / ``restart_from_fault`` — *acting*: only invoked when
+  ``enable_prefetch`` is on.
+
+:class:`EvictionPolicy` (victim selection for the demand-fault path) is
+defined by the simulator (:mod:`repro.sim.fault_handler`) and re-exported
+here so policy implementations have a single import surface; the import
+direction (policies -> sim) keeps the simulator free of policy knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from ..sim.fault_handler import EvictionPolicy, LRUMigratedPolicy
+
+__all__ = [
+    "EvictionPolicy",
+    "LRUMigratedPolicy",
+    "PrefetchPolicy",
+]
+
+
+@runtime_checkable
+class PrefetchPolicy(Protocol):
+    """Everything the driver needs from a pluggable prefetch policy.
+
+    Implementations also expose two wired-at-construction attributes the
+    driver installs into the engine:
+
+    * ``eviction_policy`` — an :class:`EvictionPolicy` for the demand-fault
+      path (how victims are chosen when a fault needs room), carrying the
+      policy's own protection semantics;
+    * ``preevictor`` — a :class:`repro.core.preevict.PreEvictor` (or
+      ``None``) whose ``tick`` the engine calls during link idle time.
+    """
+
+    def observe_kernel_launch(self, exec_id: int) -> None:
+        """Learning feed: a kernel with ``exec_id`` is about to run."""
+        ...
+
+    def start_prefetch(self, exec_id: int) -> None:
+        """Acting feed: begin/advance prefetching for this launch."""
+        ...
+
+    def observe_fault(self, block: int) -> None:
+        """Learning feed: UM block ``block`` took a demand fault."""
+        ...
+
+    def restart_from_fault(self, block: int) -> None:
+        """Acting feed: re-sync prediction from a faulted block."""
+        ...
+
+    def on_kernel_end(self) -> None:
+        """The executing kernel finished; retire its prediction window."""
+        ...
+
+    def pop_command(self) -> Optional[int]:
+        """Next UM block index to prefetch, or None when idle."""
+        ...
+
+    def push_back(self, block: int) -> None:
+        """Return an unprocessed command to the front of the queue."""
+        ...
+
+    def protected_blocks(self) -> set[int]:
+        """Blocks predicted for imminent use (eviction protection)."""
+        ...
+
+    def kernel_known(self, exec_id: int) -> bool:
+        """Can the policy predict under this kernel yet?
+
+        Feeds the decision log's fault-cause attribution: faults under an
+        unknown kernel are cold starts by definition.
+        """
+        ...
+
+    def attach_recorder(self, recorder: object,
+                        clock: Callable[[], float]) -> None:
+        """Thread an observability recorder (and the engine clock) through."""
+        ...
+
+    @property
+    def table_size_bytes(self) -> int:
+        """Metadata footprint of the policy's predictor state (Table 4)."""
+        ...
+
+    @property
+    def commands_emitted(self) -> int:
+        """Total prefetch commands emitted so far."""
+        ...

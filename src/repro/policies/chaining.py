@@ -1,0 +1,91 @@
+"""The paper's policy: correlation-table chaining + watermark pre-eviction.
+
+:class:`ChainingPolicy` bundles the DeepUM machinery — the
+:class:`~repro.core.correlator.Correlator`, the
+:class:`~repro.core.prefetcher.ChainingPrefetcher` and the
+:class:`~repro.core.preevict.PreEvictor` — behind the
+:class:`~repro.policies.base.PrefetchPolicy` protocol. Every protocol hook
+is *bound directly* to the underlying component method at construction, so
+the per-access dispatch is byte-identical to the pre-refactor driver wiring
+(the bit-for-bit golden-cell test depends on this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..config import DeepUMConfig
+from ..core.block_table import BlockTableConfig
+from ..core.correlator import Correlator
+from ..core.preevict import PreEvictor
+from ..core.prefetcher import ChainingPrefetcher
+from ..sim.engine import UMSimulator
+from .eviction import ProtectedLRUEvictionPolicy
+
+
+class ChainingPolicy:
+    """DeepUM's chaining prefetcher as a pluggable policy."""
+
+    name = "deepum"
+
+    # Bound component methods (assigned in __init__): the driver installs
+    # some of these directly as engine hooks, so they must stay plain
+    # bound-method references, never wrappers.
+    observe_kernel_launch: Callable[[int], None]
+    start_prefetch: Callable[[int], None]
+    observe_fault: Callable[[int], None]
+    restart_from_fault: Callable[[int], None]
+    on_kernel_end: Callable[[], None]
+    pop_command: Callable[[], Optional[int]]
+    push_back: Callable[[int], None]
+    protected_blocks: Callable[[], set[int]]
+    kernel_known: Callable[[int], bool]
+
+    def __init__(self, engine: UMSimulator, config: DeepUMConfig):
+        self.config = config
+        block_config = BlockTableConfig(
+            num_rows=config.block_table_rows,
+            assoc=config.block_table_assoc,
+            num_succs=config.block_table_num_succs,
+        )
+        self.correlator = Correlator(
+            block_config, history_depth=config.exec_history_depth
+        )
+        self.prefetcher = ChainingPrefetcher(self.correlator,
+                                             config.prefetch_degree)
+        self.preevictor: Optional[PreEvictor] = PreEvictor(
+            engine.gpu,
+            engine.handler,
+            self.prefetcher,
+            low_watermark=config.preevict_low_watermark,
+            batch_blocks=config.preevict_batch_blocks,
+        )
+        self.eviction_policy = ProtectedLRUEvictionPolicy(
+            self.prefetcher,
+            prefer_invalidated=config.enable_invalidation,
+            protect_predicted=config.enable_preeviction or config.enable_prefetch,
+        )
+        self.observe_kernel_launch = self.correlator.on_kernel_launch
+        self.start_prefetch = self.prefetcher.on_kernel_launch
+        self.observe_fault = self.correlator.on_fault
+        self.restart_from_fault = self.prefetcher.restart_from_fault
+        self.on_kernel_end = self.prefetcher.on_kernel_end
+        self.pop_command = self.prefetcher.pop_command
+        self.push_back = self.prefetcher.push_back
+        self.protected_blocks = self.prefetcher.protected_blocks
+        self.kernel_known = self.correlator.kernel_known
+
+    def attach_recorder(self, recorder: object,
+                        clock: Callable[[], float]) -> None:
+        self.prefetcher.recorder = recorder
+        self.prefetcher.clock = clock
+        assert self.preevictor is not None
+        self.preevictor.recorder = recorder
+
+    @property
+    def table_size_bytes(self) -> int:
+        return self.correlator.table_size_bytes
+
+    @property
+    def commands_emitted(self) -> int:
+        return self.prefetcher.commands_emitted

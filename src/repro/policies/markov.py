@@ -1,0 +1,112 @@
+"""Markov/n-gram fault-history predictor: a table-driven competitor.
+
+Where the stride detector assumes arithmetic structure, the n-gram
+predictor memorizes it: each observed fault appends to a rolling context of
+the last ``NGRAM_ORDER`` faulted blocks, and the table maps every context
+to the blocks that followed it (with counts). A fault then replays the
+most likely continuation: walk ``context -> argmax successor`` for up to
+``config.prefetch_degree`` steps, emitting each predicted block.
+
+This is the classical Markov prefetcher of the memory-systems literature
+(Joseph & Grunwald) transplanted to UM blocks. It learns arbitrary
+repeated fault sequences — including the inter-tensor jumps that break
+stride detection — but pays for it in table state, which is why
+``table_size_bytes`` is accounted against the same budget the paper's
+Table 4 charges the correlation tables.
+
+Capacity is bounded by the same knobs that size DeepUM's block tables:
+at most ``rows * assoc`` contexts (FIFO replacement) with
+``num_succs`` successors each (min-count replacement).
+
+Protection semantics: a predicted walk stays eviction-protected for
+``MARKOV_WINDOW`` kernel completions — longer than a stride stream, since
+n-gram continuations regularly span several kernels.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+from ..config import DeepUMConfig
+from ..sim.engine import UMSimulator
+from .windowed import WindowedFaultPolicy
+
+#: Kernel completions a prediction wave survives (cross-kernel sequences
+#: are the point of an n-gram table, so the window outlasts a stream's).
+MARKOV_WINDOW = 4
+
+#: Fault-history context length (n-gram order).
+NGRAM_ORDER = 2
+
+Context = Tuple[int, ...]
+
+
+class MarkovPolicy(WindowedFaultPolicy):
+    """n-gram fault-sequence prediction over bounded context tables."""
+
+    name = "markov"
+    source = "ngram"
+
+    def __init__(self, engine: UMSimulator, config: DeepUMConfig):
+        super().__init__(engine, config, window=MARKOV_WINDOW)
+        self.lookahead = config.prefetch_degree
+        self.max_contexts = config.block_table_rows * config.block_table_assoc
+        self.max_succs = config.block_table_num_succs
+        # Insertion-ordered for FIFO replacement of whole contexts.
+        self._table: Dict[Context, Dict[int, int]] = {}
+        self._history: Deque[int] = deque(maxlen=NGRAM_ORDER)
+        self.contexts_evicted = 0
+
+    # ------------------------------------------------------------------ #
+
+    def observe_fault(self, block: int) -> None:
+        """Learning: record ``history -> block`` and roll the context."""
+        history = self._history
+        if len(history) == NGRAM_ORDER:
+            self._record(tuple(history), block)
+        history.append(block)
+
+    def _record(self, context: Context, succ: int) -> None:
+        succs = self._table.get(context)
+        if succs is None:
+            while len(self._table) >= self.max_contexts:
+                # FIFO: drop the oldest context wholesale.
+                oldest = next(iter(self._table))
+                del self._table[oldest]
+                self.contexts_evicted += 1
+            succs = self._table[context] = {}
+        count = succs.get(succ)
+        if count is not None:
+            succs[succ] = count + 1
+            return
+        if len(succs) >= self.max_succs:
+            # Min-count replacement; ties broken on block index so the
+            # table contents are deterministic.
+            victim = min(succs.items(), key=lambda kv: (kv[1], kv[0]))[0]
+            del succs[victim]
+        succs[succ] = 1
+
+    def restart_from_fault(self, block: int) -> None:
+        """Acting: walk the most likely continuation of the current context."""
+        history = self._history
+        if len(history) < NGRAM_ORDER:
+            return
+        # ``observe_fault`` already rolled ``block`` into the history, so
+        # the walk starts from the context that ends at the faulted block.
+        context = tuple(history)
+        table = self._table
+        for step in range(1, self.lookahead + 1):
+            succs = table.get(context)
+            if not succs:
+                return
+            # Highest count wins; ties break to the smaller block index.
+            nxt = max(succs.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+            self._emit(nxt, step)
+            context = context[1:] + (nxt,)
+
+    @property
+    def table_size_bytes(self) -> int:
+        # 8 B per context key element + (block, count) pairs at 8 B each.
+        entries = sum(len(s) for s in self._table.values())
+        return len(self._table) * NGRAM_ORDER * 8 + entries * 16

@@ -1,0 +1,79 @@
+"""Stride/stream-detector prefetcher: a classic hardware-style competitor.
+
+Dense tensors decompose into runs of consecutive UM blocks, so a kernel
+sweeping its operands faults through block indices at a constant stride
+(usually +1). The detector tracks the delta between successive faulted
+blocks; once the same delta repeats ``confirm`` times the stream is
+*confirmed* and every further fault on it prefetches the next
+``config.prefetch_degree`` blocks along the stride.
+
+Against DeepUM's correlation tables this is the ablation the tournament is
+for: streams capture intra-tensor locality but know nothing about kernel
+order, so they restart cold at every operand boundary — exactly the
+cross-kernel hand-off chaining was designed to cover.
+
+Protection semantics: blocks predicted along a stream stay
+eviction-protected for ``STRIDE_WINDOW`` kernel completions (streams are
+short-lived; holding predictions longer starves the evictor under
+pressure).
+"""
+
+from __future__ import annotations
+
+from ..config import DeepUMConfig
+from ..sim.engine import UMSimulator
+from .windowed import WindowedFaultPolicy
+
+#: Kernel completions a prediction wave survives before its blocks lose
+#: eviction protection. Streams rarely outlive the kernel after next.
+STRIDE_WINDOW = 2
+
+#: Repeats of the same fault-to-fault delta before a stream is confirmed.
+STRIDE_CONFIRM = 2
+
+
+class StridePolicy(WindowedFaultPolicy):
+    """Confirmed-stride stream prefetching over the UM fault stream."""
+
+    name = "stride"
+    source = "stream"
+
+    def __init__(self, engine: UMSimulator, config: DeepUMConfig):
+        super().__init__(engine, config, window=STRIDE_WINDOW)
+        self.lookahead = config.prefetch_degree
+        self._last_fault = -1
+        self._stride = 0
+        self._confidence = 0
+        self.streams_confirmed = 0
+
+    # ------------------------------------------------------------------ #
+
+    def observe_fault(self, block: int) -> None:
+        """Learning: fold one faulted block into the stream detector."""
+        last = self._last_fault
+        self._last_fault = block
+        if last < 0:
+            return
+        delta = block - last
+        if delta == 0:
+            return
+        if delta == self._stride:
+            self._confidence += 1
+            if self._confidence == STRIDE_CONFIRM:
+                self.streams_confirmed += 1
+        else:
+            self._stride = delta
+            self._confidence = 1
+
+    def restart_from_fault(self, block: int) -> None:
+        """Acting: extend a confirmed stream ahead of the faulting SM."""
+        if self._confidence < STRIDE_CONFIRM:
+            return
+        stride = self._stride
+        for step in range(1, self.lookahead + 1):
+            self._emit(block + stride * step, step)
+
+    @property
+    def table_size_bytes(self) -> int:
+        # One stream record: last block, stride, confidence (8 B each).
+        return 24

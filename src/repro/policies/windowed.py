@@ -1,0 +1,164 @@
+"""Shared machinery for the fault-history competitor policies.
+
+The stride and Markov policies are both *fault-driven*: they learn from the
+demand-fault stream and emit prediction waves when a fault re-synchronizes
+them. This base class owns everything that is not the predictor itself —
+the SPSC command queue the migration thread drains, the kernel-scoped
+protection window (predicted blocks are shielded from eviction until their
+wave retires), the pre-evictor and eviction-policy wiring, and the
+decision-log plumbing — so each predictor is only its learning and
+prediction rules.
+
+Protection semantics: every prediction joins the wave of the kernel it was
+emitted under; a wave retires ``window`` kernel completions later. A block
+predicted by several live waves stays protected until the last one retires
+(counted membership, as the chaining prefetcher does).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..config import DeepUMConfig
+from ..obs.recorder import NULL_RECORDER
+from ..core.preevict import PreEvictor
+from ..sim.engine import UMSimulator
+from .eviction import ProtectedLRUEvictionPolicy
+
+
+class WindowedFaultPolicy:
+    """Base for fault-driven prefetch policies with windowed protection."""
+
+    #: Provenance tag recorded with every emitted command; subclasses
+    #: override with their own entry in ``repro.obs.decisions.COMMAND_SOURCES``.
+    source = "stream"
+
+    def __init__(self, engine: UMSimulator, config: DeepUMConfig, *,
+                 window: int):
+        if window < 1:
+            raise ValueError(f"protection window must be >= 1, got {window}")
+        self.config = config
+        self.window = window
+        self._um = engine.um
+        self._gpu = engine.gpu
+        self._queue: Deque[int] = deque()
+        # Prediction waves, oldest first; the newest set collects emissions.
+        self._waves: Deque[set[int]] = deque([set()])
+        self._protected: set[int] = set()
+        self._protect_count: dict[int, int] = {}
+        self._seen_execs: set[int] = set()
+        self._current_exec = -1
+        self.commands_emitted = 0
+        self._recorder = NULL_RECORDER
+        self._rec_on = False
+        self.preevictor: Optional[PreEvictor] = PreEvictor(
+            engine.gpu,
+            engine.handler,
+            self,
+            low_watermark=config.preevict_low_watermark,
+            batch_blocks=config.preevict_batch_blocks,
+        )
+        self.eviction_policy = ProtectedLRUEvictionPolicy(
+            self,
+            prefer_invalidated=config.enable_invalidation,
+            protect_predicted=config.enable_preeviction or config.enable_prefetch,
+        )
+
+    # ------------------------------------------------------------------ #
+    # PrefetchPolicy protocol
+    # ------------------------------------------------------------------ #
+
+    def observe_kernel_launch(self, exec_id: int) -> None:
+        self._current_exec = exec_id
+        self._seen_execs.add(exec_id)
+
+    def start_prefetch(self, exec_id: int) -> None:
+        # Fault-driven policies act on faults, not launches.
+        return None
+
+    def observe_fault(self, block: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def restart_from_fault(self, block: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def on_kernel_end(self) -> None:
+        """A kernel completed: open a new wave, retire the expired one."""
+        waves = self._waves
+        waves.append(set())
+        while len(waves) > self.window:
+            self._retire(waves.popleft())
+
+    def pop_command(self) -> Optional[int]:
+        queue = self._queue
+        if queue:
+            return queue.popleft()
+        return None
+
+    def push_back(self, block: int) -> None:
+        self._queue.appendleft(block)
+
+    def protected_blocks(self) -> set[int]:
+        return self._protected
+
+    def kernel_known(self, exec_id: int) -> bool:
+        """First encounter of a kernel is a cold start by definition."""
+        return exec_id in self._seen_execs
+
+    def attach_recorder(self, recorder: object,
+                        clock: Callable[[], float]) -> None:
+        self._recorder = recorder
+        self._rec_on = bool(getattr(recorder, "enabled", False))
+
+    @property
+    def table_size_bytes(self) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # emission helpers for subclasses
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, block: int, depth: int) -> bool:
+        """Predict ``block``; returns True if a command was enqueued.
+
+        Predictions are filtered to blocks that exist and hold data (a
+        never-touched index would admit a zero-byte phantom resident), are
+        deduplicated against the live protection window, and are skipped —
+        but still protected — when already resident.
+        """
+        if block < 0:
+            return False
+        blk = self._um.known_block(block)
+        if blk is None or blk.populated_pages == 0:
+            return False
+        already = block in self._protected
+        self._note_predicted(block)
+        if already or block in self._gpu.resident:
+            return False
+        self._queue.append(block)
+        self.commands_emitted += 1
+        if self._rec_on:
+            self._recorder.note_command(
+                block, self.source, self._current_exec, depth)
+        return True
+
+    def _note_predicted(self, block: int) -> None:
+        wave = self._waves[-1]
+        if block not in wave:
+            wave.add(block)
+            prev = self._protect_count.get(block, 0)
+            self._protect_count[block] = prev + 1
+            if not prev:
+                self._protected.add(block)
+
+    def _retire(self, wave: set[int]) -> None:
+        counts = self._protect_count
+        protected = self._protected
+        for block in wave:
+            left = counts[block] - 1
+            if left:
+                counts[block] = left
+            else:
+                del counts[block]
+                protected.discard(block)

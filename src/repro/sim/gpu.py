@@ -28,6 +28,10 @@ class GPUMemory:
     capacity_bytes: int
     used_bytes: int = 0
     resident: "OrderedDict[int, UMBlock]" = field(default_factory=OrderedDict)
+    #: Resident blocks currently flagged invalidated — the pre-evictor's
+    #: free-victim supply. Admission/removal maintain it here; the
+    #: invalidation registry (the sole flag writer) adjusts it on flips.
+    invalidated_resident: int = 0
     #: Called with each block that actually leaves the device; the engine
     #: uses this to drop stale in-flight bookkeeping for evicted blocks.
     evict_listeners: list = field(default_factory=list, repr=False)
@@ -53,6 +57,8 @@ class GPUMemory:
             )
         self.resident[block.index] = block
         self.used_bytes += block.populated_bytes
+        if block.invalidated:
+            self.invalidated_resident += 1
         block.location = BlockLocation.GPU
         block.last_migrated_at = now
 
@@ -66,11 +72,27 @@ class GPUMemory:
         if self.resident.pop(block.index, None) is None:
             return
         self.used_bytes -= block.populated_bytes
+        if block.invalidated:
+            self.invalidated_resident -= 1
         block.location = BlockLocation.CPU if to_cpu else BlockLocation.UNPOPULATED
         if not to_cpu:
             block.dirty = False
         for listener in self.evict_listeners:
             listener(block)
+
+    def set_invalidated(self, block: UMBlock, flag: bool = True) -> None:
+        """Flip a block's invalidated flag, keeping the resident count exact.
+
+        All invalidation flips of blocks that may be resident must go
+        through here (the invalidation registry does); writing the flag
+        directly would silently corrupt ``invalidated_resident`` and with
+        it the pre-evictor's early-stop condition.
+        """
+        if block.invalidated == flag:
+            return
+        block.invalidated = flag
+        if block.index in self.resident:
+            self.invalidated_resident += 1 if flag else -1
 
     def migration_order(self):
         """Blocks in least-recently-migrated-first order."""

@@ -139,6 +139,15 @@ class UnifiedMemorySpace:
             self._blocks[index] = blk
         return blk
 
+    def known_block(self, index: int) -> UMBlock | None:
+        """The block for ``index`` if it has ever been materialized.
+
+        Unlike :meth:`block` this never creates the object, so predictors
+        can probe speculative indices without minting zero-byte phantom
+        blocks that the migration machinery would then treat as real.
+        """
+        return self._blocks.get(index)
+
     def blocks_spanned(self, addr: int, nbytes: int) -> range:
         """Block indices overlapped by a byte range at this granularity."""
         if nbytes <= 0:

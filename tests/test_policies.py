@@ -1,0 +1,170 @@
+"""The pluggable prefetch-policy framework (``repro.policies``).
+
+Covers the registry's coherence with the harness POLICIES table, protocol
+conformance of every entrant, the ``build_policy`` config-rejection fix,
+end-to-end runs of the non-deepum prefetchers under oversubscription, and
+the bit-for-bit golden pin that the deepum entrant survived the refactor
+unchanged.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.api import RunRequest, RunResult, execute
+from repro.config import DeepUMConfig, GPUSpec, HostSpec, SystemConfig
+from repro.constants import GiB, MiB
+from repro.harness.experiment import (
+    POLICIES,
+    build_policy,
+    calibrate_system,
+    policy_accepts_config,
+)
+from repro.policies import (
+    PREFETCH_POLICIES,
+    PolicySpec,
+    PrefetchPolicy,
+    build_prefetch_policy,
+)
+
+from workloads import make_mlp_workload
+
+GOLDEN = pathlib.Path(__file__).parent / "data" / "golden_cells.json"
+
+
+@pytest.fixture
+def system():
+    return SystemConfig(gpu=GPUSpec(memory_bytes=96 * MiB),
+                        host=HostSpec(memory_bytes=2 * GiB))
+
+
+# ------------------------------------------------------------- registry
+
+def test_registry_names_and_harness_coherence():
+    assert set(PREFETCH_POLICIES) == {"deepum", "stride", "markov"}
+    for name, spec in PREFETCH_POLICIES.items():
+        assert isinstance(spec, PolicySpec)
+        assert spec.name == name
+        assert spec.description
+        # Every prefetch policy is runnable through the harness table and
+        # is exactly the set that honors a DeepUMConfig.
+        assert name in POLICIES
+        assert policy_accepts_config(name)
+    for name in POLICIES:
+        if name not in PREFETCH_POLICIES:
+            assert not policy_accepts_config(name)
+
+
+def test_unknown_prefetch_policy_is_a_keyerror(system):
+    facade = build_policy("deepum", system)
+    with pytest.raises(KeyError) as err:
+        build_prefetch_policy("fifo", facade.engine, DeepUMConfig())
+    # The error names the known policies.
+    assert "deepum" in str(err.value)
+
+
+@pytest.mark.parametrize("name", sorted(PREFETCH_POLICIES))
+def test_every_entrant_satisfies_the_protocol(name, system):
+    facade = build_policy(name, system, deepum_config=DeepUMConfig())
+    policy = facade.driver.policy
+    assert isinstance(policy, PrefetchPolicy)
+    assert policy.name == name
+    assert policy.table_size_bytes >= 0
+    assert facade.driver.correlation_table_bytes == policy.table_size_bytes
+
+
+def test_build_policy_rejects_config_for_non_um_policies(system):
+    """Satellite fix: a DeepUMConfig on e.g. ``um`` used to be silently
+    ignored; it is a caller error now."""
+    with pytest.raises(ValueError, match="does not honor a DeepUMConfig"):
+        build_policy("um", system, deepum_config=DeepUMConfig())
+    with pytest.raises(ValueError):
+        build_policy("lms", system,
+                     deepum_config=DeepUMConfig(prefetch_degree=8))
+    # No config, no error.
+    assert build_policy("um", system) is not None
+
+
+# --------------------------------------------------- request round-trips
+
+@pytest.mark.parametrize("name", sorted(POLICIES))
+def test_every_policy_round_trips_through_request_dicts(name):
+    cfg = DeepUMConfig(prefetch_degree=8) if policy_accepts_config(name) \
+        else None
+    req = RunRequest(model="mobilenet", policy=name, batch=64, seed=3,
+                     deepum_config=cfg)
+    assert RunRequest.from_dict(req.to_dict()) == req
+    resolved = req.resolved()
+    assert RunRequest.from_dict(resolved.to_dict()) == resolved
+
+
+@pytest.mark.parametrize("name", sorted(PREFETCH_POLICIES) + ["um"])
+def test_prefetch_entrants_execute_and_round_trip_results(name):
+    res = execute(RunRequest(model="mobilenet", policy=name, batch=64,
+                             warmup_iterations=1, measure_iterations=1))
+    assert res.ok, res.error
+    again = RunResult.from_dict(res.to_dict())
+    assert again.status == "ok"
+    assert again.snapshot == res.snapshot
+    assert again.request == res.request
+
+
+# ------------------------------------------- end-to-end oversubscription
+
+@pytest.mark.parametrize("name", ["stride", "markov"])
+def test_new_prefetchers_prefetch_under_oversubscription(name):
+    system = calibrate_system("mobilenet", oversubscription=2.2)
+    res = execute(RunRequest(model="mobilenet", policy=name, batch=3072,
+                             warmup_iterations=1, measure_iterations=1,
+                             system=system))
+    assert res.ok, res.error
+    assert res.snapshot["prefetched"] > 0
+    assert res.snapshot["prefetch_coverage"] > 0
+    assert res.snapshot["page_faults"] > 0  # genuinely oversubscribed
+
+
+def test_new_prefetchers_train_toy_mlp(system):
+    for name in ("stride", "markov"):
+        facade = build_policy(name, system)
+        step, _, _ = make_mlp_workload(facade.device, layers_n=4, dim=512,
+                                       batch=64)
+        for _ in range(2):
+            step()
+        assert facade.elapsed() > 0
+
+
+# ------------------------------------------------------------ golden pin
+
+def test_deepum_and_um_reproduce_golden_cells_bit_for_bit():
+    """The tentpole invariant: the policy refactor changed no simulated
+    metric for the pre-existing policies. The golden file was captured at
+    the pre-refactor commit; every field must match exactly (no approx)."""
+    golden = json.loads(GOLDEN.read_text())
+    assert set(golden) == {
+        "dcgan@2048/deepum", "dcgan@2048/um",
+        "mobilenet@3072/deepum", "mobilenet@3072/um",
+    }
+    for key, want in golden.items():
+        model_batch, policy = key.rsplit("/", 1)
+        model, batch = model_batch.split("@")
+        res = execute(RunRequest(model=model, policy=policy,
+                                 batch=int(batch)))
+        assert res.ok, res.error
+        assert res.snapshot == want, f"golden mismatch for {key}"
+
+
+# ---------------------------------------------------------- health guard
+
+def test_policy_health_tables_need_a_correlator():
+    """Drivers without a correlation table (stride, markov) contribute no
+    table-health section instead of crashing the report."""
+    from repro.obs import SpanRecorder
+    from repro.obs.health import policy_health
+
+    class TablelessDriver:
+        correlator = None
+
+    health = policy_health(SpanRecorder(), TablelessDriver())
+    assert health.tables is None
+    assert health.to_dict()["tables"] is None

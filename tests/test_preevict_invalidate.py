@@ -76,13 +76,103 @@ def test_protected_blocks_skipped():
 def test_invalidated_blocks_preferred_and_dropped_free():
     um, gpu, handler, cor, pf, pe = make_stack(capacity_blocks=4)
     blocks = [admit(um, gpu, i, now=float(i)) for i in range(4)]
-    blocks[3].invalidated = True  # newest, but dead
+    gpu.set_invalidated(blocks[3])  # newest, but dead
     before_out = handler.link.bytes_to_cpu
     pe.tick(1.0)
     assert not gpu.is_resident(blocks[3])
     assert handler.stats.invalidated_evictions >= 1
     # Dead victim produced no write-back traffic.
     assert handler.link.bytes_to_cpu - before_out <= 1 * UM_BLOCK_SIZE
+
+
+# --------------------------------------------------------------------- #
+# victim-scan early stop and skip accounting (regression pins)
+# --------------------------------------------------------------------- #
+
+
+class FixedProtection:
+    """A ProtectedBlockProvider pinning an exact protected set."""
+
+    def __init__(self, protected):
+        self._protected = frozenset(protected)
+
+    def protected_blocks(self):
+        return self._protected
+
+
+def make_pe(capacity_blocks, protected, batch_blocks=2):
+    um = UnifiedMemorySpace()
+    gpu = GPUMemory(capacity_bytes=capacity_blocks * UM_BLOCK_SIZE)
+    link = PCIeLink(bandwidth=LinkSpec().bandwidth, latency=LinkSpec().latency)
+    handler = DriverFaultHandler(um=um, gpu=gpu, link=link, costs=FaultCosts())
+    pe = PreEvictor(gpu, handler, FixedProtection(protected),
+                    low_watermark=0.3, batch_blocks=batch_blocks)
+    return um, gpu, pe
+
+
+def test_scan_stops_early_and_unreached_protection_is_not_a_skip():
+    """Once the live candidate list is full and no invalidated block
+    remains ahead, the scan stops: protected blocks it never reached were
+    never deferred and must not inflate ``protected_skips``."""
+    um, gpu, pe = make_pe(6, protected={4, 5}, batch_blocks=2)
+    for i in range(6):
+        admit(um, gpu, i, now=float(i))
+    victims = pe.select_victims()
+    assert [v.index for v in victims] == [0, 1]
+    assert pe.stats.protected_skips == 0
+
+
+def test_skip_counted_exactly_once_per_deferred_candidate():
+    um, gpu, pe = make_pe(4, protected={0}, batch_blocks=2)
+    for i in range(4):
+        admit(um, gpu, i, now=float(i))
+    victims = pe.select_victims()
+    # Block 0 (oldest) would have been picked — that is one deferral; the
+    # batch refills from 1 and 2 and the scan needs nothing further.
+    assert [v.index for v in victims] == [1, 2]
+    assert pe.stats.protected_skips == 1
+
+
+def test_scan_continues_past_full_live_list_for_invalidated_blocks():
+    """A protected invalidated block deep in the migration order is still
+    reached (free victims are preferred wherever they sit) and its
+    deferral is counted."""
+    um, gpu, pe = make_pe(4, protected={3}, batch_blocks=2)
+    blocks = [admit(um, gpu, i, now=float(i)) for i in range(4)]
+    gpu.set_invalidated(blocks[3])
+    victims = pe.select_victims()
+    assert [v.index for v in victims] == [0, 1]  # live fallback
+    assert pe.stats.protected_skips == 1
+
+
+def test_unprotected_invalidated_block_preempts_live_fallback():
+    um, gpu, pe = make_pe(4, protected=(), batch_blocks=2)
+    blocks = [admit(um, gpu, i, now=float(i)) for i in range(4)]
+    gpu.set_invalidated(blocks[3])
+    victims = pe.select_victims()
+    assert [v.index for v in victims] == [3, 0]
+    assert pe.stats.protected_skips == 0
+
+
+def test_set_invalidated_keeps_resident_counter_in_sync():
+    um, gpu, pe = make_pe(4, protected=(), batch_blocks=2)
+    blocks = [admit(um, gpu, i, now=float(i)) for i in range(3)]
+    assert gpu.invalidated_resident == 0
+    gpu.set_invalidated(blocks[1])
+    gpu.set_invalidated(blocks[1])  # idempotent
+    assert gpu.invalidated_resident == 1
+    gpu.set_invalidated(blocks[1], False)
+    assert gpu.invalidated_resident == 0
+    # Non-resident blocks flip their flag without touching the counter.
+    outside = um.block(9)
+    gpu.set_invalidated(outside)
+    assert gpu.invalidated_resident == 0
+    # Admission and removal of an already-invalidated block both count.
+    outside.populate(512)
+    gpu.admit(outside, 5.0)
+    assert gpu.invalidated_resident == 1
+    gpu.remove(outside)
+    assert gpu.invalidated_resident == 0
 
 
 # --------------------------------------------------------------------- #

@@ -62,6 +62,46 @@ def test_host_capacity_error():
         device.submit(launch([big]))
 
 
+def test_capacity_error_mutates_nothing():
+    """Regression pin: an overshooting ``_decompose`` used to populate
+    blocks, bump the counters, and emit ``mem.grow`` events before
+    raising. A caught OOM must leave the accounting exactly as it was."""
+    from repro.obs import SpanRecorder
+    from repro.obs.recorder import TRACK_MEMORY
+
+    engine, manager, device = make(host_mb=8)
+    recorder = SpanRecorder()
+    engine.recorder = recorder
+    small = device.empty((1024,))
+    device.submit(launch([small]))
+
+    populated = manager.populated_bytes
+    peak = manager.peak_populated_bytes
+    cache = dict(manager._decomp_cache)
+    pages_before = {idx: blk.populated_pages
+                    for idx, blk in engine.um._blocks.items()
+                    if blk.populated_pages}
+    events_before = len(recorder.instants)
+
+    big = device.empty((16 * MiB,))  # virtual alloc: cannot fail yet
+    with pytest.raises(UMCapacityError) as err:
+        manager._decompose(big.addr, big.nbytes)
+    assert "exceeds host capacity" in str(err.value)
+
+    assert manager.populated_bytes == populated
+    assert manager.peak_populated_bytes == peak
+    assert manager._decomp_cache == cache  # the failed range is not cached
+    assert {idx: blk.populated_pages
+            for idx, blk in engine.um._blocks.items()
+            if blk.populated_pages} == pages_before
+    grow_events = [ev for ev in recorder.instants[events_before:]
+                   if ev.track == TRACK_MEMORY and ev.name == "mem.grow"]
+    assert grow_events == []
+    # The manager is still fully usable after the caught OOM.
+    device.submit(launch([small], name="again"))
+    assert manager.populated_bytes == populated
+
+
 def test_accesses_deduplicate_blocks_across_operands():
     engine, manager, device = make()
     t = device.empty((1024,))
