@@ -119,6 +119,17 @@ class RunRequest:
         batch = "auto" if self.batch is None else str(self.batch)
         return f"{self.model}@{batch}/{self.policy}"
 
+    def canonical_payload(self) -> dict[str, Any]:
+        """The resolved request as the one canonical dict for this cell.
+
+        This is the form the executor journals, ships to workers, *and*
+        feeds the content-addressed result cache
+        (:mod:`repro.exec.cache`): defaults are pinned first, so a
+        request and any dict round-trip of it canonicalize identically
+        and therefore derive the same cache key.
+        """
+        return self.resolved().to_dict()
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form; the live ``recorder`` is dropped."""
         return {

@@ -197,24 +197,40 @@ def _cells_serial(
     warmup_runs: int,
     collect_health: bool,
     progress,
+    cache=None,
 ) -> dict[str, dict]:
     cells: dict[str, dict] = {}
     for policy in scenario.policies:
         cell_name = f"{scenario.model}@{scenario.paper_batch}/{policy}"
-        cells[cell_name] = run_scenario_cell(
-            cell_payload(
-                scenario,
-                policy,
-                repeats=repeats,
-                warmup_runs=warmup_runs,
-                collect_health=collect_health,
-            )
+        payload = cell_payload(
+            scenario,
+            policy,
+            repeats=repeats,
+            warmup_runs=warmup_runs,
+            collect_health=collect_health,
         )
+        # Same key and entry shape as a worker-executed bench cell, so
+        # serial and parallel runs share one cache population.
+        key = None
+        doc = None
+        if cache is not None:
+            from ..exec.tasks import KIND_BENCH_CELL
+
+            key = cache.key(KIND_BENCH_CELL, payload)
+            doc = cache.get(key)
+        cached = ""
+        if doc is not None:
+            cells[cell_name] = doc["cell"]
+            cached = " (cached)"
+        else:
+            cells[cell_name] = run_scenario_cell(payload)
+            if cache is not None and key is not None:
+                cache.put(key, {"status": "ok", "cell": cells[cell_name]})
         if progress is not None:
             progress(
                 f"{cell_name}: {cells[cell_name]['wall_seconds']:.3f}s wall "
                 f"({repeats} repeats), "
-                f"sim {cells[cell_name]['sim']['elapsed']:.4f}s"
+                f"sim {cells[cell_name]['sim']['elapsed']:.4f}s{cached}"
             )
     return cells
 
@@ -232,6 +248,7 @@ def _cells_parallel(
     runs_dir: Optional[str],
     run_id: Optional[str],
     out: Optional[str],
+    cache=None,
 ) -> dict[str, dict]:
     from ..exec import (
         DEFAULT_RUNS_DIR,
@@ -276,7 +293,7 @@ def _cells_parallel(
             f"bench run {journal.run_id}: {len(tasks)} cells across "
             f"{workers} workers (journal: {journal.root})"
         )
-    executor = Executor(config, progress=progress)
+    executor = Executor(config, progress=progress, cache=cache)
     results = executor.run_journal(journal)
     return assemble_cells(results)
 
@@ -311,6 +328,7 @@ def run_scenario(
     runs_dir: Optional[str] = None,
     run_id: Optional[str] = None,
     out: Optional[str] = None,
+    cache=None,
 ) -> dict:
     """Run every cell of ``scenario``; returns a schema result dict.
 
@@ -324,6 +342,12 @@ def run_scenario(
     through the executor, journaled under ``runs_dir`` so a killed bench
     can be resumed (``repro runs resume``); the simulated metrics are
     bit-identical to a serial run of the same scenario.
+
+    With ``cache`` (a :class:`repro.exec.ResultCache`) cells whose
+    content-addressed key is already stored are replayed instead of
+    re-simulated — serial and parallel runs share the same keys, and a
+    replayed cell is bit-for-bit identical to a fresh one (the recorded
+    wall times are the original measurement's).
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -340,6 +364,7 @@ def run_scenario(
             runs_dir=runs_dir,
             run_id=run_id,
             out=out,
+            cache=cache,
         )
     else:
         cells = _cells_serial(
@@ -348,6 +373,7 @@ def run_scenario(
             warmup_runs=warmup_runs,
             collect_health=collect_health,
             progress=progress,
+            cache=cache,
         )
     cell_peaks = [cell.pop("peak_rss_bytes", 0) for cell in cells.values()]
     peak_rss = max([_peak_rss_bytes()] + cell_peaks)

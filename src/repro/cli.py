@@ -11,6 +11,8 @@ Examples::
     python -m repro bench run --scenario smoke --workers 2
     python -m repro runs list
     python -m repro runs resume 20260806-141530-3fa9c1
+    python -m repro cache stats
+    python -m repro cache verify --sample 2
     python -m repro trace timeline bert-large --out timeline.json
 
 Every experiment-running subcommand builds :class:`repro.api.RunRequest`
@@ -18,6 +20,12 @@ objects and executes them through :func:`repro.api.execute` — in-process
 when ``--workers 1`` (the default), or through the fault-tolerant
 process-pool executor (:mod:`repro.exec`) with a resumable journal under
 ``--runs-dir`` otherwise. Simulated metrics are identical either way.
+
+Bench runs, journaled sweeps, tournaments and max-batch probes also
+consult the content-addressed result cache (:mod:`repro.exec.cache`,
+default ``.repro-cache/``): cells whose inputs have not changed replay
+their stored results bit-for-bit instead of re-simulating. ``--no-cache``
+opts out; ``repro cache stats|gc|verify`` manages and audits the store.
 """
 
 from __future__ import annotations
@@ -94,6 +102,28 @@ def _executor_config(args: argparse.Namespace):
                           retries=args.retries)
 
 
+def _cache_from_args(args: argparse.Namespace):
+    """The content-addressed result cache the command should use, if any.
+
+    Precedence: ``--no-cache`` disables; an explicit ``--cache-dir``
+    forces the cache on (even under ``REPRO_CACHE=off``); otherwise the
+    cache defaults on, rooted at ``REPRO_CACHE_DIR`` or ``.repro-cache``.
+    """
+    from .exec.cache import ResultCache, cache_disabled_by_env
+
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None and cache_disabled_by_env():
+        return None
+    return ResultCache(cache_dir)
+
+
+def _print_cache_summary(cache) -> None:
+    if cache is not None and (cache.lookups or cache.stores):
+        print(cache.summary_line())
+
+
 def _run_journaled(tasks, *, kind: str, meta: dict[str, Any],
                    args: argparse.Namespace,
                    recorder=None) -> dict[str, dict[str, Any]]:
@@ -101,13 +131,17 @@ def _run_journaled(tasks, *, kind: str, meta: dict[str, Any],
     from .exec import Executor, RunJournal
 
     config = _executor_config(args)
+    cache = _cache_from_args(args)
     journal = RunJournal.create(tasks, kind=kind, meta=meta,
                                 executor=config.to_dict(),
                                 runs_dir=args.runs_dir, run_id=args.run_id)
     print(f"{kind} {journal.run_id}: {len(tasks)} cells across "
           f"{config.workers} workers (journal: {journal.root})")
-    executor = Executor(config, progress=print, recorder=recorder)
-    return executor.run_journal(journal)
+    executor = Executor(config, progress=print, recorder=recorder,
+                        cache=cache)
+    results = executor.run_journal(journal)
+    _print_cache_summary(cache)
+    return results
 
 
 def _render_run_results(results: dict[str, dict[str, Any]]) -> int:
@@ -335,13 +369,14 @@ def cmd_max_batch(args: argparse.Namespace) -> int:
     system = calibrate_system(args.model, scale=scale)
     start = args.batch if args.batch is not None else cfg.fig9_batches[0]
     iterations = args.warmup if args.warmup is not None else 2
+    cache = _cache_from_args(args)
     rows = []
     for policy in _parse_policies(args.policies):
         outcome = max_batch_outcome(
             args.model, policy, system, scale=scale, start_batch=start,
             iterations=iterations,
             seed=args.seed if args.seed is not None else 0,
-            probe_workers=args.workers,
+            probe_workers=args.workers, cache=cache,
         )
         if outcome.fits:
             rows.append([policy, outcome.max_batch, len(outcome.probes), ""])
@@ -354,6 +389,7 @@ def cmd_max_batch(args: argparse.Namespace) -> int:
     print(format_table(
         ["policy", "max paper-scale batch", "probes", "why not larger"],
         rows, title=f"{args.model}: maximum batch sizes"))
+    _print_cache_summary(cache)
     return 0
 
 
@@ -420,6 +456,7 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
         raise SystemExit(f"unknown scenario {args.scenario!r}; known: {known}")
     out = args.out or f"BENCH_{scenario.name}.json"
     _require_writable_dir(out, "--out")
+    cache = _cache_from_args(args)
     try:
         doc = run_scenario(scenario, repeats=args.repeats,
                            warmup_runs=args.warmup_runs,
@@ -427,12 +464,13 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
                            workers=args.workers,
                            cell_timeout=args.cell_timeout,
                            retries=args.retries, runs_dir=args.runs_dir,
-                           run_id=args.run_id, out=out)
+                           run_id=args.run_id, out=out, cache=cache)
     except BenchRunError as exc:
         hint = ("" if args.workers <= 1 else
                 " (the journal is kept; see `repro runs list` / "
                 "`repro runs resume`)")
         raise SystemExit(f"bench run: {exc}{hint}")
+    _print_cache_summary(cache)
     write_result(doc, out)
     print(f"wrote {out}")
     return 0
@@ -644,6 +682,63 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------- #
+# result-cache subcommands (stats / gc / verify)
+# --------------------------------------------------------------------- #
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    from .exec.cache import disk_stats
+
+    stats = disk_stats(args.cache_dir)
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"cache {stats['cache_dir']} "
+          f"(schema v{stats['cache_schema_version']}, "
+          f"code fingerprint {stats['code_fingerprint']})")
+    rows = [[kind, count] for kind, count in sorted(stats["by_kind"].items())]
+    print(format_table(["kind", "entries"], rows))
+    print(f"{stats['entries']} entr{'y' if stats['entries'] == 1 else 'ies'} "
+          f"({stats['bytes'] / 1e6:.2f} MB): {stats['current']} current, "
+          f"{stats['stale']} stale, {stats['corrupt']} corrupt")
+    if stats["stale"] or stats["corrupt"]:
+        print("reclaim dead entries with: repro cache gc")
+    return 0
+
+
+def cmd_cache_gc(args: argparse.Namespace) -> int:
+    from .exec.cache import gc
+
+    removed = gc(args.cache_dir, everything=args.all)
+    what = "entries" if args.all else "stale/corrupt entries"
+    print(f"removed {removed} {what}")
+    return 0
+
+
+def cmd_cache_verify(args: argparse.Namespace) -> int:
+    """Audit the cache: integrity scan + sampled bit-for-bit re-execution."""
+    from .exec.cache import verify
+
+    report = verify(args.cache_dir, sample=args.sample, seed=args.seed,
+                    progress=None if args.json else print)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"cache {report['cache_dir']}: {report['entries']} entries, "
+              f"{len(report['corrupt'])} corrupt; re-ran {report['sampled']} "
+              f"sampled cell(s), {len(report['verified'])} bit-for-bit "
+              f"identical, {len(report['mismatches'])} mismatched")
+        for bad in report["corrupt"]:
+            print(f"  corrupt: {bad['path']}: {bad['problem']}")
+        for bad in report["mismatches"]:
+            print(f"  POISONED: {bad['path']}: {bad['problem']}")
+        if not report["ok"]:
+            print("the cache cannot be trusted; clear it with: "
+                  "repro cache gc --all")
+    return 0 if report["ok"] else 1
+
+
+# --------------------------------------------------------------------- #
 # run-journal subcommands (list / show / resume)
 # --------------------------------------------------------------------- #
 
@@ -769,10 +864,13 @@ def cmd_runs_resume(args: argparse.Namespace) -> int:
         **{k: v for k, v in saved.items() if k in allowed})
     unfinished = journal.unfinished()
     if unfinished:
+        cache = _cache_from_args(args)
         print(f"resuming {journal.kind} {journal.run_id}: "
               f"{len(unfinished)} of {len(journal.keys())} cell(s) left "
               f"({config.workers} workers)")
-        results = Executor(config, progress=print).run_journal(journal)
+        results = Executor(config, progress=print,
+                           cache=cache).run_journal(journal)
+        _print_cache_summary(cache)
     else:
         print(f"{journal.kind} {journal.run_id}: all cells already finished")
         results = journal.results()
@@ -831,7 +929,19 @@ def _exec_parent() -> argparse.ArgumentParser:
                         help="journal root (default: runs/)")
     parent.add_argument("--run-id", default=None,
                         help="journal id (default: generated)")
+    _add_cache_args(parent)
     return parent
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    """--cache-dir / --no-cache, shared by every cache-consulting command."""
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed result cache root "
+                             "(default: $REPRO_CACHE_DIR or .repro-cache; "
+                             "an explicit path forces the cache on)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always re-simulate; neither read nor write "
+                             "the result cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -967,7 +1077,35 @@ def build_parser() -> argparse.ArgumentParser:
                       help="override the journaled retry budget")
     rres.add_argument("--retry-failed", action="store_true",
                       help="also reset failed/timed-out cells to pending")
+    _add_cache_args(rres)
     rres.set_defaults(fn=cmd_runs_resume)
+
+    cache = sub.add_parser(
+        "cache", help="inspect, prune and audit the result cache")
+    csub = cache.add_subparsers(dest="cache_command", required=True)
+    cstats = csub.add_parser("stats", help="what the cache holds on disk")
+    cstats.add_argument("--cache-dir", default=None, metavar="DIR")
+    cstats.add_argument("--json", action="store_true",
+                        help="emit machine-readable stats")
+    cstats.set_defaults(fn=cmd_cache_stats)
+    cgc = csub.add_parser(
+        "gc", help="delete stale and corrupt entries (or everything)")
+    cgc.add_argument("--cache-dir", default=None, metavar="DIR")
+    cgc.add_argument("--all", action="store_true",
+                     help="clear the whole cache, current entries included")
+    cgc.set_defaults(fn=cmd_cache_gc)
+    cverify = csub.add_parser(
+        "verify",
+        help="integrity-scan every entry and re-run a sampled cell, "
+             "asserting bit-for-bit equality with the stored result")
+    cverify.add_argument("--cache-dir", default=None, metavar="DIR")
+    cverify.add_argument("--sample", type=int, default=1,
+                         help="entries to re-execute (default: 1)")
+    cverify.add_argument("--seed", type=int, default=0,
+                         help="sampling seed (default: 0)")
+    cverify.add_argument("--json", action="store_true",
+                         help="emit the full audit report as JSON")
+    cverify.set_defaults(fn=cmd_cache_verify)
 
     trace = sub.add_parser("trace", help="timeline capture and conversion")
     tsub = trace.add_subparsers(dest="trace_command", required=True)

@@ -9,6 +9,9 @@ The pieces:
   resumable.
 * :mod:`repro.exec.executor` — the process-pool scheduling loop: crash
   isolation, per-cell wall-clock timeouts, bounded retry with backoff.
+* :mod:`repro.exec.cache` — the content-addressed result cache that lets
+  any of the above skip cells whose inputs (payload + sim-relevant code)
+  have not changed, with bit-identical results.
 
 The load-bearing invariant: a cell is a deterministic function of its
 journaled payload, so parallel, serial, and killed-then-resumed runs
@@ -16,6 +19,18 @@ produce bit-identical simulated metrics (wall-clock may differ; the
 ``snapshot`` dicts may not).
 """
 
+from .cache import (
+    CACHE_DIR_ENV,
+    CACHE_ENABLE_ENV,
+    CACHE_SCHEMA_VERSION,
+    CACHEABLE_STATUSES,
+    DEFAULT_CACHE_DIR,
+    CacheKey,
+    ResultCache,
+    cache_key,
+    code_fingerprint,
+    deterministic_view,
+)
 from .executor import Executor, ExecutorConfig
 from .journal import (
     DEFAULT_RUNS_DIR,
@@ -41,9 +56,19 @@ from .tasks import (
 )
 
 __all__ = [
+    "CACHEABLE_STATUSES",
+    "CACHE_DIR_ENV",
+    "CACHE_ENABLE_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "CacheKey",
+    "DEFAULT_CACHE_DIR",
     "DEFAULT_RUNS_DIR",
     "Executor",
     "ExecutorConfig",
+    "ResultCache",
+    "cache_key",
+    "code_fingerprint",
+    "deterministic_view",
     "INJECT_ENV",
     "JOURNAL_SCHEMA_VERSION",
     "JournalError",

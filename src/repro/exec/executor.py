@@ -17,6 +17,11 @@ Because every cell is a deterministic function of its journaled payload
 (see :mod:`repro.api`), scheduling is free to be arbitrary: parallel runs,
 serial runs, and killed-then-resumed runs all produce bit-identical
 simulated metrics — only wall-clock differs. The test suite enforces this.
+The same property powers the optional content-addressed result cache
+(:mod:`repro.exec.cache`): when one is attached, first attempts consult it
+before any worker is spawned — a hit journals the stored result as if the
+cell had run — and fresh deterministic results are stored for the next
+sweep, bench, or CI run that needs the identical cell.
 
 Progress is reported two ways: a ``progress`` callback gets human lines,
 and an optional :class:`repro.obs.SpanRecorder` gets per-cell spans and
@@ -35,6 +40,7 @@ from dataclasses import asdict, dataclass
 from multiprocessing.connection import Connection
 from typing import Any, Callable, Optional, Sequence
 
+from .cache import CACHEABLE_STATUSES, ResultCache
 from .journal import RunJournal
 from .tasks import Task, execute_task, maybe_inject_fault
 
@@ -113,10 +119,15 @@ class Executor:
         *,
         progress: Optional[Callable[[str], None]] = None,
         recorder: Optional[Any] = None,
+        cache: Optional[ResultCache] = None,
     ):
         self.config = config if config is not None else ExecutorConfig()
         self.progress = progress
         self.recorder = recorder
+        #: Content-addressed result cache; ``None`` (the default) always
+        #: executes. With a cache, first attempts consult it before a
+        #: worker is spawned, and fresh deterministic results are stored.
+        self.cache = cache
         method = self.config.start_method
         if method is None:
             method = ("fork" if "fork" in mp.get_all_start_methods()
@@ -188,12 +199,22 @@ class Executor:
             completed += 1
             if journal is not None:
                 journal.finish(task.key, result)
+            if (self.cache is not None and not result.get("cached")
+                    and result["status"] in CACHEABLE_STATUSES):
+                if self.cache.put(self.cache.key(task.kind, task.payload),
+                                  result):
+                    note(f"cache store {task.key}", time.monotonic() - t0,
+                         args={"status": result["status"]})
             now = time.monotonic() - t0
             note(f"{task.key}", now,
                  start=(started - t0) if started is not None else now,
-                 args={"status": result["status"], "attempt": attempt})
+                 args={"status": result["status"], "attempt": attempt,
+                       "cached": bool(result.get("cached"))})
             if self.progress is not None:
                 status = result["status"]
+                if result.get("cached"):
+                    self.progress(f"{task.key}: {status} (cached)")
+                    return
                 wall = result.get("wall_seconds")
                 dur = f" in {wall:.2f}s" if isinstance(wall, float) else ""
                 line = f"{task.key}: {status}{dur} (attempt {attempt})"
@@ -264,6 +285,21 @@ class Executor:
                        and (limit is None
                             or completed + len(running) < limit)):
                     task, attempt = queue.popleft()
+                    # Consult the content-addressed cache before spawning
+                    # a worker; a hit fills the cell as if it had run.
+                    if attempt == 1 and self.cache is not None:
+                        hit = self.cache.get(
+                            self.cache.key(task.kind, task.payload))
+                        if hit is not None:
+                            hit["cached"] = True
+                            note(f"cache hit {task.key}",
+                                 time.monotonic() - t0,
+                                 args={"status": hit.get("status")})
+                            finish(task, hit, int(hit.get("attempts", 1)),
+                                   None)
+                            continue
+                        note(f"cache miss {task.key}",
+                             time.monotonic() - t0)
                     launch(task, attempt)
                 if not running:
                     if limit is not None and completed >= limit:

@@ -52,13 +52,14 @@ def experiment_task(request: Any, key: Optional[str] = None) -> Task:
     """Build an executor task from a :class:`repro.api.RunRequest`.
 
     The request is resolved first (batch/scale/system pinned) so every
-    worker — and every resume — executes exactly the same cell.
+    worker — and every resume — executes exactly the same cell, and so
+    the payload is the canonical form the result cache keys on.
     """
     resolved = request.resolved()
     return Task(
         key=key if key is not None else resolved.cell_key,
         kind=KIND_EXPERIMENT,
-        payload=resolved.to_dict(),
+        payload=resolved.canonical_payload(),
     )
 
 

@@ -55,7 +55,8 @@ class _Prober:
 
     def __init__(self, model: str, policy: str, system: SystemConfig, *,
                  scale: float, iterations: int,
-                 deepum_config: Optional[DeepUMConfig], seed: int = 0):
+                 deepum_config: Optional[DeepUMConfig], seed: int = 0,
+                 cache=None):
         self.model = model
         self.policy = policy
         self.system = system
@@ -63,6 +64,10 @@ class _Prober:
         self.iterations = iterations
         self.deepum_config = deepum_config
         self.seed = seed
+        #: Optional content-addressed result cache (repro.exec.cache);
+        #: probes are experiment cells with measure=0, so fit outcomes
+        #: memoize across sweeps exactly like measured cells.
+        self.cache = cache
         #: batch -> (status, error) for every probe ever run.
         self.outcomes: dict[int, tuple[str, str]] = {}
 
@@ -91,7 +96,19 @@ class _Prober:
             return cached[0] == STATUS_OK
         from ..api import execute
 
+        key = None
+        if self.cache is not None:
+            from ..exec.tasks import KIND_EXPERIMENT
+
+            key = self.cache.key(
+                KIND_EXPERIMENT, self.request(batch).canonical_payload())
+            doc = self.cache.get(key)
+            if doc is not None:
+                return self.record(batch, doc["status"],
+                                   doc.get("error", ""))
         result = execute(self.request(batch))
+        if self.cache is not None and key is not None:
+            self.cache.put(key, result.to_dict())
         return self.record(batch, result.status, result.error)
 
     def probe_many(self, batches: list[int], workers: int) -> None:
@@ -107,7 +124,8 @@ class _Prober:
 
         tasks = [experiment_task(self.request(b), key=f"probe-{b}")
                  for b in todo]
-        executor = Executor(ExecutorConfig(workers=min(workers, len(todo))))
+        executor = Executor(ExecutorConfig(workers=min(workers, len(todo))),
+                            cache=self.cache)
         results = executor.run_tasks(tasks)
         for b in todo:
             doc = results[f"probe-{b}"]
@@ -152,6 +170,7 @@ def max_batch_outcome(
     deepum_config: Optional[DeepUMConfig] = None,
     seed: int = 0,
     probe_workers: int = 1,
+    cache=None,
 ) -> MaxBatchOutcome:
     """Largest paper-scale batch that trains without OOM, with provenance.
 
@@ -165,7 +184,7 @@ def max_batch_outcome(
     step = cfg.batch_divisor
     prober = _Prober(model, policy, system, scale=scale,
                      iterations=iterations, deepum_config=deepum_config,
-                     seed=seed)
+                     seed=seed, cache=cache)
     lo = start_batch if start_batch is not None else cfg.fig9_batches[0]
     lo = max(step, (lo // step) * step)
     if not prober(lo):

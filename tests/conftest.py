@@ -18,6 +18,20 @@ from repro.torchsim.dtypes import int64
 from repro.torchsim.optim import SGD
 
 
+@pytest.fixture(autouse=True)
+def _isolate_result_cache(monkeypatch, tmp_path):
+    """Keep the content-addressed result cache out of every test's way.
+
+    The CLI defaults the cache on, which would let one test's cells
+    satisfy another's (masking, e.g., whether a parallel run really
+    executed). Disable it by default and point any explicitly-enabled
+    cache at a per-test directory; cache tests opt back in with
+    ``--cache-dir`` or by constructing ``ResultCache`` directly.
+    """
+    monkeypatch.setenv("REPRO_CACHE", "off")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def tiny_system() -> SystemConfig:
     """A GPU small enough that a toy MLP oversubscribes it."""
