@@ -137,12 +137,17 @@ def repro_hints(result: dict) -> list[str]:
     """The exact deep-dive commands for one result's scenario pin.
 
     ``repro report`` re-runs the scenario instrumented and renders the full
-    observability report; ``repro trace diff`` attributes the simulated-time
-    delta between the scenario's A/B policy pair kernel-by-kernel.
+    observability report; ``repro profile`` attributes *wall-clock* time to
+    simulator subsystems (the tool for wall regressions with unchanged sim
+    metrics); ``repro trace diff`` attributes the simulated-time delta
+    between the scenario's A/B policy pair kernel-by-kernel.
     """
     scenario = result["scenario"]
     config = result.get("config") or {}
-    hints = [f"repro report {scenario} --out report-{scenario}.html"]
+    hints = [
+        f"repro report {scenario} --out report-{scenario}.html",
+        f"repro profile {scenario} --out profile-{scenario}.json",
+    ]
     policies = list(config.get("policies") or [])
     if "um" in policies and "deepum" in policies:
         pair: Optional[tuple[str, str]] = ("um", "deepum")

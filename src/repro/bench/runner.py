@@ -132,8 +132,12 @@ def run_scenario_cell(payload: dict[str, Any]) -> dict[str, Any]:
     )
     cell_name = f"{payload['model']}@{payload['paper_batch']}/{payload['policy']}"
 
+    # Per-cell phase accounting: the phases set below become the cell's
+    # ``wall_breakdown`` and drive heartbeat progress/ETA in worker runs.
+    from ..exec.telemetry import TELEMETRY
+
     def one(recorder=None) -> ExperimentResult:
-        return run_cell(
+        result = run_cell(
             payload["model"],
             payload["paper_batch"],
             payload["policy"],
@@ -143,12 +147,25 @@ def run_scenario_cell(payload: dict[str, Any]) -> dict[str, Any]:
             seed=payload["seed"],
             recorder=recorder,
         )
+        # Advance the live sim-time watermark at pass boundaries (wall
+        # telemetry only; see repro.exec.telemetry — never fed back into
+        # the simulation).
+        elapsed = getattr(result.facade, "elapsed", None)
+        if callable(elapsed):
+            TELEMETRY.set_sim_time(float(elapsed()))
+        return result
 
-    for _ in range(payload["warmup_runs"]):
+    TELEMETRY.reset(key=cell_name, attempt=TELEMETRY.attempt)
+    passes = (payload["warmup_runs"] + payload["repeats"]
+              + (1 if payload["collect_health"] else 0))
+    for i in range(payload["warmup_runs"]):
+        TELEMETRY.set_phase("warmup", completed=i, total=passes)
         _sim_metrics(one())
     walls: list[float] = []
     sim: Optional[dict] = None
-    for _ in range(payload["repeats"]):
+    for i in range(payload["repeats"]):
+        TELEMETRY.set_phase("timed", completed=payload["warmup_runs"] + i,
+                            total=passes)
         t0 = time.perf_counter()
         result = one()
         walls.append(time.perf_counter() - t0)
@@ -171,6 +188,9 @@ def run_scenario_cell(payload: dict[str, Any]) -> dict[str, Any]:
         from ..obs import SpanRecorder
         from ..obs.health import policy_health
 
+        TELEMETRY.set_phase(
+            "health", completed=payload["warmup_runs"] + payload["repeats"],
+            total=passes)
         try:
             recorder = SpanRecorder()
             instrumented = one(recorder=recorder)
@@ -186,6 +206,7 @@ def run_scenario_cell(payload: dict[str, Any]) -> dict[str, Any]:
                 )
             driver = getattr(instrumented.facade, "driver", None)
             cell["policy_health"] = policy_health(recorder, driver).to_dict()
+    cell["wall_breakdown"] = TELEMETRY.wall_breakdown()
     cell["peak_rss_bytes"] = _peak_rss_bytes()
     return cell
 
@@ -245,6 +266,7 @@ def _cells_parallel(
     workers: int,
     cell_timeout: Optional[float],
     retries: int,
+    heartbeat_interval: float,
     runs_dir: Optional[str],
     run_id: Optional[str],
     out: Optional[str],
@@ -273,7 +295,9 @@ def _cells_parallel(
                 key,
             )
         )
-    config = ExecutorConfig(workers=workers, cell_timeout=cell_timeout, retries=retries)
+    config = ExecutorConfig(workers=workers, cell_timeout=cell_timeout,
+                            retries=retries,
+                            heartbeat_interval=heartbeat_interval)
     journal = RunJournal.create(
         tasks,
         kind="bench",
@@ -325,6 +349,7 @@ def run_scenario(
     workers: int = 1,
     cell_timeout: Optional[float] = None,
     retries: int = 1,
+    heartbeat_interval: float = 1.0,
     runs_dir: Optional[str] = None,
     run_id: Optional[str] = None,
     out: Optional[str] = None,
@@ -361,6 +386,7 @@ def run_scenario(
             workers=workers,
             cell_timeout=cell_timeout,
             retries=retries,
+            heartbeat_interval=heartbeat_interval,
             runs_dir=runs_dir,
             run_id=run_id,
             out=out,

@@ -1,9 +1,9 @@
 """The versioned ``BENCH_<scenario>.json`` result format.
 
-Schema v2 (v1 files remain loadable)::
+Schema v3 (v1/v2 files remain loadable)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "scenario": "smoke",
       "config": { ... Scenario.config_dict() ... },
       "timing": {"repeats": 3, "warmup_runs": 1},
@@ -16,17 +16,23 @@ Schema v2 (v1 files remain loadable)::
             "bytes_in": 1048576, "bytes_out": 0,
             "peak_populated_bytes": 123456
           },
-          "policy_health": { ... }        # OPTIONAL (v2, --health runs):
+          "policy_health": { ... },       # OPTIONAL (v2, --health runs):
                                           # serialized PolicyHealth report
+          "wall_breakdown": {             # OPTIONAL (v3): wall seconds per
+            "warmup": 0.04,               # bench phase, from the worker's
+            "timed": 0.07, "health": 0.01 # telemetry phase accounting
+          }
         }, ...
       },
       "peak_rss_bytes": 104857600,
       "provenance": {"python": "3.11.8", "platform": "..."}
     }
 
-v2 adds only the optional per-cell ``policy_health`` section (see
-:mod:`repro.obs.health`); everything v1 required is unchanged, so v1
-baselines stay valid and comparable against v2 results.
+v2 added only the optional per-cell ``policy_health`` section (see
+:mod:`repro.obs.health`); v3 adds only the optional per-cell
+``wall_breakdown`` (see :mod:`repro.exec.telemetry`). Everything v1
+required is unchanged, so old baselines stay valid and comparable
+against v3 results.
 
 ``validate_result`` is deliberately strict about structure (missing or
 mistyped fields raise) and silent about extra keys, so future minor
@@ -39,10 +45,11 @@ import json
 import platform
 from typing import Any
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
-#: Versions ``validate_result`` accepts: v1 files predate ``policy_health``.
-SUPPORTED_VERSIONS = (1, 2)
+#: Versions ``validate_result`` accepts: v1 files predate ``policy_health``,
+#: v2 files predate ``wall_breakdown``.
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: The deterministic per-cell metrics; every one must be present.
 SIM_METRIC_KEYS = (
@@ -121,6 +128,20 @@ def validate_result(doc: Any) -> dict:
                 raise BenchSchemaError(
                     f"cell {name!r}: invalid policy_health: {exc}"
                 ) from None
+        breakdown = cell.get("wall_breakdown")
+        if breakdown is not None:
+            # Optional section, v3: wall seconds per bench phase.
+            _expect(
+                isinstance(breakdown, dict),
+                f"cell {name!r}: wall_breakdown must be an object",
+            )
+            for phase, seconds in breakdown.items():
+                _expect(
+                    isinstance(phase, str) and bool(phase)
+                    and isinstance(seconds, (int, float)) and seconds >= 0,
+                    f"cell {name!r}: wall_breakdown[{phase!r}] must be a "
+                    "non-negative number keyed by a non-empty phase name",
+                )
     rss = doc.get("peak_rss_bytes")
     _expect(
         isinstance(rss, int) and rss >= 0,

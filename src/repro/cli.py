@@ -99,7 +99,8 @@ def _executor_config(args: argparse.Namespace):
     from .exec import ExecutorConfig
 
     return ExecutorConfig(workers=args.workers, cell_timeout=args.cell_timeout,
-                          retries=args.retries)
+                          retries=args.retries,
+                          heartbeat_interval=args.heartbeat_interval)
 
 
 def _cache_from_args(args: argparse.Namespace):
@@ -205,7 +206,9 @@ def _render_status_rows(journal) -> None:
         result = journal.result(key)
         wall = result.get("wall_seconds") if isinstance(result, dict) else None
         retries = max(journal.attempts(key) - 1, 0)
-        rows.append([key, journal.status(key),
+        # display_status downgrades "running" to "stalled" when the cell's
+        # worker heartbeat has gone quiet (see repro.exec.telemetry).
+        rows.append([key, journal.display_status(key),
                      f"{wall:.3f}" if wall is not None else None,
                      retries, _error_tail(journal.error(key))])
     print(format_table(["cell", "status", "wall (s)", "retries", "error"],
@@ -463,7 +466,9 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
                            collect_health=args.health, progress=print,
                            workers=args.workers,
                            cell_timeout=args.cell_timeout,
-                           retries=args.retries, runs_dir=args.runs_dir,
+                           retries=args.retries,
+                           heartbeat_interval=args.heartbeat_interval,
+                           runs_dir=args.runs_dir,
                            run_id=args.run_id, out=out, cache=cache)
     except BenchRunError as exc:
         hint = ("" if args.workers <= 1 else
@@ -501,6 +506,55 @@ def cmd_doctor(args: argparse.Namespace) -> int:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         print(format_doctor(report))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Wall-clock subsystem profile of a scenario's cells."""
+    from .obs.prof import (
+        NeutralityError,
+        format_profile,
+        profile_scenario,
+        speedscope_document,
+        validate_profile,
+        validate_speedscope,
+    )
+
+    try:
+        doc = profile_scenario(
+            args.scenario,
+            sample=args.sample,
+            sample_interval=args.sample_interval,
+            warmup_iterations=args.warmup,
+            measure_iterations=args.measure,
+            batch=args.batch, scale=args.scale, seed=args.seed,
+            progress=None if args.json else print,
+        )
+    except KeyError as exc:
+        raise SystemExit(f"profile: {exc.args[0]}")
+    except NeutralityError as exc:
+        raise SystemExit(f"profile: {exc}")
+    validate_profile(doc)
+    if args.out:
+        _require_writable_dir(args.out, "--out")
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.speedscope:
+        _require_writable_dir(args.speedscope, "--speedscope")
+        flame = validate_speedscope(speedscope_document(doc))
+        with open(args.speedscope, "w") as fh:
+            json.dump(flame, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(format_profile(doc))
+        if args.out:
+            print(f"\nwrote JSON profile -> {args.out}")
+        if args.speedscope:
+            print(f"wrote speedscope flamegraph -> {args.speedscope} "
+                  "(open at https://www.speedscope.app)")
     return 0
 
 
@@ -681,6 +735,53 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
     return 0 if outcome.ok else 1
 
 
+def cmd_bench_history_record(args: argparse.Namespace) -> int:
+    """Append one bench result (and optional compare verdict) to history."""
+    from .bench import compare_results, load_result
+    from .bench.schema import BenchSchemaError
+    from .obs.history import append_entry, make_entry
+
+    try:
+        result = load_result(args.result)
+        compare = None
+        if args.baseline:
+            baseline = load_result(args.baseline)
+            compare = compare_results(baseline, result,
+                                      threshold=args.threshold)
+    except (OSError, ValueError, BenchSchemaError) as exc:
+        raise SystemExit(f"bench history: {exc}")
+    entry = make_entry(result, compare=compare, git_sha=args.sha)
+    append_entry(entry, args.path)
+    verdict = ""
+    if compare is not None:
+        verdict = " (compare: ok)" if compare.ok else " (compare: FAILED)"
+    print(f"recorded {entry['scenario']} @ {entry['git_sha']}"
+          f"{verdict} -> {args.path}")
+    return 0
+
+
+def cmd_bench_history_show(args: argparse.Namespace) -> int:
+    from .obs.history import format_history, load_history
+
+    entries, skipped = load_history(args.path, scenario=args.scenario)
+    if not entries and not skipped:
+        print(f"no history at {args.path!r}"
+              + (f" for scenario {args.scenario!r}" if args.scenario else ""))
+        return 0
+    print(format_history(entries, skipped=skipped, last=args.last))
+    return 0
+
+
+def cmd_bench_history_trend(args: argparse.Namespace) -> int:
+    from .obs.history import format_trend, load_history, trend
+
+    entries, skipped = load_history(args.path, scenario=args.scenario)
+    print(format_trend(trend(entries, args.scenario), args.scenario))
+    if skipped:
+        print(f"warning: skipped {skipped} malformed history line(s)")
+    return 0
+
+
 # --------------------------------------------------------------------- #
 # result-cache subcommands (stats / gc / verify)
 # --------------------------------------------------------------------- #
@@ -766,7 +867,10 @@ def cmd_runs_list(args: argparse.Namespace) -> int:
     rows = []
     for summary in runs:
         counts = summary["counts"]
-        state = "corrupt" if summary["corrupt"] else _counts_str(counts)
+        # display_counts folds heartbeat staleness in: cells whose worker
+        # stopped beating show as "stalled" instead of forever "running".
+        shown = summary.get("display_counts") or counts
+        state = "corrupt" if summary["corrupt"] else _counts_str(shown)
         rows.append([summary["run_id"], summary["kind"],
                      summary["created_at"], sum(counts.values()), state])
     print(format_table(["run", "kind", "created", "cells", "status"], rows,
@@ -789,6 +893,48 @@ def cmd_runs_show(args: argparse.Namespace) -> int:
         print(f"{len(unfinished)} cell(s) unfinished; resume with: "
               f"repro runs resume {journal.run_id} --runs-dir {args.runs_dir}")
     return 0
+
+
+def _print_watch_tick(snap: dict[str, Any]) -> None:
+    rows = []
+    for cell in snap["cells"]:
+        progress = cell.get("progress")
+        eta = cell.get("eta_seconds")
+        sim = cell.get("sim_time")
+        rows.append([
+            cell["key"], cell["status"], cell.get("phase") or "-",
+            f"{100.0 * progress:.0f}%" if progress is not None else "-",
+            (f"{cell['elapsed_seconds']:.1f}"
+             if cell.get("elapsed_seconds") is not None else "-"),
+            f"{sim:.4f}" if sim is not None else "-",
+            f"{eta:.0f}s" if eta is not None else "-",
+        ])
+    print(format_table(
+        ["cell", "status", "phase", "progress", "elapsed (s)", "sim time",
+         "eta"],
+        rows,
+        title=f"run {snap['run_id']} ({snap['kind']}): "
+              f"{snap['done']}/{snap['total']} cells finished"))
+
+
+def cmd_runs_watch(args: argparse.Namespace) -> int:
+    """Tail a journaled run's live progress from its worker heartbeats."""
+    import time
+
+    from .exec.telemetry import watch_snapshot
+
+    while True:
+        journal = _load_journal(args)  # re-read state.json every tick
+        snap = watch_snapshot(journal)
+        _print_watch_tick(snap)
+        if snap["finished"]:
+            counts = _counts_str(journal.counts())
+            print(f"run {journal.run_id} finished: {counts}")
+            return 0
+        if args.once:
+            return 0
+        print()
+        time.sleep(args.interval)
 
 
 def _finalize_resumed(journal, results: dict[str, dict[str, Any]],
@@ -859,7 +1005,7 @@ def cmd_runs_resume(args: argparse.Namespace) -> int:
         if override is not None:
             saved[field] = override
     allowed = {"workers", "cell_timeout", "retries", "backoff",
-               "poll_interval", "start_method"}
+               "poll_interval", "start_method", "heartbeat_interval"}
     config = ExecutorConfig(
         **{k: v for k, v in saved.items() if k in allowed})
     unfinished = journal.unfinished()
@@ -929,6 +1075,10 @@ def _exec_parent() -> argparse.ArgumentParser:
                         help="journal root (default: runs/)")
     parent.add_argument("--run-id", default=None,
                         help="journal id (default: generated)")
+    parent.add_argument("--heartbeat-interval", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="worker progress-heartbeat period feeding "
+                             "`repro runs watch` (default: 1s)")
     _add_cache_args(parent)
     return parent
 
@@ -1026,6 +1176,38 @@ def build_parser() -> argparse.ArgumentParser:
                       help="allowed wall-clock regression factor "
                            "(simulated metrics must match exactly)")
     bcmp.set_defaults(fn=cmd_bench_compare)
+    bhist = bsub.add_parser(
+        "history",
+        help="committed wall/sim trend lines across commits")
+    bhsub = bhist.add_subparsers(dest="history_command", required=True)
+    bhrec = bhsub.add_parser(
+        "record", help="append a BENCH_*.json result to the history file")
+    bhrec.add_argument("result", help="BENCH_*.json to record")
+    bhrec.add_argument("--baseline", default=None,
+                       help="also record the compare verdict against this "
+                            "baseline BENCH_*.json")
+    bhrec.add_argument("--threshold", type=float, default=1.5,
+                       help="wall-clock threshold for the recorded compare")
+    bhrec.add_argument("--path", default="benchmarks/history.jsonl",
+                       metavar="FILE",
+                       help="history file (default: benchmarks/history.jsonl)")
+    bhrec.add_argument("--sha", default=None,
+                       help="git SHA to record (default: HEAD)")
+    bhrec.set_defaults(fn=cmd_bench_history_record)
+    bhshow = bhsub.add_parser("show", help="list recorded history entries")
+    bhshow.add_argument("--path", default="benchmarks/history.jsonl",
+                        metavar="FILE")
+    bhshow.add_argument("--scenario", default=None,
+                        help="only entries for this scenario")
+    bhshow.add_argument("--last", type=int, default=0,
+                        help="show only the newest N entries")
+    bhshow.set_defaults(fn=cmd_bench_history_show)
+    bhtrend = bhsub.add_parser(
+        "trend", help="per-cell wall/sim trend tables for one scenario")
+    bhtrend.add_argument("--scenario", required=True)
+    bhtrend.add_argument("--path", default="benchmarks/history.jsonl",
+                         metavar="FILE")
+    bhtrend.set_defaults(fn=cmd_bench_history_trend)
 
     doctor = sub.add_parser(
         "doctor", parents=[cell, iters],
@@ -1038,6 +1220,27 @@ def build_parser() -> argparse.ArgumentParser:
     doctor.add_argument("--out", default=None, metavar="PATH",
                         help="also write the JSON report here")
     doctor.set_defaults(fn=cmd_doctor)
+
+    profile = sub.add_parser(
+        "profile", parents=[cell, iters],
+        help="attribute wall-clock time to simulator subsystems "
+             "(sim-neutral; exports JSON and speedscope)")
+    profile.add_argument("scenario",
+                         help="bench scenario name (see `repro bench list`)")
+    profile.add_argument("--sample", action="store_true",
+                         help="also run the thread-based stack sampler for "
+                              "real flamegraph stacks")
+    profile.add_argument("--sample-interval", type=float, default=0.005,
+                         metavar="SECONDS",
+                         help="stack-sampling period (default: 5 ms)")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the schema-validated JSON profile "
+                              "instead of the human tables")
+    profile.add_argument("--out", default=None, metavar="PATH",
+                         help="also write the JSON profile here")
+    profile.add_argument("--speedscope", default=None, metavar="PATH",
+                         help="also write a speedscope flamegraph here")
+    profile.set_defaults(fn=cmd_profile)
 
     report = sub.add_parser(
         "report", parents=[cell, iters],
@@ -1063,6 +1266,17 @@ def build_parser() -> argparse.ArgumentParser:
     rshow.add_argument("run_id")
     rshow.add_argument("--runs-dir", default="runs", metavar="DIR")
     rshow.set_defaults(fn=cmd_runs_show)
+    rwatch = rsub.add_parser(
+        "watch",
+        help="tail a run's live per-cell progress (heartbeat-driven)")
+    rwatch.add_argument("run_id")
+    rwatch.add_argument("--runs-dir", default="runs", metavar="DIR")
+    rwatch.add_argument("--interval", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="refresh period (default: 2s)")
+    rwatch.add_argument("--once", action="store_true",
+                        help="print one snapshot and exit (scripting/CI)")
+    rwatch.set_defaults(fn=cmd_runs_watch)
     rres = rsub.add_parser(
         "resume",
         help="re-execute a run's unfinished cells and rebuild its output")

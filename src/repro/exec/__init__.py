@@ -12,6 +12,9 @@ The pieces:
 * :mod:`repro.exec.cache` — the content-addressed result cache that lets
   any of the above skip cells whose inputs (payload + sim-relevant code)
   have not changed, with bit-identical results.
+* :mod:`repro.exec.telemetry` — worker-side phase/progress accounting and
+  the heartbeat files that make ``repro runs watch`` live and stalled
+  workers detectable.
 
 The load-bearing invariant: a cell is a deterministic function of its
 journaled payload, so parallel, serial, and killed-then-resumed runs
@@ -54,6 +57,17 @@ from .tasks import (
     experiment_task,
     tournament_cell_task,
 )
+from .telemetry import (
+    STALL_FACTOR,
+    STATUS_STALLED,
+    TELEMETRY,
+    HeartbeatWriter,
+    Telemetry,
+    classify_running,
+    read_heartbeat,
+    watch_snapshot,
+    write_heartbeat,
+)
 
 __all__ = [
     "CACHEABLE_STATUSES",
@@ -75,10 +89,19 @@ __all__ = [
     "KIND_BENCH_CELL",
     "KIND_EXPERIMENT",
     "KIND_TOURNAMENT_CELL",
+    "HeartbeatWriter",
     "RunJournal",
+    "STALL_FACTOR",
+    "STATUS_STALLED",
     "TASK_KINDS",
+    "TELEMETRY",
     "TERMINAL_STATUSES",
     "Task",
+    "Telemetry",
+    "classify_running",
+    "read_heartbeat",
+    "watch_snapshot",
+    "write_heartbeat",
     "bench_cell_task",
     "execute_task",
     "experiment_task",

@@ -71,8 +71,8 @@ CACHEABLE_STATUSES = ("ok", "oom")
 #: may differ between a cached and a fresh execution of the same cell and
 #: are stripped before any bit-for-bit comparison.
 VOLATILE_RESULT_KEYS = frozenset(
-    {"wall_seconds", "wall_seconds_all", "peak_rss_bytes", "attempts",
-     "cached"})
+    {"wall_seconds", "wall_seconds_all", "wall_breakdown", "peak_rss_bytes",
+     "attempts", "cached"})
 
 #: The modules whose source determines a cell's simulated output, relative
 #: to the ``repro`` package root. Editing any of these changes the code

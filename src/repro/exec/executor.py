@@ -63,6 +63,9 @@ class ExecutorConfig:
     #: ``fork``/``spawn``/``forkserver``; ``None`` picks ``fork`` where
     #: available (Linux) and the platform default elsewhere.
     start_method: Optional[str] = None
+    #: Worker heartbeat cadence in seconds (journaled runs only). A cell
+    #: whose beat stalls for 3x this interval displays as ``stalled``.
+    heartbeat_interval: float = 1.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -72,26 +75,48 @@ class ExecutorConfig:
         if self.cell_timeout is not None and self.cell_timeout <= 0:
             raise ValueError(
                 f"cell_timeout must be positive, got {self.cell_timeout}")
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, "
+                f"got {self.heartbeat_interval}")
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
 
 
 def _worker_entry(conn: Connection, key: str, kind: str,
-                  payload: dict[str, Any], attempt: int) -> None:
+                  payload: dict[str, Any], attempt: int,
+                  heartbeat_path: Optional[str] = None,
+                  heartbeat_interval: float = 1.0) -> None:
     """Run one task and ship its result dict back over the pipe.
 
     Runs in the child process. Any exception becomes a ``failed`` result
     with the full traceback; a crash that skips the ``send`` entirely is
     detected by the parent via the process exit code.
+
+    With ``heartbeat_path`` (journaled runs) a daemon
+    :class:`~repro.exec.telemetry.HeartbeatWriter` persists this worker's
+    live phase/sim-time telemetry; the writer starts before fault
+    injection so even an injected hang leaves a datable first beat. The
+    result ships a ``wall_breakdown`` (seconds per phase) either way.
     """
+    from .telemetry import TELEMETRY, HeartbeatWriter
+
     t0 = time.perf_counter()
+    TELEMETRY.reset(key=key, attempt=attempt)
+    writer = None
+    if heartbeat_path is not None:
+        writer = HeartbeatWriter(heartbeat_path, heartbeat_interval)
+        writer.start()
     try:
         maybe_inject_fault(key, attempt)
         result = execute_task(kind, payload, attempt)
     except Exception:
         result = {"status": "failed", "error": traceback.format_exc()}
     result["wall_seconds"] = time.perf_counter() - t0
+    result.setdefault("wall_breakdown", TELEMETRY.wall_breakdown())
+    if writer is not None:
+        writer.stop()
     try:
         conn.send(result)
     finally:
@@ -225,9 +250,12 @@ class Executor:
 
         def launch(task: Task, attempt: int) -> None:
             parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+            hb_path = (journal.heartbeat_path(task.key)
+                       if journal is not None else None)
             proc = self._ctx.Process(
                 target=_worker_entry,
-                args=(child_conn, task.key, task.kind, task.payload, attempt),
+                args=(child_conn, task.key, task.kind, task.payload, attempt,
+                      hb_path, cfg.heartbeat_interval),
                 daemon=True,
             )
             proc.start()

@@ -34,6 +34,12 @@ journaled payload).
 Wall-clock values (``created_at``, per-cell ``wall_seconds``) live only in
 the journal and result envelopes, never inside the simulated ``snapshot``
 metrics.
+
+Live runs additionally keep one heartbeat file per in-flight cell under
+``heartbeats/<slug>.json`` (see :mod:`repro.exec.telemetry`). Heartbeats
+are advisory wall-clock telemetry — a running cell whose beat goes stale
+is *displayed* as ``stalled`` (:meth:`RunJournal.display_status`) but its
+journaled status stays ``running`` until the executor records an outcome.
 """
 
 from __future__ import annotations
@@ -245,6 +251,47 @@ class RunJournal:
                 f"run {self.run_id!r} has no cell {key!r}") from None
 
     # ------------------------------------------------------------------ #
+    # heartbeats (live telemetry; see repro.exec.telemetry)
+    # ------------------------------------------------------------------ #
+
+    def heartbeat_path(self, key: str) -> str:
+        """Where this cell's worker writes its heartbeat file."""
+        self._entry(key)  # unknown keys fail loudly, like every accessor
+        return os.path.join(self.root, "heartbeats", f"{_slug(key)}.json")
+
+    def heartbeat(self, key: str) -> Optional[dict[str, Any]]:
+        """The cell's last heartbeat (with file mtime), or ``None``."""
+        from .telemetry import read_heartbeat
+
+        return read_heartbeat(self.heartbeat_path(key))
+
+    def heartbeat_interval(self) -> float:
+        """The run's heartbeat cadence; pre-telemetry journals get 1.0s."""
+        raw = self.state.get("executor", {}).get("heartbeat_interval")
+        return float(raw) if isinstance(raw, (int, float)) and raw > 0 \
+            else 1.0
+
+    def display_status(self, key: str,
+                       *, now: Optional[float] = None) -> str:
+        """The journal status, except stale-heartbeat ``running`` cells
+        read ``stalled`` (hung worker diagnosis; display-only)."""
+        from .telemetry import classify_running
+
+        status = self.status(key)
+        if status != STATUS_RUNNING:
+            return status
+        return classify_running(self.heartbeat(key),
+                                self.heartbeat_interval(), now=now)
+
+    def display_counts(self, *, now: Optional[float] = None) -> dict[str, int]:
+        """Like :meth:`counts`, with running split into running/stalled."""
+        out: dict[str, int] = {}
+        for key in self.keys():
+            status = self.display_status(key, now=now)
+            out[status] = out.get(status, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------ #
     # transitions
     # ------------------------------------------------------------------ #
 
@@ -321,13 +368,19 @@ def list_runs(runs_dir: str = DEFAULT_RUNS_DIR) -> list[dict[str, Any]]:
             journal = RunJournal.load(name, runs_dir)
         except JournalError:
             out.append({"run_id": name, "kind": "?", "created_at": "?",
-                        "counts": {}, "corrupt": True})
+                        "counts": {}, "display_counts": {}, "corrupt": True})
             continue
+        counts = journal.counts()
+        display = (journal.display_counts()
+                   if counts.get(STATUS_RUNNING) else dict(counts))
         out.append({
             "run_id": journal.run_id,
             "kind": journal.kind,
             "created_at": str(journal.state["created_at"]),
-            "counts": journal.counts(),
+            "counts": counts,
+            # Running cells reclassified by heartbeat staleness: a hung
+            # worker shows as ``stalled`` here, not indefinite ``running``.
+            "display_counts": display,
             "corrupt": False,
         })
     return out

@@ -120,9 +120,12 @@ def execute_task(kind: str, payload: dict[str, Any],
     ``failed`` result with the traceback) — except inside
     :func:`repro.api.execute`, which already captures cell-level failures.
     """
+    from .telemetry import TELEMETRY
+
     if kind == KIND_EXPERIMENT:
         from ..api import RunRequest, execute
 
+        TELEMETRY.set_phase("run")
         return execute(RunRequest.from_dict(payload)).to_dict()
     if kind == KIND_BENCH_CELL:
         from ..bench.runner import run_scenario_cell
@@ -131,5 +134,6 @@ def execute_task(kind: str, payload: dict[str, Any],
     if kind == KIND_TOURNAMENT_CELL:
         from ..harness.tournament import run_tournament_cell
 
+        TELEMETRY.set_phase("run")
         return run_tournament_cell(payload)
     raise ValueError(f"unknown task kind {kind!r}; known: {TASK_KINDS}")

@@ -264,6 +264,7 @@ def run_experiment(
     deepum_config: Optional[DeepUMConfig] = None,
     seed: int = 0,
     recorder=None,
+    instrument=None,
 ) -> ExperimentResult:
     """Train ``model`` under ``policy`` and measure the steady-state window.
 
@@ -272,6 +273,12 @@ def run_experiment(
     facades raise ``TypeError``). The recorder sees the whole run including
     warm-up — filter by kernel record timestamps if only the measurement
     window matters.
+
+    ``instrument`` is an optional callable invoked with the freshly built
+    facade before the workload is constructed — the seam the wall-clock
+    profiler (:mod:`repro.obs.prof`) installs through. Like the recorder,
+    it must be observation-only: instrumenting a run may never change its
+    simulated metrics.
     """
     cfg = get_model_config(model)
     if scale is None:
@@ -283,6 +290,9 @@ def run_experiment(
         from ..obs import attach
 
         attach(facade, recorder)
+    if instrument is not None:
+        instrument(facade)
+    from ..exec.telemetry import TELEMETRY
     sim_batch = cfg.sim_batch(paper_batch)
     result = ExperimentResult(
         model=model, policy=policy, paper_batch=paper_batch,
@@ -292,8 +302,10 @@ def run_experiment(
         workload = cfg.build(facade.device, sim_batch, scale=scale)
         workload.run(warmup_iterations)
         before = _snapshot(facade)
+        TELEMETRY.set_sim_time(before.elapsed)
         workload.run(measure_iterations)
         after = _snapshot(facade)
+        TELEMETRY.set_sim_time(after.elapsed)
     except (UMCapacityError, TorchSimOOM, TensorSwapOOM) as exc:
         result.oom = True
         result.oom_reason = f"{type(exc).__name__}: {exc}"

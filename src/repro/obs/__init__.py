@@ -62,6 +62,19 @@ from .health import (
     table_health,
     validate_policy_health,
 )
+from .history import (
+    DEFAULT_HISTORY_PATH,
+    HISTORY_SCHEMA_VERSION,
+    HistoryError,
+    append_entry,
+    current_git_sha,
+    format_history,
+    format_trend,
+    load_history,
+    make_entry,
+    trend,
+    validate_entry,
+)
 from .memory import (
     EVICT_TRIGGERS,
     MemoryEvent,
@@ -69,6 +82,20 @@ from .memory import (
     MemoryTimeline,
     ResidencyInterval,
     memory_timeline,
+)
+from .prof import (
+    PROFILE_SCHEMA_VERSION,
+    SUBSYSTEMS,
+    NeutralityError,
+    ProfileError,
+    SamplingProfiler,
+    WallProfiler,
+    format_profile,
+    profile_request,
+    profile_scenario,
+    speedscope_document,
+    validate_profile,
+    validate_speedscope,
 )
 from .report import (
     REPORT_SCHEMA_VERSION,
@@ -145,10 +172,13 @@ __all__ = [
     "ALL_TRACKS",
     "BUCKETS",
     "COMMAND_SOURCES",
+    "DEFAULT_HISTORY_PATH",
     "DOCTOR_SCHEMA_VERSION",
     "DecisionLog",
     "DiffEntry",
     "EVICT_TRIGGERS",
+    "HISTORY_SCHEMA_VERSION",
+    "HistoryError",
     "FAULT_PHASES",
     "FaultCause",
     "Finding",
@@ -161,16 +191,22 @@ __all__ = [
     "MemoryReconciliationError",
     "MemoryTimeline",
     "NULL_RECORDER",
+    "NeutralityError",
     "NullRecorder",
+    "PROFILE_SCHEMA_VERSION",
     "PolicyHealth",
+    "ProfileError",
     "Provenance",
     "REPORT_SCHEMA_VERSION",
     "ReportOfflineError",
     "ResidencyInterval",
     "RunDiff",
+    "SUBSYSTEMS",
+    "SamplingProfiler",
     "Span",
     "SpanRecorder",
     "TableHealth",
+    "WallProfiler",
     "TRACK_EXEC",
     "TRACK_FAULT",
     "TRACK_GPU",
@@ -180,28 +216,42 @@ __all__ = [
     "TRACK_MIGRATION",
     "TRACK_PREEVICT",
     "aggregate_by_kernel",
+    "append_entry",
     "assert_offline",
     "attach",
     "chrome_trace_dict",
     "chrome_trace_events",
+    "current_git_sha",
     "describe_event",
     "diagnose",
     "diff_runs",
     "format_diff",
     "format_doctor",
+    "format_history",
+    "format_profile",
+    "format_trend",
     "journal_report",
     "kernel_phases",
     "kernel_slices",
+    "load_history",
+    "make_entry",
     "memory_timeline",
     "policy_health",
+    "profile_request",
+    "profile_scenario",
     "render_html",
     "run_doctor",
     "scenario_report",
+    "speedscope_document",
     "table_health",
     "tracer_chrome_events",
+    "trend",
     "validate_chrome_trace",
     "validate_doctor_report",
+    "validate_entry",
     "validate_policy_health",
+    "validate_profile",
+    "validate_speedscope",
     "write_chrome_trace",
     "write_tracer_chrome_trace",
 ]

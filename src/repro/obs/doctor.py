@@ -14,7 +14,8 @@ timeline (``repro trace timeline``) and the per-fault drill-down
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
 from .decisions import ALL_CAUSES, CAUSE_CHAIN_BREAK, CAUSE_EVICTED, CAUSE_LATE
@@ -38,6 +39,10 @@ ATTRIBUTION_MIN = 0.95
 #: working set past capacity is worth a note; add a meaningful thrash
 #: score (re-fetched admissions) and it becomes a warning.
 THRASH_WARN = 0.10
+#: Observability-overhead threshold: instrumentation (recorder spans) may
+#: slow the wall clock by at most this fraction over an uninstrumented
+#: reference run before the doctor flags its own cost.
+OBS_OVERHEAD_WARN = 0.10
 
 #: Numeric keys every doctor ``memory`` section must carry (a subset of
 #: :meth:`repro.obs.memory.MemoryTimeline.summary`).
@@ -66,16 +71,37 @@ def _pct(x: Optional[float]) -> str:
 
 
 def diagnose(health: PolicyHealth,
-             memory: Optional[dict] = None) -> list[Finding]:
+             memory: Optional[dict] = None,
+             wall: Optional[dict] = None) -> list[Finding]:
     """Rank what is wrong (or fine) with one cell's prefetch behaviour.
 
     ``memory`` is an optional memory-timeline summary
     (:meth:`repro.obs.memory.MemoryTimeline.summary`); when given, the
     diagnosis includes oversubscription pressure (peak working set vs GPU
-    capacity, eviction thrash).
+    capacity, eviction thrash). ``wall`` is an optional observability-cost
+    measurement (``instrumented_seconds``/``reference_seconds``/
+    ``overhead_ratio``); when given, the diagnosis reports what the
+    instrumentation itself cost in wall-clock time.
     """
     findings: list[Finding] = []
     out = findings.append
+
+    if wall is not None and wall.get("overhead_ratio") is not None:
+        ratio = float(wall["overhead_ratio"])
+        msg = (
+            f"instrumented run took {wall['instrumented_seconds']:.3f}s vs "
+            f"{wall['reference_seconds']:.3f}s uninstrumented "
+            f"({ratio:.2f}x)"
+        )
+        if ratio > 1.0 + OBS_OVERHEAD_WARN:
+            out(Finding(
+                "warning", "obs-overhead",
+                f"{msg} — observability overhead exceeds "
+                f"{_pct(OBS_OVERHEAD_WARN)}; wall numbers from "
+                "instrumented runs are not trustworthy for benching",
+            ))
+        else:
+            out(Finding("info", "obs-overhead", msg))
 
     if memory is not None and memory.get("capacity_bytes", 0) > 0:
         oversub = float(memory.get("oversubscription", 0.0))
@@ -254,7 +280,9 @@ def run_doctor(scenario, *, warmup_iterations: Optional[int] = None,
             recorder=recorder,
         )
         try:
+            t0 = time.perf_counter()
             result = execute(request)
+            instrumented_seconds = time.perf_counter() - t0
         except TypeError:
             # No UM engine to instrument (tensor-swap facade).
             report["skipped"][cell] = "no UM engine (tensor-swap policy)"
@@ -265,6 +293,18 @@ def run_doctor(scenario, *, warmup_iterations: Optional[int] = None,
         if not result.ok:
             report["skipped"][cell] = f"{result.status}: {result.error}"
             continue
+        # The same cell uninstrumented, timed: what did observing it cost?
+        t0 = time.perf_counter()
+        execute(replace(request, recorder=None))
+        reference_seconds = time.perf_counter() - t0
+        wall = {
+            "instrumented_seconds": instrumented_seconds,
+            "reference_seconds": reference_seconds,
+            "overhead_ratio": (
+                instrumented_seconds / reference_seconds
+                if reference_seconds > 0 else None
+            ),
+        }
         assert result.experiment is not None
         driver = getattr(result.experiment.facade, "driver", None)
         health = policy_health(recorder, driver)
@@ -273,7 +313,11 @@ def run_doctor(scenario, *, warmup_iterations: Optional[int] = None,
         report["cells"][cell] = {
             "policy_health": health.to_dict(),
             "memory": mem,
-            "findings": [f.to_dict() for f in diagnose(health, memory=mem)],
+            "wall": wall,
+            "findings": [
+                f.to_dict()
+                for f in diagnose(health, memory=mem, wall=wall)
+            ],
         }
     return report
 
@@ -310,6 +354,22 @@ def validate_doctor_report(doc: object) -> dict:
                     raise ValueError(
                         f"cell {cell!r}: memory section missing numeric "
                         f"key {key!r}")
+        wall = body.get("wall")
+        if wall is not None:
+            # Optional (older reports predate it) but validated when present.
+            if not isinstance(wall, dict):
+                raise ValueError(f"cell {cell!r}: wall must be an object")
+            for key in ("instrumented_seconds", "reference_seconds"):
+                if not isinstance(wall.get(key), (int, float)) \
+                        or wall[key] < 0:
+                    raise ValueError(
+                        f"cell {cell!r}: wall section needs non-negative "
+                        f"numeric key {key!r}")
+            ratio = wall.get("overhead_ratio")
+            if ratio is not None and not isinstance(ratio, (int, float)):
+                raise ValueError(
+                    f"cell {cell!r}: wall.overhead_ratio must be a number "
+                    "or null")
         for finding in body["findings"]:
             if not isinstance(finding, dict):
                 raise ValueError(f"cell {cell!r}: findings must be objects")
@@ -350,6 +410,13 @@ def format_doctor(report: dict) -> str:
                 f"set {memory['working_set_bytes'] / 2**20:.1f} MiB "
                 f"({memory['oversubscription']:.2f}x), thrash "
                 f"{memory['thrash_score']:.3f}"
+            )
+        wall = body.get("wall")
+        if wall and wall.get("overhead_ratio") is not None:
+            lines.append(
+                f"  wall: {wall['instrumented_seconds']:.3f}s instrumented "
+                f"vs {wall['reference_seconds']:.3f}s reference "
+                f"({wall['overhead_ratio']:.2f}x observability overhead)"
             )
         for finding in body["findings"]:
             lines.append(f"  [{finding['severity']:>7}] {finding['code']}: "

@@ -1,0 +1,251 @@
+"""Bench history: committed wall/sim trend lines across commits.
+
+A single bench compare answers "did this change regress the smoke
+scenario?"; the history answers the longitudinal question — "how has
+smoke's wall time moved over the last twenty commits?". Each
+:func:`make_entry` distills one ``BENCH_<scenario>.json`` result (and
+optionally its compare outcome) into a compact record keyed by git SHA,
+and :func:`append_entry` appends it to a JSON-lines file that is meant to
+be **committed** (default: ``benchmarks/history.jsonl``), so the trend
+travels with the repository and CI can extend it every run.
+
+JSONL, not JSON: appends never rewrite history, merges stay line-wise, and
+a corrupt line loses one record instead of the file. Loading is therefore
+deliberately tolerant — malformed lines are skipped and counted, never
+fatal (:func:`load_history` returns them separately).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from datetime import datetime, timezone
+from typing import Any, Optional
+
+from ..bench.schema import SIM_METRIC_KEYS, validate_result
+
+HISTORY_SCHEMA_VERSION = 1
+
+#: Where the committed history lives, relative to the repo root.
+DEFAULT_HISTORY_PATH = "benchmarks/history.jsonl"
+
+
+class HistoryError(ValueError):
+    """A history entry does not conform to the history schema."""
+
+
+def current_git_sha(cwd: Optional[str] = None) -> str:
+    """The short SHA of HEAD, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def make_entry(result: dict, *, compare: Any = None,
+               git_sha: Optional[str] = None,
+               recorded_at: Optional[str] = None) -> dict[str, Any]:
+    """Distill one bench result into a history record.
+
+    ``compare`` is an optional :class:`repro.bench.compare.CompareResult`
+    (or an equivalent dict) summarizing the run's verdict against the
+    committed baseline. ``git_sha``/``recorded_at`` default to HEAD and
+    the current UTC time.
+    """
+    validate_result(result)
+    cells: dict[str, Any] = {}
+    for name, cell in result["cells"].items():
+        entry: dict[str, Any] = {
+            "wall_seconds": cell["wall_seconds"],
+            "sim": {key: cell["sim"][key] for key in SIM_METRIC_KEYS},
+        }
+        breakdown = cell.get("wall_breakdown")
+        if breakdown:
+            entry["wall_breakdown"] = dict(breakdown)
+        cells[name] = entry
+    doc: dict[str, Any] = {
+        "history_schema_version": HISTORY_SCHEMA_VERSION,
+        "recorded_at": (
+            recorded_at if recorded_at is not None
+            else datetime.now(timezone.utc).isoformat(timespec="seconds")
+        ),
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "scenario": result["scenario"],
+        "cells": cells,
+    }
+    if compare is not None:
+        if isinstance(compare, dict):
+            doc["compare"] = {
+                "ok": bool(compare.get("ok")),
+                "regressions": int(compare.get("regressions", 0)),
+                "sim_mismatches": int(compare.get("sim_mismatches", 0)),
+            }
+        else:
+            doc["compare"] = {
+                "ok": compare.ok,
+                "regressions": len(compare.regressions),
+                "sim_mismatches": len(compare.sim_mismatches),
+            }
+    return validate_entry(doc)
+
+
+def validate_entry(entry: Any) -> dict[str, Any]:
+    """Validate one history record; raises :class:`HistoryError`."""
+    if not isinstance(entry, dict):
+        raise HistoryError("history entry must be a JSON object")
+    if entry.get("history_schema_version") != HISTORY_SCHEMA_VERSION:
+        raise HistoryError(
+            f"history_schema_version must be {HISTORY_SCHEMA_VERSION}, "
+            f"got {entry.get('history_schema_version')!r}")
+    for key in ("recorded_at", "git_sha", "scenario"):
+        if not isinstance(entry.get(key), str) or not entry[key]:
+            raise HistoryError(f"{key} must be a non-empty string")
+    cells = entry.get("cells")
+    if not isinstance(cells, dict) or not cells:
+        raise HistoryError("cells must be a non-empty object")
+    for name, cell in cells.items():
+        if not isinstance(cell, dict):
+            raise HistoryError(f"cell {name!r} must be an object")
+        wall = cell.get("wall_seconds")
+        if not isinstance(wall, (int, float)) or wall < 0:
+            raise HistoryError(
+                f"cell {name!r}: wall_seconds must be non-negative")
+        sim = cell.get("sim")
+        if not isinstance(sim, dict):
+            raise HistoryError(f"cell {name!r}: sim must be an object")
+        for key in SIM_METRIC_KEYS:
+            if not isinstance(sim.get(key), (int, float)):
+                raise HistoryError(
+                    f"cell {name!r}: sim.{key} must be a number")
+        breakdown = cell.get("wall_breakdown")
+        if breakdown is not None and (
+                not isinstance(breakdown, dict)
+                or not all(isinstance(v, (int, float)) and v >= 0
+                           for v in breakdown.values())):
+            raise HistoryError(
+                f"cell {name!r}: wall_breakdown must map phases to "
+                "non-negative numbers")
+    compare = entry.get("compare")
+    if compare is not None:
+        if not isinstance(compare, dict) \
+                or not isinstance(compare.get("ok"), bool):
+            raise HistoryError("compare must be an object with boolean 'ok'")
+    return entry
+
+
+def append_entry(entry: dict[str, Any],
+                 path: str = DEFAULT_HISTORY_PATH) -> None:
+    """Validate and append one record to the JSONL history file."""
+    validate_entry(entry)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def load_history(path: str = DEFAULT_HISTORY_PATH, *,
+                 scenario: Optional[str] = None,
+                 ) -> tuple[list[dict[str, Any]], int]:
+    """Load the history, oldest first; returns ``(entries, skipped)``.
+
+    Lines that fail to parse or validate are skipped (and counted), so one
+    bad merge cannot take the whole trend down. A missing file is an empty
+    history, not an error.
+    """
+    entries: list[dict[str, Any]] = []
+    skipped = 0
+    try:
+        fh = open(path)
+    except FileNotFoundError:
+        return entries, skipped
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = validate_entry(json.loads(line))
+            except (json.JSONDecodeError, HistoryError):
+                skipped += 1
+                continue
+            if scenario is None or entry["scenario"] == scenario:
+                entries.append(entry)
+    return entries, skipped
+
+
+def trend(entries: list[dict[str, Any]], scenario: str,
+          ) -> dict[str, list[dict[str, Any]]]:
+    """Per-cell wall/sim series for ``scenario``, oldest first."""
+    series: dict[str, list[dict[str, Any]]] = {}
+    for entry in entries:
+        if entry["scenario"] != scenario:
+            continue
+        for name, cell in entry["cells"].items():
+            series.setdefault(name, []).append({
+                "git_sha": entry["git_sha"],
+                "recorded_at": entry["recorded_at"],
+                "wall_seconds": cell["wall_seconds"],
+                "sim_elapsed": cell["sim"]["elapsed"],
+            })
+    return series
+
+
+def format_history(entries: list[dict[str, Any]], *,
+                   skipped: int = 0, last: int = 0) -> str:
+    """One-line-per-record listing (``repro bench history show``)."""
+    from ..harness.report import format_table
+
+    shown = entries[-last:] if last > 0 else entries
+    rows = []
+    for entry in shown:
+        walls = [cell["wall_seconds"] for cell in entry["cells"].values()]
+        compare = entry.get("compare")
+        verdict = ("-" if compare is None
+                   else ("ok" if compare["ok"] else "FAILED"))
+        rows.append([
+            entry["recorded_at"], entry["git_sha"], entry["scenario"],
+            len(entry["cells"]), f"{sum(walls):.3f}", verdict,
+        ])
+    lines = [format_table(
+        ["recorded at", "sha", "scenario", "cells", "total wall (s)",
+         "compare"],
+        rows, title=f"bench history ({len(entries)} records)")]
+    if skipped:
+        lines.append(f"warning: skipped {skipped} malformed history line(s)")
+    return "\n".join(lines)
+
+
+def format_trend(series: dict[str, list[dict[str, Any]]],
+                 scenario: str) -> str:
+    """Per-cell trend tables with deltas against the previous record."""
+    from ..harness.report import format_table
+
+    if not series:
+        return f"no history recorded for scenario {scenario!r}"
+    blocks = []
+    for name in sorted(series):
+        rows = []
+        previous: Optional[dict[str, Any]] = None
+        for point in series[name]:
+            wall = point["wall_seconds"]
+            if previous is None or previous["wall_seconds"] <= 0:
+                delta = "-"
+            else:
+                delta = f"{wall / previous['wall_seconds']:.2f}x"
+            sim_note = ("=" if previous is not None
+                        and previous["sim_elapsed"] == point["sim_elapsed"]
+                        else f"{point['sim_elapsed']:.6g}")
+            rows.append([point["recorded_at"], point["git_sha"],
+                         f"{wall:.3f}", delta, sim_note])
+            previous = point
+        blocks.append(format_table(
+            ["recorded at", "sha", "wall (s)", "vs prev", "sim elapsed"],
+            rows, title=f"{scenario} / {name}"))
+    return "\n\n".join(blocks)

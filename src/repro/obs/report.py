@@ -195,11 +195,15 @@ def journal_report(journal: Any) -> dict[str, Any]:
     for key in journal.keys():
         result = journal.result(key)
         wall = result.get("wall_seconds") if isinstance(result, dict) else None
+        breakdown = (result.get("wall_breakdown")
+                     if isinstance(result, dict) else None)
         cells.append({
             "key": key,
             "status": journal.status(key),
             "attempts": journal.attempts(key),
             "wall_seconds": wall,
+            "wall_breakdown": breakdown if isinstance(breakdown, dict)
+            else None,
             "error": journal.error(key),
         })
     return {
@@ -536,16 +540,22 @@ def _render_run_body(doc: dict[str, Any]) -> str:
     for cell in doc.get("cells", []):
         wall = cell.get("wall_seconds")
         retries = max(int(cell.get("attempts", 0)) - 1, 0)
+        breakdown = cell.get("wall_breakdown") or {}
+        phases = ", ".join(
+            f"{phase} {seconds:.2f}s"
+            for phase, seconds in sorted(
+                breakdown.items(), key=lambda kv: -kv[1])
+        ) or "-"
         rows.append([
             cell.get("key"), cell.get("status"),
             f"{wall:.3f}" if wall is not None else "-",
-            retries, cell.get("error") or "",
+            phases, retries, cell.get("error") or "",
         ])
     return (
         _table(["run", "value"], meta_rows)
         + "<h2>Cells</h2>"
-        + _table(["cell", "status", "wall (s)", "retries", "error"], rows,
-                 numeric=(2, 3))
+        + _table(["cell", "status", "wall (s)", "where (phases)", "retries",
+                  "error"], rows, numeric=(2, 4))
     )
 
 

@@ -183,7 +183,8 @@ def test_repro_hints_name_the_scenario_ab_pair():
     doc["config"] = dict(doc["config"], policies=["um", "deepum"])
     hints = repro_hints(doc)
     assert hints[0] == "repro report tiny --out report-tiny.html"
-    assert hints[1] == (
+    assert hints[1] == "repro profile tiny --out profile-tiny.json"
+    assert hints[2] == (
         "repro trace diff mobilenet --batch 3072 --seed 0 "
         "--warmup 1 --measure 1 --degree 32 --a um --b deepum"
     )
@@ -418,3 +419,33 @@ def test_committed_ci_baseline_is_valid():
     doc = load_result(str(repo / "benchmarks" / "baselines" / "BENCH_smoke.json"))
     assert doc["scenario"] == "smoke"
     assert doc["config"] == SCENARIOS["smoke"].config_dict()
+
+
+# ------------------------------------------------- schema v3: breakdowns
+
+def test_wall_breakdown_accepted_and_validated():
+    doc = _result()
+    cell = doc["cells"]["mobilenet@3072/um"]
+    cell["wall_breakdown"] = {"warmup": 0.2, "timed": 0.3}
+    assert validate_result(doc) is doc
+    for bad in ({"timed": -0.1}, {"": 0.1}, {"timed": "fast"}, ["timed"]):
+        cell["wall_breakdown"] = bad
+        with pytest.raises(BenchSchemaError, match="wall_breakdown"):
+            validate_result(doc)
+
+
+def test_v2_results_without_breakdowns_still_validate():
+    doc = _result()
+    doc["schema_version"] = 2
+    for cell in doc["cells"].values():
+        cell.pop("wall_breakdown", None)
+    assert validate_result(doc) is doc
+
+
+def test_run_scenario_embeds_wall_breakdown():
+    doc = run_scenario(TINY, repeats=1, warmup_runs=1)
+    breakdown = doc["cells"]["mobilenet@3072/um"]["wall_breakdown"]
+    # Phase accounting from the in-process telemetry: warmup + timed
+    # passes, in wall seconds.
+    assert set(breakdown) >= {"warmup", "timed"}
+    assert all(seconds >= 0 for seconds in breakdown.values())

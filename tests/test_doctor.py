@@ -235,3 +235,48 @@ def test_cli_trace_why_unknown_block_reports_and_fails(capsys):
     assert main(["trace", "why", "mobilenet", "--block", "999999",
                  "--warmup", "1", "--measure", "1"]) == 1
     assert "no recorded decisions" in capsys.readouterr().out
+
+
+# ---------------------------------------------------- observability cost
+
+def test_obs_overhead_reported_as_info_within_budget():
+    wall = {"instrumented_seconds": 1.05, "reference_seconds": 1.0,
+            "overhead_ratio": 1.05}
+    by_code = {f.code: f for f in diagnose(PolicyHealth(), wall=wall)}
+    assert by_code["obs-overhead"].severity == "info"
+    assert "1.05x" in by_code["obs-overhead"].message
+
+
+def test_obs_overhead_warns_past_the_budget():
+    wall = {"instrumented_seconds": 1.2, "reference_seconds": 1.0,
+            "overhead_ratio": 1.2}
+    by_code = {f.code: f for f in diagnose(PolicyHealth(), wall=wall)}
+    assert by_code["obs-overhead"].severity == "warning"
+    assert "not trustworthy" in by_code["obs-overhead"].message
+
+
+def test_obs_overhead_skipped_without_a_reference():
+    wall = {"instrumented_seconds": 1.0, "reference_seconds": 0.0,
+            "overhead_ratio": None}
+    assert "obs-overhead" not in _codes(diagnose(PolicyHealth(), wall=wall))
+
+
+def test_run_doctor_measures_observability_cost(tiny_report):
+    for cell, body in tiny_report["cells"].items():
+        wall = body["wall"]
+        assert wall["instrumented_seconds"] > 0, cell
+        assert wall["reference_seconds"] > 0, cell
+        assert wall["overhead_ratio"] is not None
+        assert "obs-overhead" in [f["code"] for f in body["findings"]]
+
+
+def test_validate_rejects_bad_wall_section(tiny_report):
+    clone = json.loads(json.dumps(tiny_report))
+    cell = next(iter(clone["cells"]))
+    clone["cells"][cell]["wall"]["instrumented_seconds"] = -1.0
+    with pytest.raises(ValueError, match="wall"):
+        validate_doctor_report(clone)
+
+
+def test_format_doctor_shows_wall_costs(tiny_report):
+    assert "observability overhead" in format_doctor(tiny_report)

@@ -1,0 +1,231 @@
+"""Bench history: distilled per-commit records and their trend views.
+
+The history file is committed JSONL, so the tests pin the properties a
+committed artifact needs: append never rewrites, loading tolerates a
+corrupt line (skip and count, never fatal), and every record validates
+against the history schema before it is written.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import SCENARIOS, write_result
+from repro.bench.schema import make_result
+from repro.cli import main
+from repro.obs.history import (
+    HISTORY_SCHEMA_VERSION,
+    HistoryError,
+    append_entry,
+    current_git_sha,
+    format_history,
+    format_trend,
+    load_history,
+    make_entry,
+    trend,
+    validate_entry,
+)
+
+TINY = SCENARIOS["smoke"]
+
+
+def _result(wall=0.5, elapsed=1.5, breakdown=None):
+    sim = {
+        "elapsed": elapsed,
+        "page_faults": 42,
+        "prefetch_coverage": 0.9,
+        "bytes_in": 1048576,
+        "bytes_out": 4096,
+        "peak_populated_bytes": 123456,
+    }
+    cell = {
+        "wall_seconds": wall,
+        "wall_seconds_all": [wall, wall * 1.1],
+        "sim": sim,
+    }
+    if breakdown is not None:
+        cell["wall_breakdown"] = breakdown
+    return make_result(
+        "smoke", TINY.config_dict(), repeats=2, warmup_runs=1,
+        cells={"mobilenet@3072/um": cell}, peak_rss_bytes=1024,
+    )
+
+
+def _entry(wall=0.5, sha="abc1234", at="2026-08-08T00:00:00+00:00",
+           **kwargs):
+    return make_entry(_result(wall=wall, **kwargs), git_sha=sha,
+                      recorded_at=at)
+
+
+# ------------------------------------------------------------ make_entry
+
+def test_make_entry_distills_cells():
+    entry = _entry(breakdown={"warmup": 0.2, "timed": 0.3})
+    assert entry["history_schema_version"] == HISTORY_SCHEMA_VERSION
+    assert entry["git_sha"] == "abc1234"
+    assert entry["scenario"] == "smoke"
+    cell = entry["cells"]["mobilenet@3072/um"]
+    assert cell["wall_seconds"] == 0.5
+    assert cell["sim"]["elapsed"] == 1.5
+    assert cell["wall_breakdown"] == {"warmup": 0.2, "timed": 0.3}
+
+
+def test_make_entry_defaults_sha_and_timestamp():
+    entry = make_entry(_result())
+    assert entry["git_sha"]  # this test runs inside a git checkout
+    assert entry["recorded_at"]
+    assert validate_entry(entry) is entry
+
+
+def test_make_entry_accepts_compare_dict():
+    entry = make_entry(
+        _result(), git_sha="s", recorded_at="t",
+        compare={"ok": False, "regressions": 2, "sim_mismatches": 1})
+    assert entry["compare"] == {
+        "ok": False, "regressions": 2, "sim_mismatches": 1}
+
+
+def test_current_git_sha_falls_back_outside_a_checkout(tmp_path):
+    assert current_git_sha() != "unknown"
+    assert current_git_sha(cwd=str(tmp_path)) == "unknown"
+
+
+def test_validate_entry_rejects_bad_records():
+    good = _entry()
+
+    def corrupt(mutate):
+        clone = json.loads(json.dumps(good))
+        mutate(clone)
+        return clone
+
+    bad = [
+        corrupt(lambda e: e.update(history_schema_version=99)),
+        corrupt(lambda e: e.update(git_sha="")),
+        corrupt(lambda e: e.update(cells={})),
+        corrupt(lambda e: e["cells"]["mobilenet@3072/um"].update(
+            wall_seconds=-1.0)),
+        corrupt(lambda e: e["cells"]["mobilenet@3072/um"]["sim"].pop(
+            "elapsed")),
+        corrupt(lambda e: e["cells"]["mobilenet@3072/um"].update(
+            wall_breakdown={"timed": -0.1})),
+        corrupt(lambda e: e.update(compare={"regressions": 1})),
+        "not a dict",
+    ]
+    for entry in bad:
+        with pytest.raises(HistoryError):
+            validate_entry(entry)
+
+
+# ---------------------------------------------------- append/load/trend
+
+def test_append_load_round_trip(tmp_path):
+    path = str(tmp_path / "nested" / "history.jsonl")
+    first = _entry(wall=0.5, sha="aaa1111", at="2026-08-07T00:00:00+00:00")
+    second = _entry(wall=0.6, sha="bbb2222", at="2026-08-08T00:00:00+00:00")
+    append_entry(first, path)
+    append_entry(second, path)
+    entries, skipped = load_history(path)
+    assert entries == [first, second]  # oldest first, bit-identical
+    assert skipped == 0
+
+
+def test_load_missing_file_is_empty_history(tmp_path):
+    assert load_history(str(tmp_path / "nope.jsonl")) == ([], 0)
+
+
+def test_load_skips_malformed_lines(tmp_path):
+    path = tmp_path / "history.jsonl"
+    good = _entry()
+    path.write_text(
+        json.dumps(good) + "\n"
+        + "{broken json\n"
+        + json.dumps({"history_schema_version": 99}) + "\n"
+        + "\n"  # blank lines are not an error
+        + json.dumps(good) + "\n")
+    entries, skipped = load_history(str(path))
+    assert len(entries) == 2
+    assert skipped == 2
+
+
+def test_append_refuses_invalid_entries(tmp_path):
+    path = tmp_path / "history.jsonl"
+    with pytest.raises(HistoryError):
+        append_entry({"history_schema_version": 99}, str(path))
+    assert not path.exists()  # nothing half-written
+
+
+def test_load_filters_by_scenario(tmp_path):
+    path = str(tmp_path / "history.jsonl")
+    entry = _entry()
+    append_entry(entry, path)
+    assert load_history(path, scenario="smoke")[0] == [entry]
+    assert load_history(path, scenario="other")[0] == []
+
+
+def test_trend_builds_per_cell_series():
+    entries = [
+        _entry(wall=0.5, sha="aaa1111", at="t1"),
+        _entry(wall=1.0, sha="bbb2222", at="t2"),
+    ]
+    series = trend(entries, "smoke")
+    points = series["mobilenet@3072/um"]
+    assert [p["git_sha"] for p in points] == ["aaa1111", "bbb2222"]
+    assert [p["wall_seconds"] for p in points] == [0.5, 1.0]
+    assert points[0]["sim_elapsed"] == 1.5
+    assert trend(entries, "other") == {}
+
+
+def test_format_history_and_trend_render():
+    entries = [_entry(wall=0.5, sha="aaa1111", at="t1"),
+               _entry(wall=1.0, sha="bbb2222", at="t2")]
+    listing = format_history(entries, skipped=1, last=1)
+    assert "bbb2222" in listing and "aaa1111" not in listing  # last=1
+    assert "skipped 1 malformed" in listing
+    rendered = format_trend(trend(entries, "smoke"), "smoke")
+    assert "2.00x" in rendered  # 1.0s vs 0.5s against the previous record
+    assert "=" in rendered  # sim elapsed unchanged between records
+    assert format_trend({}, "smoke").startswith("no history recorded")
+
+
+# ------------------------------------------------------------------ CLI
+
+def test_cli_history_record_show_trend(tmp_path, capsys):
+    result_path = str(tmp_path / "BENCH_smoke.json")
+    write_result(_result(), result_path)
+    history_path = str(tmp_path / "history.jsonl")
+
+    assert main(["bench", "history", "record", result_path,
+                 "--path", history_path, "--sha", "abc1234"]) == 0
+    out = capsys.readouterr().out
+    assert "recorded smoke @ abc1234" in out
+
+    assert main(["bench", "history", "show", "--path", history_path]) == 0
+    out = capsys.readouterr().out
+    assert "abc1234" in out and "smoke" in out
+
+    assert main(["bench", "history", "trend", "--scenario", "smoke",
+                 "--path", history_path]) == 0
+    out = capsys.readouterr().out
+    assert "smoke / mobilenet@3072/um" in out
+
+
+def test_cli_history_record_with_baseline_compare(tmp_path, capsys):
+    baseline_path = str(tmp_path / "BENCH_baseline.json")
+    result_path = str(tmp_path / "BENCH_smoke.json")
+    write_result(_result(wall=0.5), baseline_path)
+    write_result(_result(wall=0.6), result_path)
+    history_path = str(tmp_path / "history.jsonl")
+
+    assert main(["bench", "history", "record", result_path,
+                 "--baseline", baseline_path,
+                 "--path", history_path, "--sha", "abc1234"]) == 0
+    assert "(compare: ok)" in capsys.readouterr().out
+    entries, _ = load_history(history_path)
+    assert entries[0]["compare"]["ok"] is True
+
+
+def test_cli_history_record_rejects_missing_result(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["bench", "history", "record",
+              str(tmp_path / "nope.json"),
+              "--path", str(tmp_path / "history.jsonl")])
