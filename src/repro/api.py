@@ -33,6 +33,7 @@ from .config import (
 )
 from .harness.experiment import ExperimentResult, run_experiment
 from .harness.metrics import WindowMetrics
+from .serve.spec import ServeSpec
 
 STATUS_OK = "ok"
 STATUS_OOM = "oom"
@@ -42,6 +43,15 @@ STATUS_TIMEOUT = "timeout"
 #: Every terminal state a cell can end in. ``timeout`` is only ever
 #: assigned by the executor (a cell cannot observe its own wall clock).
 RUN_STATUSES = (STATUS_OK, STATUS_OOM, STATUS_FAILED, STATUS_TIMEOUT)
+
+#: Request kinds. ``experiment`` is the original (and default) training
+#: cell; ``serve`` runs an open-loop inference trace (:mod:`repro.serve`).
+#: The discriminator only serializes when off-default, so every pre-serve
+#: payload, journal entry and cache key is byte-identical to before the
+#: field existed.
+KIND_EXPERIMENT = "experiment"
+KIND_SERVE = "serve"
+REQUEST_KINDS = (KIND_EXPERIMENT, KIND_SERVE)
 
 #: Default iteration windows, shared by every entry point. The warm-up
 #: length is what the correlation tables need to converge (the same
@@ -92,9 +102,26 @@ class RunRequest:
     seed: int = 0
     deepum_config: Optional[DeepUMConfig] = None
     system: Optional[SystemConfig] = None
+    #: Request kind discriminator; see :data:`REQUEST_KINDS`. ``serve``
+    #: requests carry their trace spec in :attr:`serve` and ignore
+    #: ``measure_iterations`` (the measured window is the spec's request
+    #: count); ``warmup_iterations`` doubles as the warm-up request count.
+    kind: str = KIND_EXPERIMENT
+    #: The serve payload (arrival trace, SLO target, hint switch); must be
+    #: present exactly when ``kind == "serve"``.
+    serve: Optional[ServeSpec] = None
     #: Live observer (e.g. ``repro.obs.SpanRecorder``); in-process only.
     #: Excluded from equality and from :meth:`to_dict`.
     recorder: Optional[Any] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ValueError(
+                f"unknown request kind {self.kind!r}; known: {REQUEST_KINDS}")
+        if (self.serve is not None) != (self.kind == KIND_SERVE):
+            raise ValueError(
+                "a ServeSpec must be attached exactly when kind='serve' "
+                f"(kind={self.kind!r}, serve={'set' if self.serve else 'None'})")
 
     def resolved(self) -> "RunRequest":
         """Pin defaulted fields so the request fully determines the cell."""
@@ -108,7 +135,14 @@ class RunRequest:
         scale = self.scale if self.scale is not None else cfg.sim_scale
         system = self.system
         if system is None:
-            system = calibrate_system(self.model, scale=scale)
+            if self.kind == KIND_SERVE:
+                from .serve.scenarios import calibrate_serve_system
+
+                assert self.serve is not None
+                system = calibrate_serve_system(
+                    self.serve, paper_batch=batch, scale=scale)
+            else:
+                system = calibrate_system(self.model, scale=scale)
         if (batch, scale, system) == (self.batch, self.scale, self.system):
             return self
         return replace(self, batch=batch, scale=scale, system=system)
@@ -117,6 +151,8 @@ class RunRequest:
     def cell_key(self) -> str:
         """Human-readable cell name (``model@batch/policy``)."""
         batch = "auto" if self.batch is None else str(self.batch)
+        if self.kind == KIND_SERVE and self.serve is not None:
+            return f"serve-{self.serve.scenario}@{batch}/{self.policy}"
         return f"{self.model}@{batch}/{self.policy}"
 
     def canonical_payload(self) -> dict[str, Any]:
@@ -132,7 +168,7 @@ class RunRequest:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form; the live ``recorder`` is dropped."""
-        return {
+        doc: dict[str, Any] = {
             "model": self.model,
             "policy": self.policy,
             "batch": self.batch,
@@ -149,11 +185,20 @@ class RunRequest:
                 if self.system is not None else None
             ),
         }
+        # Kind discrimination is additive: experiment requests keep the
+        # original nine-key payload byte-for-byte, so pre-existing cache
+        # keys and journal entries are untouched by the serve extension.
+        if self.kind != KIND_EXPERIMENT:
+            doc["kind"] = self.kind
+            doc["serve"] = (
+                self.serve.to_dict() if self.serve is not None else None)
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict[str, Any]) -> "RunRequest":
         deepum_doc = doc.get("deepum_config")
         system_doc = doc.get("system")
+        serve_doc = doc.get("serve")
         return cls(
             model=doc["model"],
             policy=doc["policy"],
@@ -169,6 +214,11 @@ class RunRequest:
             ),
             system=(
                 _system_from_dict(system_doc) if system_doc is not None
+                else None
+            ),
+            kind=doc.get("kind", KIND_EXPERIMENT),
+            serve=(
+                ServeSpec.from_dict(serve_doc) if serve_doc is not None
                 else None
             ),
         )
@@ -308,6 +358,26 @@ def _execute_probe(req: RunRequest) -> RunResult:
                      snapshot={"peak_populated_bytes": peak})
 
 
+def _execute_serve(req: RunRequest) -> RunResult:
+    """Run one serve cell through the open-loop session loop."""
+    from .baselines import TensorSwapOOM
+    from .core.um_manager import UMCapacityError
+    from .serve.session import run_serve_cell
+    from .torchsim.allocator import TorchSimOOM
+
+    try:
+        snapshot = run_serve_cell(req)
+    except (UMCapacityError, TorchSimOOM, TensorSwapOOM) as exc:
+        return RunResult(request=req, status=STATUS_OOM,
+                         error=f"{type(exc).__name__}: {exc}")
+    except (KeyError, TypeError, ValueError):
+        raise  # unknown scenario/policy or a malformed spec: caller errors
+    except Exception:
+        return RunResult(request=req, status=STATUS_FAILED,
+                         error=traceback.format_exc())
+    return RunResult(request=req, status=STATUS_OK, snapshot=snapshot)
+
+
 def execute(request: RunRequest) -> RunResult:
     """Run one cell; every outcome is a :class:`RunResult`, never a raise.
 
@@ -320,6 +390,8 @@ def execute(request: RunRequest) -> RunResult:
     executor degrade one cell instead of aborting a sweep.
     """
     req = request.resolved()
+    if req.kind == KIND_SERVE:
+        return _execute_serve(req)
     if req.measure_iterations <= 0:
         return _execute_probe(req)
     assert req.batch is not None

@@ -33,6 +33,16 @@ class NaiveUM:
         )
         self.device.replayer = IterationReplayer(self.device, self.manager)
 
+    def advise(self, tensor, advice: int) -> list:
+        """Apply a madvise-style hint to a tensor's UM range.
+
+        Naive UM has no prefetch policy and keeps the stock
+        least-recently-migrated eviction order, so hints are recorded on
+        the blocks (and the decision track) but steer nothing — exactly
+        the baseline a hinted DeepUM run is compared against.
+        """
+        return self.manager.advise(tensor.addr, tensor.nbytes, advice)
+
     def elapsed(self) -> float:
         return self.manager.elapsed()
 

@@ -8,6 +8,8 @@ Examples::
     python -m repro run bert-large --policies um,lms,deepum --workers 3
     python -m repro max-batch gpt2-l --policies lms,deepum --workers 4
     python -m repro sweep-degree bert-large --degrees 1,8,32,128
+    python -m repro serve dlrm --arrivals poisson --requests 48
+    python -m repro serve gpt2-decode --policies um,deepum --out lat.json
     python -m repro bench run --scenario smoke --workers 2
     python -m repro runs list
     python -m repro runs resume 20260806-141530-3fa9c1
@@ -319,6 +321,127 @@ def cmd_run(args: argparse.Namespace) -> int:
             recorder, args.top,
             title=f"{policy}: per-kernel phase breakdown (worst stalls first)"))
     return exit_code
+
+
+def _render_serve_results(results: dict[str, dict[str, Any]],
+                          out: Optional[str] = None) -> int:
+    """The ``repro serve`` latency table, from executor result documents."""
+    rows = []
+    bad = 0
+    artifact: dict[str, Any] = {}
+    for doc in results.values():
+        res = RunResult.from_dict(doc)
+        policy = res.request.policy
+        if res.status == "oom":
+            rows.append([policy, None, None, None, None, None,
+                         _error_tail(res.error, 40) or "OOM"])
+            continue
+        if not res.ok:
+            bad += 1
+            rows.append([policy, None, None, None, None, None,
+                         f"{res.status}: {_error_tail(res.error, 40)}"])
+            continue
+        snap = res.snapshot or {}
+        lat = snap.get("latency_ms", {})
+        artifact[policy] = snap
+        rows.append([
+            policy, lat.get("p50"), lat.get("p95"), lat.get("p99"),
+            f"{snap.get('slo_violations', '?')}/{snap.get('requests', '?')}",
+            snap.get("throughput_rps"),
+            "hints" if snap.get("hints") else "no hints",
+        ])
+    print(format_table(
+        ["policy", "p50 ms", "p95 ms", "p99 ms", "SLO viol", "req/s",
+         "note"],
+        rows))
+    if out and artifact:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"latency percentiles: {out}")
+    return 1 if bad else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeSpec
+    from .serve.scenarios import get_scenario
+
+    try:
+        scenario = get_scenario(args.scenario)
+        spec = ServeSpec(
+            scenario=args.scenario, arrivals=args.arrivals,
+            requests=args.requests, rate=args.rate, slo_ms=args.slo_ms,
+            hints=not args.no_hints, arrival_seed=args.arrival_seed,
+            burst_factor=args.burst_factor, decode_tokens=args.decode_tokens)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"serve: {exc}")
+    cfg = get_model_config(scenario.model)
+    batch = args.batch if args.batch is not None else \
+        cfg.fig9_batches[len(cfg.fig9_batches) // 2]
+    scale = args.scale if args.scale is not None else cfg.sim_scale
+    seed = args.seed if args.seed is not None else 0
+    policies = _parse_policies(args.policies)
+    if args.obs:
+        _require_writable_dir(args.obs, "--obs")
+    if args.out:
+        _require_writable_dir(args.out, "--out")
+
+    def request(policy: str, recorder=None) -> RunRequest:
+        return RunRequest(
+            model=scenario.model, policy=policy, batch=batch, scale=scale,
+            warmup_iterations=args.warmup, measure_iterations=args.measure,
+            seed=seed, kind="serve", serve=spec, recorder=recorder,
+        )
+
+    system = request(policies[0]).resolved().system
+    assert system is not None
+    print(f"serve {args.scenario}: {scenario.model} @ paper batch {batch}, "
+          f"{spec.requests} {spec.arrivals} requests "
+          f"(simulated GPU {system.gpu.memory_bytes // MiB} MB, "
+          f"{scenario.oversubscription:g}x oversubscribed)")
+
+    if args.workers > 1:
+        from .exec import serve_task
+
+        recorder = None
+        if args.obs:
+            from .obs import SpanRecorder
+
+            recorder = SpanRecorder()
+        tasks = [serve_task(request(policy)) for policy in policies]
+        results = _run_journaled(
+            tasks, kind="serve", args=args, recorder=recorder,
+            meta={"scenario": args.scenario, "batch": batch, "scale": scale,
+                  "policies": list(policies), "serve": spec.to_dict(),
+                  "out": args.out},
+        )
+        if recorder is not None:
+            from .obs import write_chrome_trace
+
+            write_chrome_trace(recorder, args.obs)
+            print(f"executor timeline: {args.obs}")
+        return _render_serve_results(results, out=args.out)
+
+    results = {}
+    for policy in policies:
+        recorder = None
+        if args.obs:
+            from .obs import SpanRecorder
+
+            recorder = SpanRecorder()
+        try:
+            res = execute(request(policy, recorder=recorder))
+        except TypeError as exc:
+            # Non-UM family (tensor swap has no UM engine to serve on).
+            raise SystemExit(f"serve: {exc}")
+        if recorder is not None:
+            from .obs import write_chrome_trace
+
+            path = _obs_path(args.obs, policy, len(policies) > 1)
+            write_chrome_trace(recorder, path)
+            print(f"trace: {path}")
+        results[res.request.cell_key] = res.to_dict()
+    return _render_serve_results(results, out=args.out)
 
 
 def cmd_trace_timeline(args: argparse.Namespace) -> int:
@@ -943,6 +1066,9 @@ def _finalize_resumed(journal, results: dict[str, dict[str, Any]],
     kind = journal.kind
     if kind == "run":
         return _render_run_results(results)
+    if kind == "serve":
+        return _render_serve_results(results,
+                                     out=journal.meta.get("out"))
     if kind == "sweep-degree":
         meta = journal.meta
         return _render_sweep_results(
@@ -1025,6 +1151,21 @@ def cmd_runs_resume(args: argparse.Namespace) -> int:
 
 # --------------------------------------------------------------------- #
 # parser construction
+#
+# Commands are assembled from shared parent parsers (cell / iters / degree
+# / obs / exec) so a flag spelled once means the same thing everywhere.
+# Flag precedence, for every command built from them:
+#
+# 1. An explicit command-line flag always wins.
+# 2. Otherwise environment variables apply (cache only): ``REPRO_CACHE=off``
+#    disables the result cache, ``REPRO_CACHE_DIR`` relocates it.
+# 3. Otherwise the command's ``set_defaults()`` pins (e.g. run/serve pin
+#    warmup=4, measure=3) and the parents' declared defaults apply.
+#
+# The one deliberate exception: an explicit ``--cache-dir`` forces the
+# cache ON even under ``REPRO_CACHE=off`` (a named path outranks the
+# blanket env kill switch), and ``--no-cache`` outranks both — see
+# _cache_from_args.
 # --------------------------------------------------------------------- #
 
 
@@ -1057,6 +1198,19 @@ def _degree_parent() -> argparse.ArgumentParser:
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument("--degree", type=int, default=32,
                         help="DeepUM prefetch degree N")
+    return parent
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    """--obs / --top, shared by the timeline-recording commands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--obs", default=None, metavar="PATH",
+                        help="record a timeline and write Perfetto JSON "
+                             "here (per-policy sim timelines when "
+                             "--workers 1, the executor wall-clock "
+                             "timeline otherwise)")
+    parent.add_argument("--top", type=int, default=10,
+                        help="kernels shown in the --obs phase breakdown")
     return parent
 
 
@@ -1103,22 +1257,49 @@ def build_parser() -> argparse.ArgumentParser:
     cell = _cell_parent()
     iters = _iters_parent()
     degree = _degree_parent()
+    obs = _obs_parent()
     execp = _exec_parent()
 
     sub.add_parser("list", help="list workloads and policies") \
         .set_defaults(fn=cmd_list)
 
-    run = sub.add_parser("run", parents=[cell, iters, degree, execp],
+    run = sub.add_parser("run", parents=[cell, iters, degree, obs, execp],
                          help="run one workload under several policies")
     run.add_argument("model")
     run.add_argument("--policies", default="um,lms,deepum,ideal")
-    run.add_argument("--obs", default=None, metavar="PATH",
-                     help="record a timeline and write Perfetto JSON here "
-                          "(per-policy sim timelines when --workers 1, the "
-                          "executor wall-clock timeline otherwise)")
-    run.add_argument("--top", type=int, default=10,
-                     help="kernels shown in the --obs phase breakdown")
     run.set_defaults(fn=cmd_run, warmup=4, measure=3)
+
+    serve = sub.add_parser(
+        "serve", parents=[cell, iters, obs, execp],
+        help="serve an open-loop inference trace under memory pressure")
+    serve.add_argument("scenario",
+                       help="serve scenario (dlrm, gpt2-decode)")
+    serve.add_argument("--policies", default="um,deepum",
+                       help="comma-separated UM policies to serve under")
+    serve.add_argument("--arrivals", default="poisson",
+                       choices=("poisson", "bursty", "diurnal"),
+                       help="arrival process for the open-loop trace")
+    serve.add_argument("--requests", type=int, default=48,
+                       help="measured requests in the trace")
+    serve.add_argument("--rate", type=float, default=None, metavar="RPS",
+                       help="offered request rate (default: 70%% of the "
+                            "warm-up service rate, derived per policy)")
+    serve.add_argument("--slo-ms", type=float, default=None,
+                       help="latency SLO in simulated ms (default: 5x the "
+                            "median warm-up service time)")
+    serve.add_argument("--no-hints", action="store_true",
+                       help="skip the workload's madvise-style allocation "
+                            "hints (UMSpace.advise)")
+    serve.add_argument("--arrival-seed", type=int, default=0,
+                       help="RNG seed for the arrival trace")
+    serve.add_argument("--burst-factor", type=float, default=4.0,
+                       help="burst intensity for --arrivals bursty")
+    serve.add_argument("--decode-tokens", type=int, default=8,
+                       help="tokens decoded per request (gpt2-decode)")
+    serve.add_argument("--out", default=None, metavar="PATH",
+                       help="write the per-policy latency/SLO snapshots "
+                            "as JSON")
+    serve.set_defaults(fn=cmd_serve, warmup=4, measure=3)
 
     mb = sub.add_parser("max-batch", parents=[cell, iters, execp],
                         help="find the largest trainable batch")

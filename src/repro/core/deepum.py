@@ -58,6 +58,16 @@ class DeepUM:
 
     # ------------------------------------------------------------------ #
 
+    def advise(self, tensor, advice: int) -> list:
+        """Apply a madvise-style hint to a tensor's UM range.
+
+        ``advice`` is a :class:`~repro.sim.um_space.MemAdvise` bitmask;
+        the hint lands on every UM block the tensor overlaps (block
+        granularity, as in real ``cudaMemAdvise``) and is forwarded to
+        the active prefetch policy.
+        """
+        return self.manager.advise(tensor.addr, tensor.nbytes, advice)
+
     def elapsed(self) -> float:
         return self.manager.elapsed()
 

@@ -16,7 +16,9 @@ from ..obs.recorder import NULL_RECORDER, TRACK_PREEVICT
 from ..policies.eviction import ProtectedBlockProvider
 from ..sim.fault_handler import DriverFaultHandler
 from ..sim.gpu import GPUMemory
-from ..sim.um_space import UMBlock
+from ..sim.um_space import ADVISE_STICKY, MemAdvise, UMBlock
+
+_ADVISE_CPU = MemAdvise.PREFERRED_LOCATION_CPU
 
 
 @dataclass(slots=True)
@@ -25,6 +27,9 @@ class PreEvictorStats:
     evicted_blocks: int = 0
     evicted_bytes: int = 0
     protected_skips: int = 0
+    #: Live victims deferred because a sticky :class:`MemAdvise` hint
+    #: (READ_MOSTLY / PREFERRED_LOCATION_GPU) asked to keep them resident.
+    hint_skips: int = 0
 
 
 class PreEvictor:
@@ -75,6 +80,7 @@ class PreEvictor:
         victims: list[UMBlock] = []
         live: list[UMBlock] = []
         skips = 0
+        hint_skips = 0
         # Invalidated (free) victims are preferred wherever they sit in the
         # migration order, so the scan may only stop early once the live
         # list is full AND no invalidated block remains ahead — the GPU's
@@ -93,6 +99,20 @@ class PreEvictor:
                         else len(live) < batch:
                     skips += 1
                 continue
+            if blk.advice and not blk.invalidated:
+                # Advisory hints never block reclaiming an invalidated
+                # (free) victim; for live blocks they steer the pre-evictor
+                # off: sticky blocks (READ_MOSTLY / PREFERRED_LOCATION_GPU)
+                # are deferred like protected ones, and CPU-preferred
+                # blocks are left for the demand path entirely — evicting
+                # them here only to re-fault them later is precisely the
+                # churn the hint rules out.
+                if blk.advice & ADVISE_STICKY:
+                    if len(live) < batch:
+                        hint_skips += 1
+                    continue
+                if blk.advice & _ADVISE_CPU:
+                    continue
             if blk.invalidated:
                 victims.append(blk)
                 if len(victims) >= batch:
@@ -100,6 +120,7 @@ class PreEvictor:
             elif len(live) < batch:
                 live.append(blk)
         self.stats.protected_skips += skips
+        self.stats.hint_skips += hint_skips
         if len(victims) < batch:
             victims.extend(live[: batch - len(victims)])
         return victims

@@ -202,6 +202,21 @@ class ChainingPrefetcher:
         """Return an unprocessed command to the front of the queue."""
         self._queue.appendleft(block)
 
+    def seed_advised(self, block: int) -> None:
+        """Hint-driven seed: jump ``block`` to the front of the queue.
+
+        Driven by the madvise-style hint API (sticky advice on an
+        allocation): the block skips the chain walk and is prefetched at
+        the migration thread's next opportunity, ahead of any learned
+        predictions. Deliberately *not* added to the protection window —
+        hints carry no kernel position, and their eviction bias lives in
+        the hint-aware victim tiers instead.
+        """
+        self._queue.appendleft(block)
+        self.commands_emitted += 1
+        if self._rec_on:
+            self._recorder.note_command(block, "hint", NO_KERNEL, 0)
+
     def protected_blocks(self) -> set[int]:
         """Blocks predicted for the current and next N kernels."""
         return self._protected

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Optional
 from ..constants import PAGE_SIZE
 from ..obs.recorder import TRACK_MEMORY
 from ..sim.engine import BlockAccess, KernelExecution, UMSimulator
+from ..sim.um_space import UMBlock, advice_labels
 from ..torchsim.kernels import KernelCostModel, KernelLaunch
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -88,6 +89,28 @@ class UMMemoryManager:
     def elapsed(self) -> float:
         self.engine.finish()
         return self.engine.now
+
+    def advise(self, addr: int, nbytes: int, advice: int) -> list[UMBlock]:
+        """Apply a :class:`~repro.sim.um_space.MemAdvise` hint to a range.
+
+        Marks the spanned UM blocks, notifies the active prefetch policy
+        (when one is wired; naive UM has none, so its hints are
+        eviction-neutral markers only), and journals the hint on the
+        decision track so ``repro doctor`` can attribute hint-driven
+        outcomes. Returns the advised blocks.
+        """
+        blocks = self.engine.um.advise(addr, nbytes, advice)
+        runtime = self.runtime
+        policy = runtime.driver.policy if runtime is not None else None
+        note = getattr(policy, "note_advice", None)
+        rec = self.engine.recorder
+        label = advice_labels(advice) if rec.enabled else ""
+        for blk in blocks:
+            if note is not None:
+                note(blk.index, int(advice))
+            if rec.enabled:
+                rec.note_advice(blk.index, label)
+        return blocks
 
     def handle_alloc_oom(self, nbytes: int, device: "Device") -> bool:
         # UM allocation is virtual: it never fails at cudaMalloc time.

@@ -49,12 +49,14 @@ from .tasks import (
     INJECT_ENV,
     KIND_BENCH_CELL,
     KIND_EXPERIMENT,
+    KIND_SERVE,
     KIND_TOURNAMENT_CELL,
     TASK_KINDS,
     Task,
     bench_cell_task,
     execute_task,
     experiment_task,
+    serve_task,
     tournament_cell_task,
 )
 from .telemetry import (
@@ -88,6 +90,7 @@ __all__ = [
     "JournalError",
     "KIND_BENCH_CELL",
     "KIND_EXPERIMENT",
+    "KIND_SERVE",
     "KIND_TOURNAMENT_CELL",
     "HeartbeatWriter",
     "RunJournal",
@@ -105,6 +108,7 @@ __all__ = [
     "bench_cell_task",
     "execute_task",
     "experiment_task",
+    "serve_task",
     "tournament_cell_task",
     "list_runs",
     "new_run_id",

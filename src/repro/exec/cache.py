@@ -100,6 +100,7 @@ SIM_RELEVANT_MODULES = (
     "obs/memory.py",
     "obs/phases.py",
     "obs/recorder.py",
+    "serve",
 )
 
 

@@ -25,8 +25,10 @@ from typing import Any, Optional
 KIND_EXPERIMENT = "experiment"
 KIND_BENCH_CELL = "bench-cell"
 KIND_TOURNAMENT_CELL = "tournament-cell"
+KIND_SERVE = "serve"
 
-TASK_KINDS = (KIND_EXPERIMENT, KIND_BENCH_CELL, KIND_TOURNAMENT_CELL)
+TASK_KINDS = (KIND_EXPERIMENT, KIND_BENCH_CELL, KIND_TOURNAMENT_CELL,
+              KIND_SERVE)
 
 #: Environment variable carrying the fault-injection spec (JSON).
 INJECT_ENV = "REPRO_EXEC_INJECT"
@@ -59,6 +61,25 @@ def experiment_task(request: Any, key: Optional[str] = None) -> Task:
     return Task(
         key=key if key is not None else resolved.cell_key,
         kind=KIND_EXPERIMENT,
+        payload=resolved.canonical_payload(),
+    )
+
+
+def serve_task(request: Any, key: Optional[str] = None) -> Task:
+    """Build an executor task from a ``kind="serve"`` run request.
+
+    Same canonicalization contract as :func:`experiment_task` — the
+    resolved payload is what the journal records and the result cache
+    keys on — but dispatched to the serve session loop.
+    """
+    resolved = request.resolved()
+    if getattr(resolved, "kind", None) != KIND_SERVE:
+        raise ValueError(
+            f"serve_task needs a kind='serve' request, got "
+            f"{getattr(resolved, 'kind', None)!r}")
+    return Task(
+        key=key if key is not None else resolved.cell_key,
+        kind=KIND_SERVE,
         payload=resolved.canonical_payload(),
     )
 
@@ -126,6 +147,11 @@ def execute_task(kind: str, payload: dict[str, Any],
         from ..api import RunRequest, execute
 
         TELEMETRY.set_phase("run")
+        return execute(RunRequest.from_dict(payload)).to_dict()
+    if kind == KIND_SERVE:
+        from ..api import RunRequest, execute
+
+        TELEMETRY.set_phase("serve")
         return execute(RunRequest.from_dict(payload)).to_dict()
     if kind == KIND_BENCH_CELL:
         from ..bench.runner import run_scenario_cell

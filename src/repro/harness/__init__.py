@@ -5,7 +5,6 @@ from .experiment import (
     ExperimentResult,
     build_policy,
     calibrate_system,
-    make_policy,
     policy_accepts_config,
     run_experiment,
 )
@@ -20,7 +19,6 @@ __all__ = [
     "MaxBatchOutcome",
     "build_policy",
     "calibrate_system",
-    "make_policy",
     "policy_accepts_config",
     "run_experiment",
     "WindowMetrics",
@@ -32,3 +30,13 @@ __all__ = [
     "max_batch_outcome",
     "max_batch_search",
 ]
+
+
+def __getattr__(name: str):
+    if name == "make_policy":
+        raise AttributeError(
+            "make_policy was removed: construct cells via "
+            "repro.api.RunRequest / repro.api.execute, or use "
+            "repro.harness.build_policy for a bare facade")
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -126,29 +126,17 @@ def build_policy(name: str, system: SystemConfig, *,
     return cls(system, seed=seed)
 
 
-_make_policy_warned = False
-
-
-def make_policy(name: str, system: SystemConfig, *,
-                deepum_config: Optional[DeepUMConfig] = None, seed: int = 0):
-    """Deprecated alias of :func:`build_policy`.
-
-    Cells should be constructed through :class:`repro.api.RunRequest` (and
-    run via :func:`repro.api.execute`); callers that only need the facade
-    should use :func:`build_policy`. Warns once per process.
-    """
-    global _make_policy_warned
-    if not _make_policy_warned:
-        import warnings
-
-        warnings.warn(
-            "make_policy is deprecated: construct cells via "
+def __getattr__(name: str):
+    # The deprecation cycle for the old facade constructor ended: the
+    # warn-once alias is gone, and reaching for it now fails loudly with
+    # the migration path instead of silently doing the old thing.
+    if name == "make_policy":
+        raise AttributeError(
+            "make_policy was removed: construct cells via "
             "repro.api.RunRequest / repro.api.execute, or use "
-            "repro.harness.build_policy for a bare facade",
-            DeprecationWarning, stacklevel=2,
-        )
-        _make_policy_warned = True
-    return build_policy(name, system, deepum_config=deepum_config, seed=seed)
+            "repro.harness.build_policy for a bare facade")
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass

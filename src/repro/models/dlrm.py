@@ -65,20 +65,13 @@ class DLRM(Module):
         return self.top(tape, features)
 
 
-def build_dlrm(
-    device: Device,
-    batch_size: int,
-    *,
-    scale: float = 1.0,
-    num_tables: int = 26,
-    emb_dim: int = 64,
-) -> Workload:
-    """Build the DLRM training workload.
+def dlrm_dims(batch_size: int, scale: float, *,
+              emb_dim: int = 64) -> tuple[int, int, float, list[int], list[int]]:
+    """Scaled DLRM dimensions: (rows, emb dim, coverage, bottom, top).
 
-    Tables are sized so that, at paper scale, they dominate the footprint
-    (tens of GB); ``coverage`` — the fraction of table blocks touched per
-    iteration — grows with batch size, saturating near 1 for the paper's
-    96k+ batches.
+    Shared by the training builder and the serving workload so an
+    inference session sees exactly the tables a training run of the same
+    (batch, scale) would.
     """
     rows_full = 2_000_000          # rows per table at scale=1 (26 tables)
     rows = scaled(rows_full, scale, minimum=2048)
@@ -97,6 +90,26 @@ def build_dlrm(
               scaled(256, max(scale, 0.25), minimum=16, multiple=8)]
     top = [scaled(512, max(scale, 0.25), minimum=32, multiple=8),
            scaled(256, max(scale, 0.25), minimum=16, multiple=8)]
+    return rows, dim, coverage, bottom, top
+
+
+def build_dlrm(
+    device: Device,
+    batch_size: int,
+    *,
+    scale: float = 1.0,
+    num_tables: int = 26,
+    emb_dim: int = 64,
+) -> Workload:
+    """Build the DLRM training workload.
+
+    Tables are sized so that, at paper scale, they dominate the footprint
+    (tens of GB); ``coverage`` — the fraction of table blocks touched per
+    iteration — grows with batch size, saturating near 1 for the paper's
+    96k+ batches.
+    """
+    rows, dim, coverage, bottom, top = dlrm_dims(batch_size, scale,
+                                                 emb_dim=emb_dim)
 
     model = DLRM(device, num_tables=num_tables, rows_per_table=rows,
                  emb_dim=dim, dense_features=13, bottom=bottom, top=top,

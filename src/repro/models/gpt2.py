@@ -111,6 +111,27 @@ class GPT2(Module):
         return self.lm_head(tape, flat)
 
 
+def gpt2_dims(variant: str, scale: float, *,
+              seq_len: int = 1024) -> tuple[int, int, int, int, int]:
+    """Scaled GPT-2 dimensions: (layers, d_model, heads, vocab, seq_len).
+
+    Shared by the training builder and the serving decode session so both
+    shrink identically with ``scale``.
+    """
+    if variant == "xl":
+        layers, d_model, heads = 48, 1600, 25
+    elif variant == "l":
+        layers, d_model, heads = 36, 1280, 20
+    else:
+        raise ValueError(f"unknown GPT-2 variant: {variant!r}")
+    d = scaled(d_model, scale, multiple=64)
+    heads = max(1, min(heads, d // 64))
+    n_layers = scaled(layers, min(1.0, 4 * scale), minimum=2)
+    vocab = scaled(50257, scale, minimum=512)
+    t_len = scaled(seq_len, min(1.0, 2 * scale), minimum=64, multiple=64)
+    return n_layers, d, heads, vocab, t_len
+
+
 def build_gpt2(
     device: Device,
     batch_size: int,
@@ -125,17 +146,8 @@ def build_gpt2(
     gently) so the model's footprint shrinks roughly with ``scale**2``,
     matching a system config whose memories shrink by the same factor.
     """
-    if variant == "xl":
-        layers, d_model, heads = 48, 1600, 25
-    elif variant == "l":
-        layers, d_model, heads = 36, 1280, 20
-    else:
-        raise ValueError(f"unknown GPT-2 variant: {variant!r}")
-    d = scaled(d_model, scale, multiple=64)
-    heads = max(1, min(heads, d // 64))
-    n_layers = scaled(layers, min(1.0, 4 * scale), minimum=2)
-    vocab = scaled(50257, scale, minimum=512)
-    t_len = scaled(seq_len, min(1.0, 2 * scale), minimum=64, multiple=64)
+    n_layers, d, heads, vocab, t_len = gpt2_dims(variant, scale,
+                                                 seq_len=seq_len)
 
     model = GPT2(device, layers=n_layers, d_model=d, heads=heads, vocab=vocab,
                  seq_len=t_len)

@@ -72,8 +72,10 @@ ALL_CAUSES = (
 
 #: Prefetch-command provenance tags (the ``source`` of a
 #: :class:`Provenance`): the chaining walk phases plus one tag per
-#: competitor policy ("stream" for stride, "ngram" for Markov).
-COMMAND_SOURCES = ("seed", "hop", "chain", "restart", "stream", "ngram")
+#: competitor policy ("stream" for stride, "ngram" for Markov) plus
+#: "hint" for commands seeded by the madvise-style allocation-hint API.
+COMMAND_SOURCES = ("seed", "hop", "chain", "restart", "stream", "ngram",
+                   "hint")
 
 #: Execution-table miss reasons (see ``ExecutionCorrelationTable``).
 MISS_NO_ENTRY = "no-entry"
@@ -134,6 +136,9 @@ class DecisionLog:
         self.chain_restarts = 0
         self.victim_evictions: dict[str, int] = {}
         self.mispredicted_evictions = 0
+        #: Advice label -> number of blocks it was applied to (the hint
+        #: provenance side of ``repro doctor``'s win/loss attribution).
+        self.advised_blocks: dict[str, int] = {}
         self.blocks_invalidated = 0
         self.blocks_revalidated = 0
         # Monotonic event counter; per-block seq maps implement the state
@@ -191,6 +196,12 @@ class DecisionLog:
         self._victim_kernel[block] = kernel_seq
         self.victim_evictions[reason] = self.victim_evictions.get(reason, 0) + 1
         self.events.append(("victim", block, kernel_seq, reason))
+
+    def note_advice(self, block: int, label: str, kernel_seq: int) -> None:
+        """``block`` received a madvise-style hint (``label`` renders it)."""
+        self._tick()
+        self.advised_blocks[label] = self.advised_blocks.get(label, 0) + 1
+        self.events.append(("advise", block, kernel_seq, label))
 
     def note_chain_break(self, reason: str, exec_id: int, kernel_seq: int) -> None:
         """A next-kernel prediction failed; the chain is dead."""
@@ -309,6 +320,8 @@ def describe_event(event: tuple[str, int, int, object]) -> str:
         return f"chain break ({reason}) while predicting after exec {exec_id}"
     if kind == "chain-restart":
         return f"chain restarted from this block (exec {detail})"
+    if kind == "advise":
+        return f"memory advice applied ({detail})"
     if kind == "invalidate":
         return "invalidated (PT block inactive)"
     if kind == "revalidate":

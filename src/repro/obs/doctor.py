@@ -187,6 +187,19 @@ def diagnose(health: PolicyHealth,
             "live data",
         ))
 
+    hint_cmds = health.commands_by_source.get("hint", 0)
+    if hint_cmds:
+        # Hint-driven wins/losses: every hint-seeded command carries the
+        # "hint" provenance, so late-arriving hinted prefetches show up as
+        # predicted-but-late faults with that provenance in the decision
+        # journal, and useful ones fold into prefetch accuracy above.
+        out(Finding(
+            "info", "hint-prefetch",
+            f"{hint_cmds} prefetch commands were hint-seeded (madvise "
+            "sticky advice); their per-block outcomes carry 'hint' "
+            "provenance in `repro trace why`",
+        ))
+
     tables = health.tables
     if tables is not None:
         hit_rate = tables.exec_hit_rate

@@ -189,6 +189,9 @@ class NullRecorder:
     def note_victim(self, block: int, reason: str) -> None:
         return None
 
+    def note_advice(self, block: int, label: str) -> None:
+        return None
+
     def note_invalidated(self, block: int, active: bool) -> None:
         return None
 
@@ -316,6 +319,9 @@ class SpanRecorder:
 
     def note_victim(self, block: int, reason: str) -> None:
         self.decisions.note_victim(block, reason, self._seq())
+
+    def note_advice(self, block: int, label: str) -> None:
+        self.decisions.note_advice(block, label, self._seq())
 
     def note_invalidated(self, block: int, active: bool) -> None:
         self.decisions.note_invalidated(block, active, self._seq())

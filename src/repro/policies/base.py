@@ -88,6 +88,18 @@ class PrefetchPolicy(Protocol):
         """
         ...
 
+    def note_advice(self, block: int, advice: int) -> None:
+        """Hint feed: ``block`` received a :class:`~repro.sim.um_space.MemAdvise`.
+
+        Called once per (block, advise call) by the memory manager when an
+        allocation site advises a range. Advisory only — a policy is free
+        to ignore it; the stock implementations turn sticky advice
+        (READ_MOSTLY / PREFERRED_LOCATION_GPU) into a priority prefetch
+        seed. Eviction bias is the eviction policy's business, not this
+        hook's (it reads ``UMBlock.advice`` directly).
+        """
+        ...
+
     def attach_recorder(self, recorder: object,
                         clock: Callable[[], float]) -> None:
         """Thread an observability recorder (and the engine clock) through."""

@@ -20,6 +20,7 @@ from ..core.correlator import Correlator
 from ..core.preevict import PreEvictor
 from ..core.prefetcher import ChainingPrefetcher
 from ..sim.engine import UMSimulator
+from ..sim.um_space import ADVISE_STICKY
 from .eviction import ProtectedLRUEvictionPolicy
 
 
@@ -74,6 +75,15 @@ class ChainingPolicy:
         self.push_back = self.prefetcher.push_back
         self.protected_blocks = self.prefetcher.protected_blocks
         self.kernel_known = self.correlator.kernel_known
+
+    def note_advice(self, block: int, advice: int) -> None:
+        """Hint feed: sticky advice becomes a front-of-queue seed.
+
+        Non-sticky advice (CPU-preferred, accessed-by) is eviction-side
+        only; the chain has nothing useful to do with it.
+        """
+        if advice & ADVISE_STICKY:
+            self.prefetcher.seed_advised(block)
 
     def attach_recorder(self, recorder: object,
                         clock: Callable[[], float]) -> None:

@@ -13,7 +13,9 @@ from __future__ import annotations
 from typing import Protocol
 
 from ..sim.gpu import GPUMemory
-from ..sim.um_space import UMBlock
+from ..sim.um_space import ADVISE_STICKY, MemAdvise, UMBlock
+
+_ADVISE_CPU = MemAdvise.PREFERRED_LOCATION_CPU
 
 
 class ProtectedBlockProvider(Protocol):
@@ -27,9 +29,14 @@ class ProtectedLRUEvictionPolicy:
     """Victim policy for the demand-fault path under a prefetching policy.
 
     Order of preference: invalidated blocks (free to drop), then
+    CPU-preferred blocks (their :class:`~repro.sim.um_space.MemAdvise`
+    hint says the caller expects host residency anyway), then
     least-recently-migrated blocks outside the predicted-access window,
+    then sticky-advised blocks (``READ_MOSTLY`` /
+    ``PREFERRED_LOCATION_GPU`` — evicted last among the unprotected),
     then — only if the need is still unmet — protected blocks in
-    migration order.
+    migration order. With no hints set the extra tiers are empty and the
+    ordering is bit-for-bit the pre-hint one.
     """
 
     def __init__(self, provider: ProtectedBlockProvider, *,
@@ -44,7 +51,9 @@ class ProtectedLRUEvictionPolicy:
             self.provider.protected_blocks() if self.protect_predicted else ()
         )
         dead: list[UMBlock] = []
+        eager: list[UMBlock] = []
         cold: list[UMBlock] = []
+        sticky: list[UMBlock] = []
         hot: list[UMBlock] = []
         for blk in gpu.migration_order():
             if blk.index in protected:
@@ -53,11 +62,18 @@ class ProtectedLRUEvictionPolicy:
                 hot.append(blk)
             elif self.prefer_invalidated and blk.invalidated:
                 dead.append(blk)
+            elif blk.advice:  # advisory tiers; empty when no hints are set
+                if blk.advice & _ADVISE_CPU:
+                    eager.append(blk)
+                elif blk.advice & ADVISE_STICKY:
+                    sticky.append(blk)
+                else:
+                    cold.append(blk)
             else:
                 cold.append(blk)
         victims: list[UMBlock] = []
         reclaimed = 0
-        for blk in (*dead, *cold, *hot):
+        for blk in (*dead, *eager, *cold, *sticky, *hot):
             if reclaimed >= needed_bytes:
                 break
             victims.append(blk)

@@ -22,8 +22,10 @@ from typing import Callable, Deque, Optional
 
 from ..config import DeepUMConfig
 from ..obs.recorder import NULL_RECORDER
+from ..core.exec_table import NO_KERNEL
 from ..core.preevict import PreEvictor
 from ..sim.engine import UMSimulator
+from ..sim.um_space import ADVISE_STICKY
 from .eviction import ProtectedLRUEvictionPolicy
 
 
@@ -105,6 +107,19 @@ class WindowedFaultPolicy:
     def kernel_known(self, exec_id: int) -> bool:
         """First encounter of a kernel is a cold start by definition."""
         return exec_id in self._seen_execs
+
+    def note_advice(self, block: int, advice: int) -> None:
+        """Hint feed: sticky advice jumps the command queue.
+
+        Mirrors the chaining policy: the hinted block is prefetched ahead
+        of learned predictions but joins no protection wave (hints carry
+        no kernel position; their eviction bias is the victim tiers').
+        """
+        if advice & ADVISE_STICKY:
+            self._queue.appendleft(block)
+            self.commands_emitted += 1
+            if self._rec_on:
+                self._recorder.note_command(block, "hint", NO_KERNEL, 0)
 
     def attach_recorder(self, recorder: object,
                         clock: Callable[[], float]) -> None:

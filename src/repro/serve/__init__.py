@@ -1,0 +1,18 @@
+"""Inference serving under memory pressure: open-loop traffic over UM.
+
+The package that turns the simulator into a latency benchmark: arrival
+traces (:mod:`repro.serve.arrivals`) drive forward-only serving sessions
+(:mod:`repro.serve.workloads`) through the engine in simulated time, and
+the session loop (:mod:`repro.serve.session`) reports per-request latency
+percentiles and SLO violations. Scenarios and machine calibration live in
+:mod:`repro.serve.scenarios`; the request payload (:class:`ServeSpec`)
+rides in a ``kind="serve"`` :class:`repro.api.RunRequest`.
+
+Only the value types are re-exported here — the session machinery imports
+models and the torchsim stack, which :mod:`repro.api` must not pull in at
+import time.
+"""
+
+from .spec import ARRIVAL_KINDS, ServeSpec
+
+__all__ = ["ARRIVAL_KINDS", "ServeSpec"]

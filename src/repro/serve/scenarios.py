@@ -1,0 +1,126 @@
+"""Serve scenario registry and machine calibration.
+
+A scenario binds a serving session builder to the registry model whose
+batch grid and scale it inherits, plus the oversubscription regime the
+simulated machine is sized for. Calibration mirrors the training
+harness's self-calibration (:func:`repro.harness.experiment.calibrate_system`)
+but measures the *serving* footprint: weights plus one request's session
+state on an unbounded device, extrapolated over the whole trace — which is
+what makes the GPT-2 decode scenario's KV-cache provably overflow the
+device partway through the trace (final footprint = ``oversubscription``
+x capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..config import GPUSpec, HostSpec, SystemConfig
+from ..constants import MiB
+from ..models.registry import get_model_config
+from ..torchsim.context import Device
+from .spec import ServeSpec
+from .workloads import DLRMInferenceSession, GPT2DecodeSession, ServeSession
+
+_HOST_TO_GPU = 16  # the paper's testbed proportion (512 GB : 32 GB)
+
+SessionBuilder = Callable[[Device, int, float, ServeSpec], ServeSession]
+
+
+def _build_dlrm(device: Device, batch: int, scale: float,
+                spec: ServeSpec) -> ServeSession:
+    return DLRMInferenceSession(device, batch, scale)
+
+
+def _build_gpt2_decode(device: Device, batch: int, scale: float,
+                       spec: ServeSpec) -> ServeSession:
+    return GPT2DecodeSession(device, batch, scale,
+                             decode_tokens=spec.decode_tokens)
+
+
+@dataclass(frozen=True)
+class ServeScenario:
+    """One serving scenario: a session builder bound to a registry model."""
+
+    name: str
+    model: str
+    builder: SessionBuilder
+    #: Target (final serving footprint) : (GPU capacity) ratio.
+    oversubscription: float
+    description: str = ""
+
+    def build(self, device: Device, batch: int, scale: float,
+              spec: ServeSpec) -> ServeSession:
+        return self.builder(device, batch, scale, spec)
+
+
+SERVE_SCENARIOS: dict[str, ServeScenario] = {
+    "dlrm": ServeScenario(
+        name="dlrm", model="dlrm", builder=_build_dlrm,
+        oversubscription=4.0,
+        description="batched recommender inference over UM-resident "
+                    "embedding tables (sparse irregular lookups)",
+    ),
+    "gpt2-decode": ServeScenario(
+        name="gpt2-decode", model="gpt2-l", builder=_build_gpt2_decode,
+        oversubscription=2.0,
+        description="autoregressive GPT-2 decode whose chunked KV-cache "
+                    "grows past GPU capacity over the trace",
+    ),
+}
+
+
+def get_scenario(name: str) -> ServeScenario:
+    try:
+        return SERVE_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SERVE_SCENARIOS))
+        raise KeyError(
+            f"unknown serve scenario {name!r}; known: {known}") from None
+
+
+_calibration_cache: dict[tuple, SystemConfig] = {}
+
+
+def calibrate_serve_system(spec: ServeSpec, *, paper_batch: int,
+                           scale: float) -> SystemConfig:
+    """Size the simulated machine for a serve trace.
+
+    GPU capacity = (weights + first request's state + per-request growth x
+    remaining requests) / the scenario's oversubscription ratio; host =
+    16x GPU. Deterministic: the probe runs on an unbounded device and
+    reads only simulated footprints.
+    """
+    scenario = get_scenario(spec.scenario)
+    cfg = get_model_config(scenario.model)
+    sim_batch = cfg.sim_batch(paper_batch)
+    ratio = scenario.oversubscription
+    key = (spec.scenario, sim_batch, scale, spec.requests,
+           spec.decode_tokens, ratio)
+    cached = _calibration_cache.get(key)
+    if cached is not None:
+        return cached
+    from ..baselines import IdealNoOversubscription
+
+    probe = IdealNoOversubscription(SystemConfig())
+    session = scenario.build(probe.device, sim_batch, scale, spec)
+    session.serve_request(0)
+    base = probe.peak_populated_bytes
+    growth = session.session_bytes_per_request()
+    footprint = base + growth * max(0, spec.requests - 1)
+    gpu_bytes = max(16 * MiB, int(footprint / ratio))
+    # Match the training calibration's compute rescale: width-like dims
+    # shrink FLOPs by ~scale^2 but bytes by ~scale, so the simulated GPU
+    # slows by the same factor to keep the compute-to-traffic ratio.
+    base_gpu = GPUSpec()
+    system = SystemConfig(
+        gpu=GPUSpec(
+            name=f"sim-gpu(serve:{spec.scenario})",
+            memory_bytes=gpu_bytes,
+            flops_per_second=base_gpu.flops_per_second * min(1.0, scale),
+        ),
+        host=HostSpec(memory_bytes=_HOST_TO_GPU * gpu_bytes),
+    )
+    _calibration_cache[key] = system
+    return system

@@ -1,0 +1,102 @@
+"""The serve payload carried by a ``kind="serve"`` :class:`~repro.api.RunRequest`.
+
+A :class:`ServeSpec` pins everything about the request trace and its
+service-level objective that is not already pinned by the base request
+(model, policy, batch, scale, seed, system): the arrival process, the
+request count, the offered rate, the SLO target, and whether the workload's
+madvise-style hint plan is applied. Like the request it rides in, it is a
+frozen value object with a stable dict round-trip — its dict form is part
+of the canonical payload the executor journals and the result cache keys
+on, so field defaults here are forever (new fields must only serialize
+when set off-default).
+
+``rate`` and ``slo_ms`` default to ``None`` meaning *derived from the
+warm-up window*: the session measures the median warm-up service time and
+sets the offered rate to 70% of the measured service rate and the SLO to
+5x the median service time. Both derivations read only simulated values,
+so they are as deterministic as a pinned number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: Supported arrival processes (see :mod:`repro.serve.arrivals`).
+ARRIVAL_KINDS = ("poisson", "bursty", "diurnal")
+
+DEFAULT_REQUESTS = 48
+DEFAULT_BURST_FACTOR = 4.0
+DEFAULT_DECODE_TOKENS = 8
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """Everything that determines one serve cell beyond the base request."""
+
+    #: Scenario name in :data:`repro.serve.scenarios.SERVE_SCENARIOS`.
+    scenario: str
+    #: Arrival process, one of :data:`ARRIVAL_KINDS`.
+    arrivals: str = "poisson"
+    #: Number of measured requests (the warm-up window rides on the base
+    #: request's ``warmup_iterations``).
+    requests: int = DEFAULT_REQUESTS
+    #: Offered load in requests per simulated second; ``None`` = 70% of
+    #: the measured warm-up service rate.
+    rate: Optional[float] = None
+    #: Latency SLO in simulated milliseconds; ``None`` = 5x the median
+    #: warm-up service time.
+    slo_ms: Optional[float] = None
+    #: Apply the workload's :class:`~repro.sim.um_space.MemAdvise` plan.
+    hints: bool = True
+    #: Seed for the arrival-trace RNG (independent of the model seed).
+    arrival_seed: int = 0
+    #: Peak:trough rate ratio for ``bursty`` arrivals.
+    burst_factor: float = DEFAULT_BURST_FACTOR
+    #: Tokens decoded per request (autoregressive scenarios only).
+    decode_tokens: int = DEFAULT_DECODE_TOKENS
+
+    def __post_init__(self) -> None:
+        if self.arrivals not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival process {self.arrivals!r}; "
+                f"known: {ARRIVAL_KINDS}")
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.slo_ms is not None and self.slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {self.slo_ms}")
+        if self.burst_factor < 1.0:
+            raise ValueError(
+                f"burst_factor must be >= 1, got {self.burst_factor}")
+        if self.decode_tokens < 1:
+            raise ValueError(
+                f"decode_tokens must be >= 1, got {self.decode_tokens}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "arrivals": self.arrivals,
+            "requests": self.requests,
+            "rate": self.rate,
+            "slo_ms": self.slo_ms,
+            "hints": self.hints,
+            "arrival_seed": self.arrival_seed,
+            "burst_factor": self.burst_factor,
+            "decode_tokens": self.decode_tokens,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "ServeSpec":
+        return cls(
+            scenario=doc["scenario"],
+            arrivals=doc.get("arrivals", "poisson"),
+            requests=doc.get("requests", DEFAULT_REQUESTS),
+            rate=doc.get("rate"),
+            slo_ms=doc.get("slo_ms"),
+            hints=doc.get("hints", True),
+            arrival_seed=doc.get("arrival_seed", 0),
+            burst_factor=doc.get("burst_factor", DEFAULT_BURST_FACTOR),
+            decode_tokens=doc.get("decode_tokens", DEFAULT_DECODE_TOKENS),
+        )

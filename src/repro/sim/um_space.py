@@ -15,6 +15,49 @@ from ..constants import PAGE_SIZE, UM_BLOCK_SIZE
 from .address import align_up
 
 
+class MemAdvise(enum.IntFlag):
+    """``cudaMemAdvise``-style per-block allocation hints.
+
+    Hints are advisory inputs to the policies, never mandates: the
+    simulator's correctness (what migrates, what faults) is unchanged by
+    them; only *victim ordering* and *prefetch seeding* may shift. The
+    flags mirror the CUDA advice enum:
+
+    * ``READ_MOSTLY`` — written rarely; cheap to keep resident, expensive
+      to re-fetch. Protected-LRU evicts these last among unprotected
+      blocks; prefetchers treat them as standing seeds.
+    * ``PREFERRED_LOCATION_GPU`` — the caller wants this resident on the
+      device; same eviction/seed treatment as ``READ_MOSTLY``.
+    * ``PREFERRED_LOCATION_CPU`` — the caller expects CPU residency (e.g.
+      a giant embedding table accessed sparsely); the pre-evictor never
+      churns on these and the demand path evicts them eagerly.
+    * ``ACCESSED_BY`` — both processors touch the range; recorded for
+      provenance but currently neutral to victim ordering.
+
+    Flags OR together; ``0`` (no advice) must leave every policy decision
+    bit-for-bit identical to a build without the hint API (the golden-cell
+    tests pin this).
+    """
+
+    NONE = 0
+    READ_MOSTLY = 1
+    PREFERRED_LOCATION_GPU = 2
+    PREFERRED_LOCATION_CPU = 4
+    ACCESSED_BY = 8
+
+
+#: Hints that bias toward device residency (evicted last, seeded first).
+ADVISE_STICKY = MemAdvise.READ_MOSTLY | MemAdvise.PREFERRED_LOCATION_GPU
+
+
+def advice_labels(advice: int) -> str:
+    """Stable human rendering of an advice bitmask (``a|b|c``)."""
+    if not advice:
+        return "none"
+    names = [flag.name for flag in MemAdvise if flag and advice & flag]
+    return "|".join(str(n) for n in names)
+
+
 class BlockLocation(enum.Enum):
     """Where a UM block's valid data currently resides.
 
@@ -52,6 +95,9 @@ class UMBlock:
     last_migrated_at: float = -1.0
     capacity_pages: int = 512
     populated_bytes: int = 0
+    #: :class:`MemAdvise` bitmask; 0 (the default) means "no advice" and
+    #: every consumer must behave exactly as if the field did not exist.
+    advice: int = 0
 
     def populate(self, pages: int) -> None:
         """Reserve ``pages`` additional pages of backing (clamped).
@@ -159,6 +205,22 @@ class UnifiedMemorySpace:
     def blocks_of(self, addr: int, nbytes: int) -> list[UMBlock]:
         """UM blocks overlapped by a byte range, materialized."""
         return [self.block(i) for i in self.blocks_spanned(addr, nbytes)]
+
+    def advise(self, addr: int, nbytes: int, advice: int) -> list[UMBlock]:
+        """OR ``advice`` into every block overlapping the byte range.
+
+        Mirrors ``cudaMemAdvise``: the hint applies at block granularity,
+        so a range sharing its edge blocks with other tensors advises
+        those neighbours too (exactly the real API's sharp edge).
+        Materializes the blocks without populating any pages.
+        """
+        flags = int(advice)
+        if flags and not (0 < flags <= sum(MemAdvise)):
+            raise ValueError(f"unknown advice bits {advice:#x}")
+        blocks = self.blocks_of(addr, nbytes)
+        for blk in blocks:
+            blk.advice |= flags
+        return blocks
 
     def touch(self, addr: int, nbytes: int) -> list[UMBlock]:
         """First-touch populate the pages of a range; returns its blocks.

@@ -1,7 +1,5 @@
 """The unified experiment API: RunRequest/RunResult and execute()."""
 
-import warnings
-
 import pytest
 
 from repro.api import (
@@ -142,25 +140,18 @@ def test_result_round_trips_through_dict():
     assert again.experiment is None  # never crosses the boundary
 
 
-# ------------------------------------------------- make_policy deprecation
+# ------------------------------------------------- make_policy removal
 
-def test_make_policy_is_a_deprecated_alias():
+def test_make_policy_is_removed_with_a_pointer():
+    import repro.harness as harness
     import repro.harness.experiment as experiment
 
-    system = experiment.calibrate_system("mobilenet")
-    monkey_state = experiment._make_policy_warned
-    experiment._make_policy_warned = False
-    try:
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            experiment.make_policy("um", system)
-            experiment.make_policy("um", system)
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)]
-        assert len(deprecations) == 1
-        assert "build_policy" in str(deprecations[0].message)
-    finally:
-        experiment._make_policy_warned = monkey_state
+    for module in (experiment, harness):
+        with pytest.raises(AttributeError, match="build_policy"):
+            module.make_policy
+    with pytest.raises(ImportError, match="make_policy"):
+        from repro.harness import make_policy  # noqa: F401
+    assert "make_policy" not in harness.__all__
 
 
 def test_defaults_are_shared_constants():
